@@ -1,0 +1,37 @@
+//! Criterion benchmarks for the Frontier simulator itself: per-step
+//! simulation cost across strategies and the Fig. 4 grid search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matgpt_frontier_sim::{
+    one_b_grid, simulate_step, Constraints, KernelModel, Strategy, TrainSetup,
+};
+use matgpt_model::{ArchKind, GptConfig};
+use std::hint::black_box;
+
+fn bench_simulate_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_step");
+    group.sample_size(20);
+    for (name, strat) in [
+        ("dp", Strategy::DataParallel),
+        ("zero1", Strategy::Zero1),
+        ("tp2", Strategy::TensorParallel(2)),
+        ("pp2", Strategy::PipelineParallel(2)),
+    ] {
+        let setup = TrainSetup::new(GptConfig::paper_6_7b(ArchKind::Llama, 52_000), 256, strat);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &setup, |b, s| {
+            b.iter(|| black_box(simulate_step(s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_search(c: &mut Criterion) {
+    let km = KernelModel::default();
+    let cons = Constraints::default();
+    c.bench_function("one_b_grid", |b| {
+        b.iter(|| black_box(one_b_grid(52_000, 2048, &km, &cons)))
+    });
+}
+
+criterion_group!(benches, bench_simulate_step, bench_grid_search);
+criterion_main!(benches);

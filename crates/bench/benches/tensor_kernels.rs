@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for the numeric kernels: matmul scaling,
+//! naive-vs-flash attention (the real-CPU analogue of Fig. 4's right
+//! panel), and tokenizer throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matgpt_tensor::init;
+use matgpt_tensor::kernels::attention::{attention_fwd, AttentionImpl};
+use matgpt_tensor::kernels::matmul::matmul;
+use matgpt_tokenizer::{BpeTokenizer, Tokenizer, UnigramTokenizer};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let mut rng = init::rng(1);
+        let a = init::randn(&[n, n], 1.0, &mut rng).into_vec();
+        let b = init::randn(&[n, n], 1.0, &mut rng).into_vec();
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter(|| {
+                matmul(black_box(&a), black_box(&b), &mut out, n, n, n);
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention");
+    group.sample_size(10);
+    let (bh, d) = (4usize, 32usize);
+    for &t in &[128usize, 256] {
+        let mut rng = init::rng(2);
+        let q = init::randn(&[bh * t * d], 1.0, &mut rng).into_vec();
+        let k = init::randn(&[bh * t * d], 1.0, &mut rng).into_vec();
+        let v = init::randn(&[bh * t * d], 1.0, &mut rng).into_vec();
+        group.bench_with_input(BenchmarkId::new("naive", t), &t, |bench, &t| {
+            bench.iter(|| {
+                black_box(attention_fwd(&q, &k, &v, bh, t, d, AttentionImpl::Naive, true))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flash", t), &t, |bench, &t| {
+            bench.iter(|| {
+                black_box(attention_fwd(&q, &k, &v, bh, t, d, AttentionImpl::Flash, true))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tokenizers(c: &mut Criterion) {
+    let docs: Vec<String> = (0..50)
+        .map(|i| {
+            format!(
+                "the band gap of sample {i} is approximately {}.{} eV in the cubic phase",
+                i % 9,
+                i % 10
+            )
+        })
+        .collect();
+    let bpe = BpeTokenizer::train(&docs, 400);
+    let uni = UnigramTokenizer::train(&docs, 200);
+    let text = docs.join(" ");
+    let mut group = c.benchmark_group("tokenizer_encode");
+    group.sample_size(10);
+    group.bench_function("bpe", |b| b.iter(|| black_box(bpe.encode(&text))));
+    group.bench_function("unigram", |b| b.iter(|| black_box(uni.encode(&text))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_attention, bench_tokenizers);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks for real training throughput: GPT training steps
+//! (both architectures) and GNN graph construction + forward passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matgpt_corpus::MaterialGenerator;
+use matgpt_gnn::{build_graph, GnnModel, GnnVariant};
+use matgpt_model::{ArchKind, GptConfig, GptModel};
+use matgpt_tensor::{init, ParamStore, Tape};
+use std::hint::black_box;
+
+fn bench_gpt_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpt_train_step");
+    group.sample_size(10);
+    for arch in [ArchKind::NeoX, ArchKind::Llama] {
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(0);
+        let cfg = GptConfig::tiny(arch, 512);
+        let model = GptModel::new(cfg, &mut store, &mut rng);
+        let tokens: Vec<u32> = (0..4 * 32).map(|i| (i % 512) as u32).collect();
+        let targets: Vec<u32> = (0..4 * 32).map(|i| ((i + 1) % 512) as u32).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{arch}")),
+            &arch,
+            |b, _| {
+                b.iter(|| {
+                    store.zero_grads();
+                    let mut tape = Tape::new();
+                    let loss = model.loss(&mut tape, &store, &tokens, &targets, 4, 32);
+                    tape.backward(loss);
+                    tape.accumulate_param_grads(&mut store);
+                    black_box(tape.value(loss).item())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gnn_forward(c: &mut Criterion) {
+    let mats = MaterialGenerator::new(5).generate(20);
+    let mut group = c.benchmark_group("gnn");
+    group.sample_size(10);
+    for variant in [GnnVariant::Cgcnn, GnnVariant::Alignn] {
+        let opts = variant.graph_options();
+        group.bench_with_input(
+            BenchmarkId::new("build_graph", variant.label()),
+            &variant,
+            |b, _| b.iter(|| black_box(build_graph(&mats[0], &opts))),
+        );
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(1);
+        let model = GnnModel::new(variant, 32, 0, &mut store, &mut rng);
+        let graphs: Vec<_> = mats.iter().map(|m| build_graph(m, &opts)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("forward", variant.label()),
+            &variant,
+            |b, _| {
+                b.iter(|| {
+                    for g in &graphs {
+                        black_box(model.predict(&store, g, None));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpt_step, bench_gnn_forward);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Extension: tokenizer fertility study. The paper observes that larger
+//! vocabularies "distinguish domain terminologies such as chemical
+//! elements in materials formulae" — here we measure it directly: tokens
+//! per word (fertility) and tokens per formula for HF/SPM at several
+//! vocabulary sizes.
+
+use matgpt_bench::{compare, print_table};
+use matgpt_core::train_tokenizer;
+use matgpt_corpus::{build_corpus, CorpusConfig};
+use matgpt_tokenizer::TokenizerKind;
+
+fn main() {
+    let corpus = build_corpus(&CorpusConfig {
+        n_materials: 200,
+        total_docs: 600,
+        offtopic_fraction: 0.2,
+        seed: 44,
+    });
+    let formulas: Vec<String> = corpus
+        .materials
+        .iter()
+        .take(100)
+        .map(|m| m.formula.clone())
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut formula_tokens = Vec::new();
+    for kind in [TokenizerKind::Hf, TokenizerKind::Spm] {
+        for vocab in [320usize, 640, 1024] {
+            let tok = train_tokenizer(kind, vocab, &corpus.documents);
+            let fertility = tok.fertility(&corpus.documents);
+            let per_formula: f64 = formulas
+                .iter()
+                .map(|f| tok.encode(f).len() as f64)
+                .sum::<f64>()
+                / formulas.len() as f64;
+            rows.push(vec![
+                kind.to_string(),
+                vocab.to_string(),
+                tok.vocab_size().to_string(),
+                format!("{fertility:.2}"),
+                format!("{per_formula:.2}"),
+            ]);
+            formula_tokens.push((kind, vocab, per_formula));
+        }
+    }
+    print_table(
+        "Extension: tokenizer fertility on the materials corpus",
+        &["family", "budget", "actual vocab", "tokens/word", "tokens/formula"],
+        &rows,
+    );
+
+    println!("\n-- paper vs measured --");
+    let hf_small = formula_tokens.iter().find(|(k, v, _)| *k == TokenizerKind::Hf && *v == 320).unwrap().2;
+    let hf_large = formula_tokens.iter().find(|(k, v, _)| *k == TokenizerKind::Hf && *v == 1024).unwrap().2;
+    compare(
+        "larger vocab fragments formulas less",
+        "larger vocabulary helps scientific texts",
+        &format!("{hf_small:.2} -> {hf_large:.2} tokens/formula"),
+        if hf_large < hf_small { "MATCH" } else { "CHECK" },
+    );
+    println!(
+        "a formula split into fewer pieces keeps element identities intact in one\n\
+         embedding row — the mechanism behind the paper's vocabulary observation."
+    );
+}

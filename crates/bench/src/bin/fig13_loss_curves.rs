@@ -1,0 +1,14 @@
+//! Regenerates Fig. 13: training and validation losses of the controlled
+//! pre-training suite (architecture x tokenizer x vocab x optimizer x
+//! batch). Pass `--smoke` for a fast reduced-scale run.
+
+use matgpt_bench::experiments::fig13_report;
+use matgpt_bench::selected_scale;
+use matgpt_core::train_suite;
+
+fn main() {
+    let scale = selected_scale();
+    eprintln!("training suite at scale {scale:?} …");
+    let suite = train_suite(&scale);
+    fig13_report(&suite);
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 14: zero-shot accuracy across the nine QA families,
+//! comparing tokenizer/vocabulary choices (top) and NeoX vs LLaMA at both
+//! model sizes (bottom). Pass `--smoke` for a fast run.
+
+use matgpt_bench::experiments::fig14_report;
+use matgpt_bench::{selected_scale, smoke_requested};
+use matgpt_core::train_suite;
+
+fn main() {
+    let scale = selected_scale();
+    eprintln!("training suite at scale {scale:?} …");
+    let suite = train_suite(&scale);
+    let items = if smoke_requested() { 20 } else { 60 };
+    fig14_report(&suite, items);
+}

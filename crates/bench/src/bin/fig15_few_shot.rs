@@ -1,0 +1,14 @@
+//! Regenerates Fig. 15: 3- and 5-shot accuracy for the large NeoX and
+//! LLaMA models. Pass `--smoke` for a fast run.
+
+use matgpt_bench::experiments::fig15_report;
+use matgpt_bench::{selected_scale, smoke_requested};
+use matgpt_core::train_suite;
+
+fn main() {
+    let scale = selected_scale();
+    eprintln!("training suite at scale {scale:?} …");
+    let suite = train_suite(&scale);
+    let items = if smoke_requested() { 12 } else { 40 };
+    fig15_report(&suite, items);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Fig. 16: Euclidean-distance and cosine-similarity
+//! distributions of formula embeddings for the GPT variants vs the
+//! MatSciBERT surrogate. Pass `--smoke` for a fast run.
+
+use matgpt_bench::experiments::fig16_report;
+use matgpt_bench::selected_scale;
+use matgpt_core::train_suite;
+
+fn main() {
+    let scale = selected_scale();
+    eprintln!("training suite at scale {scale:?} …");
+    let suite = train_suite(&scale);
+    fig16_report(&suite);
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 17: embedding clustering of material formulas after
+//! PCA + t-SNE, per model variant. Pass `--smoke` for a fast run.
+
+use matgpt_bench::experiments::fig17_report;
+use matgpt_bench::selected_scale;
+use matgpt_core::train_suite;
+
+fn main() {
+    let scale = selected_scale();
+    eprintln!("training suite at scale {scale:?} …");
+    let suite = train_suite(&scale);
+    fig17_report(&suite);
+}

@@ -1,0 +1,79 @@
+//! Runs the full reproduction: every table and figure harness in order.
+//! The simulator-only harnesses are spawned as sibling binaries; the
+//! training-dependent ones share a single trained suite. Pass `--smoke`
+//! for a fast reduced-scale run.
+
+use matgpt_bench::experiments::{
+    fig13_report, fig14_report, fig15_report, fig16_report, fig17_report, suite_summary,
+    table5_report,
+};
+use matgpt_bench::{selected_scale, smoke_requested};
+use matgpt_core::train_suite;
+use std::process::Command;
+
+fn run_sibling(name: &str) {
+    let exe = std::env::current_exe().expect("current exe");
+    let path = exe.with_file_name(name);
+    println!("\n################ {name} ################");
+    match Command::new(&path).status() {
+        Ok(s) if s.success() => {}
+        Ok(s) => eprintln!("{name} exited with {s}"),
+        Err(e) => eprintln!(
+            "could not run {name} ({e}); build it with `cargo build --release -p matgpt-bench`"
+        ),
+    }
+}
+
+fn main() {
+    for bin in [
+        "table1_sources",
+        "table2_architectures",
+        "table3_hyperparams",
+        "table4_energy",
+        "fig01_evolution",
+        "fig02_layer_flops",
+        "fig04_heatmap",
+        "fig05_memory",
+        "fig06_arch_throughput",
+        "fig07_parallelism",
+        "fig08_scaling",
+        "fig09_step_trace",
+        "fig10_kernel_breakdown",
+        "fig11_messages",
+        "fig12_power_traces",
+        "ablation_kernel_knobs",
+        "ablation_batch_scaling",
+        "ablation_seq_sweep",
+        "ablation_tp_mapping",
+        "ext_inference_sim",
+    ] {
+        run_sibling(bin);
+    }
+
+    let scale = selected_scale();
+    println!("\n################ training-dependent experiments ################");
+    eprintln!("training suite at scale {scale:?} …");
+    let suite = train_suite(&scale);
+    suite_summary(&suite);
+    let (items, few_items, epochs) = if smoke_requested() {
+        (20, 12, 8)
+    } else {
+        (60, 40, 40)
+    };
+    println!("\n################ fig13_loss_curves ################");
+    fig13_report(&suite);
+    println!("\n################ fig14_zero_shot ################");
+    fig14_report(&suite, items);
+    println!("\n################ fig15_few_shot ################");
+    fig15_report(&suite, few_items);
+    println!("\n################ fig16_embedding_geometry ################");
+    fig16_report(&suite);
+    println!("\n################ fig17_clustering ################");
+    fig17_report(&suite);
+    println!("\n################ table5_bandgap ################");
+    table5_report(&suite, epochs);
+    println!(
+        "\nreproduction complete. (additional training-based studies:\n\
+         ablation_precision, ext_gqa, ext_tokenizer_study, ext_formation_energy)"
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table V: band-gap prediction MAE for the GNN baselines and
+//! the LLM-embedding-fused models. Pass `--smoke` for a fast run.
+
+use matgpt_bench::experiments::table5_report;
+use matgpt_bench::{selected_scale, smoke_requested};
+use matgpt_core::train_suite;
+
+fn main() {
+    let scale = selected_scale();
+    eprintln!("training suite at scale {scale:?} …");
+    let suite = train_suite(&scale);
+    let epochs = if smoke_requested() { 8 } else { 40 };
+    table5_report(&suite, epochs);
+}

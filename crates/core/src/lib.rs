@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # matgpt-core
+//!
+//! The end-to-end MatGPT pipeline — the paper's primary contribution glued
+//! together: corpus construction, controlled pre-training recipes
+//! (Table III), the seven-experiment loss study (Fig. 13), the BERT
+//! surrogate, and the LLM-release-history dataset (Fig. 1).
+//!
+//! Downstream crates provide the substrates (`matgpt-tensor`,
+//! `matgpt-model`, `matgpt-tokenizer`, `matgpt-corpus`, `matgpt-optim`,
+//! `matgpt-frontier-sim`, `matgpt-eval`, `matgpt-gnn`); this crate provides
+//! the orchestration the examples and the bench harness drive.
+
+pub mod pipeline;
+pub mod pretrain;
+pub mod recipes;
+pub mod releases;
+
+pub use pipeline::{
+    experiment_matrix, pretrain_bert, train_suite, MatGptSuite, SuiteScale, TrainedBert,
+};
+pub use pretrain::{pretrain, pretrain_with_tokenizer, train_tokenizer, LossCurves, Pretrained};
+pub use recipes::{OptChoice, PaperRecipe, PretrainConfig, SizeRole, TABLE_III};
+pub use releases::{counts_by_year, Branch, Release, RELEASES};

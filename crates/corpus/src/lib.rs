@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # matgpt-corpus
+//!
+//! The synthetic materials-science data pipeline, reproducing the paper's
+//! Sec. III "Data Sources" at laptop scale:
+//!
+//! * [`materials`] — a generative materials universe with a known
+//!   `gap = f(structure) + g(composition) + noise` ground truth;
+//! * [`templates`] — abstract generation that co-locates formulas with
+//!   their band-gap class/values (the signal LLM embeddings later carry);
+//! * [`sources`] — the Table I registry (CORE/MAG/Aminer/SCOPUS) with
+//!   proportional synthetic budgets;
+//! * [`screening`] — the SciBERT-classifier substitute: a from-scratch
+//!   logistic regression trained on a small labelled set, used to filter
+//!   unfiltered sources;
+//! * [`dataset`] — corpus assembly ([`build_corpus`]) and `[B, T]`
+//!   next-token batching ([`TokenDataset`]).
+
+pub mod dataset;
+pub mod elements;
+pub mod materials;
+pub mod screening;
+pub mod sources;
+pub mod templates;
+
+pub use dataset::{build_corpus, Batch, Corpus, CorpusConfig, SourceStats, TokenDataset};
+pub use elements::{Element, ELEMENTS};
+pub use materials::{BandGapClass, Material, MaterialGenerator};
+pub use screening::ScreeningClassifier;

@@ -1,0 +1,220 @@
+//! Text templates turning synthetic materials into abstracts.
+//!
+//! The generated prose deliberately co-locates each formula with its
+//! band-gap class and approximate gap value, so a language model trained on
+//! the corpus can encode composition→property knowledge in its embeddings —
+//! the mechanism the paper exploits in its scientific downstream task.
+
+use crate::materials::{BandGapClass, Material};
+use rand::Rng;
+
+const APPLICATIONS: &[&str] = &[
+    "photovoltaic absorbers",
+    "transparent electronics",
+    "thermoelectric generators",
+    "solid state batteries",
+    "catalytic converters",
+    "optical coatings",
+    "power electronics",
+    "gas sensing devices",
+    "light emitting diodes",
+    "radiation detectors",
+];
+
+const METHODS: &[&str] = &[
+    "density functional theory calculations",
+    "high throughput screening",
+    "solid state synthesis followed by x ray diffraction",
+    "molecular beam epitaxy",
+    "sol gel processing",
+    "spark plasma sintering",
+    "first principles calculations",
+    "chemical vapor deposition",
+];
+
+const LATTICES: &[&str] = &["cubic", "tetragonal", "orthorhombic", "hexagonal"];
+
+/// Generate one materials-science abstract for `m`.
+pub fn material_abstract<R: Rng>(m: &Material, rng: &mut R) -> String {
+    let lattice = LATTICES[rng.gen_range(0..LATTICES.len())];
+    let app = APPLICATIONS[rng.gen_range(0..APPLICATIONS.len())];
+    let method = METHODS[rng.gen_range(0..METHODS.len())];
+    let gap_word = match m.class {
+        BandGapClass::Conductor => "negligible",
+        BandGapClass::Semiconductor => {
+            if m.band_gap < 1.5 {
+                "narrow"
+            } else {
+                "moderate"
+            }
+        }
+        BandGapClass::Insulator => "wide",
+    };
+    let mut s = String::with_capacity(512);
+    match rng.gen_range(0..4) {
+        0 => {
+            s.push_str(&format!(
+                "We investigate the compound {} using {} . ",
+                m.formula, method
+            ));
+            s.push_str(&format!(
+                "The material crystallizes in a {} structure with a lattice parameter of {:.2} angstrom . ",
+                lattice, m.lattice_a
+            ));
+            s.push_str(&format!(
+                "Our results show that {} is a {} with a {} band gap of {:.1} eV . ",
+                m.formula,
+                m.class.name(),
+                gap_word,
+                m.band_gap
+            ));
+            s.push_str(&format!(
+                "These properties make {} a promising candidate for {} .",
+                m.formula, app
+            ));
+        }
+        1 => {
+            s.push_str(&format!(
+                "The electronic structure of {} is studied by {} . ",
+                m.formula, method
+            ));
+            s.push_str(&format!(
+                "We find a {} band gap of {:.1} eV indicating {} behavior . ",
+                gap_word,
+                m.band_gap,
+                m.class.name()
+            ));
+            s.push_str(&format!(
+                "The computed formation energy of {:.2} eV per atom suggests the {} phase is stable . ",
+                m.formation_energy, lattice
+            ));
+            s.push_str(&format!(
+                "We discuss the potential of {} for {} .",
+                m.formula, app
+            ));
+        }
+        2 => {
+            s.push_str(&format!(
+                "Novel {} {} is synthesized and characterized by {} . ",
+                m.class.name(),
+                m.formula,
+                method
+            ));
+            s.push_str(&format!(
+                "Measurements reveal a band gap of approximately {:.1} eV consistent with the {} gap expected for this composition . ",
+                m.band_gap, gap_word
+            ));
+            s.push_str(&format!(
+                "The {} unit cell has a lattice constant of {:.2} angstrom . ",
+                lattice, m.lattice_a
+            ));
+            s.push_str(&format!(
+                "Applications in {} are discussed .",
+                app
+            ));
+        }
+        _ => {
+            s.push_str(&format!(
+                "Band gap engineering of {} for {} is reported . ",
+                m.formula, app
+            ));
+            s.push_str(&format!(
+                "Using {} we determine that the material behaves as a {} . ",
+                method,
+                m.class.name()
+            ));
+            s.push_str(&format!(
+                "The {} band gap of {:.1} eV and the {} lattice with parameter {:.2} angstrom agree with prior reports on {} .",
+                gap_word,
+                m.band_gap,
+                lattice,
+                m.lattice_a,
+                m.formula
+            ));
+        }
+    }
+    s
+}
+
+const OFFTOPIC_SUBJECTS: &[&str] = &[
+    "protein folding kinetics in aqueous solution",
+    "galaxy cluster dynamics at high redshift",
+    "monetary policy transmission in emerging markets",
+    "gene regulatory networks in drosophila development",
+    "ocean circulation response to wind forcing",
+    "reinforcement learning for robotic manipulation",
+    "seismic wave propagation in layered media",
+    "epidemic spreading on temporal contact networks",
+];
+
+const OFFTOPIC_VERBS: &[&str] = &[
+    "We model",
+    "This paper analyzes",
+    "We present new observations of",
+    "We develop a framework for",
+    "Simulations reveal the role of",
+];
+
+/// Generate a non-materials-science abstract (screening negative class).
+pub fn offtopic_abstract<R: Rng>(rng: &mut R) -> String {
+    let subj = OFFTOPIC_SUBJECTS[rng.gen_range(0..OFFTOPIC_SUBJECTS.len())];
+    let verb = OFFTOPIC_VERBS[rng.gen_range(0..OFFTOPIC_VERBS.len())];
+    let subj2 = OFFTOPIC_SUBJECTS[rng.gen_range(0..OFFTOPIC_SUBJECTS.len())];
+    format!(
+        "{} {} . The analysis combines statistical inference with mechanistic models of {} . \
+         We quantify uncertainty and discuss implications for future studies .",
+        verb, subj, subj2
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::materials::MaterialGenerator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn abstract_mentions_formula_and_class() {
+        let mats = MaterialGenerator::new(1).generate(20);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for m in &mats {
+            let a = material_abstract(m, &mut rng);
+            assert!(a.contains(&m.formula), "missing formula in: {a}");
+            assert!(a.contains(m.class.name()), "missing class in: {a}");
+            assert!(a.contains("band gap"), "missing property in: {a}");
+        }
+    }
+
+    #[test]
+    fn abstract_mentions_rounded_gap_value() {
+        let mats = MaterialGenerator::new(2).generate(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for m in &mats {
+            let a = material_abstract(m, &mut rng);
+            let val = format!("{:.1} eV", m.band_gap);
+            assert!(a.contains(&val), "missing '{val}' in: {a}");
+        }
+    }
+
+    #[test]
+    fn offtopic_has_no_band_gap() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..20 {
+            let a = offtopic_abstract(&mut rng);
+            assert!(!a.contains("band gap"));
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn templates_vary() {
+        let mats = MaterialGenerator::new(3).generate(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let outs: Vec<String> = (0..8)
+            .map(|_| material_abstract(&mats[0], &mut rng))
+            .collect();
+        let distinct: std::collections::HashSet<&String> = outs.iter().collect();
+        assert!(distinct.len() > 1, "templates should vary");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the synthetic materials universe and corpus
+//! pipeline.
+
+use matgpt_corpus::materials::gap_model;
+use matgpt_corpus::{BandGapClass, MaterialGenerator, ELEMENTS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated material is internally consistent.
+    #[test]
+    fn materials_are_well_formed(seed in 0u64..5000) {
+        let mats = MaterialGenerator::new(seed).generate(5);
+        for m in &mats {
+            // composition indices valid, counts positive
+            for &(e, c) in &m.composition {
+                prop_assert!(e < ELEMENTS.len());
+                prop_assert!(c >= 1);
+            }
+            // sites reference composition entries
+            let n_atoms: usize = m.composition.iter().map(|&(_, c)| c as usize).sum();
+            prop_assert_eq!(m.sites.len(), n_atoms);
+            for s in &m.sites {
+                prop_assert!(s.species < m.composition.len());
+            }
+            // class matches gap
+            prop_assert_eq!(m.class, BandGapClass::from_gap(m.band_gap));
+            // gap in range
+            prop_assert!((0.0..=9.0).contains(&m.band_gap));
+            // physicochemical summaries finite
+            prop_assert!(m.ionicity().is_finite());
+            prop_assert!((0.0..=1.0).contains(&m.metallic_fraction()));
+            prop_assert!(m.mean_bond_length() > 0.0);
+        }
+    }
+
+    /// The ground-truth decomposition holds: the gap equals
+    /// f(structure) + g(composition) up to the bounded noise and clamping.
+    #[test]
+    fn gap_decomposition_holds(seed in 0u64..5000) {
+        let mats = MaterialGenerator::new(seed).generate(4);
+        for m in &mats {
+            let f = gap_model::f_structure(m.mean_bond_length());
+            let g = gap_model::g_composition(m.ionicity(), m.metallic_fraction());
+            let raw = f + g;
+            // band_gap = clamp(raw + noise); noise is ~N(0, 0.15), so the
+            // reconstruction is within 6 sigma unless clamped
+            if m.band_gap > 0.0 && m.band_gap < 9.0 {
+                prop_assert!(
+                    (m.band_gap - raw).abs() < 6.0 * gap_model::NOISE,
+                    "gap {} vs f+g {}",
+                    m.band_gap,
+                    raw
+                );
+            }
+        }
+    }
+
+    /// Distances satisfy the metric triangle inequality under the
+    /// minimum-image convention... within a periodic-cell tolerance; we
+    /// check symmetry and identity which must hold exactly.
+    #[test]
+    fn distance_axioms(seed in 0u64..2000) {
+        let mats = MaterialGenerator::new(seed).generate(2);
+        for m in &mats {
+            let n = m.sites.len();
+            for i in 0..n {
+                prop_assert!(m.distance(i, i) < 1e-6);
+                for j in 0..n {
+                    prop_assert!((m.distance(i, j) - m.distance(j, i)).abs() < 1e-6);
+                    prop_assert!(m.distance(i, j) >= 0.0);
+                }
+            }
+        }
+    }
+
+    /// Generators with different seeds produce different universes, and
+    /// the same seed reproduces exactly.
+    #[test]
+    fn seeding_behaviour(seed in 0u64..2000) {
+        let a = MaterialGenerator::new(seed).generate(3);
+        let b = MaterialGenerator::new(seed).generate(3);
+        let c = MaterialGenerator::new(seed ^ 0xffff_ffff).generate(3);
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(&x.formula, &y.formula);
+            prop_assert_eq!(x.band_gap, y.band_gap);
+        }
+        let same = a.iter().zip(c.iter()).filter(|(x, y)| x.formula == y.formula).count();
+        prop_assert!(same < 3, "different seeds should diverge");
+    }
+}
+
+#[test]
+fn corpus_statistics_track_universe() {
+    use matgpt_corpus::{build_corpus, CorpusConfig};
+    let c = build_corpus(&CorpusConfig {
+        n_materials: 80,
+        total_docs: 250,
+        offtopic_fraction: 0.25,
+        seed: 99,
+    });
+    // every document mentions at least one formula from the universe
+    let mentioned = c
+        .documents
+        .iter()
+        .filter(|d| c.materials.iter().any(|m| d.contains(&m.formula)))
+        .count();
+    assert!(
+        mentioned * 10 >= c.documents.len() * 9,
+        "{mentioned}/{}",
+        c.documents.len()
+    );
+}

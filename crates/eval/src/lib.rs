@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # matgpt-eval
+//!
+//! Downstream evaluation for MatGPT, reproducing the paper's measurement
+//! stack:
+//!
+//! * [`tasks`] — nine synthetic multiple-choice QA families mirroring the
+//!   paper's benchmark suite (SciQ … Hendrycks college tests);
+//! * [`harness`] — zero/few-shot log-likelihood scoring (the
+//!   lm-evaluation-harness substitute), Figs. 14–15;
+//! * [`embedding`] — model-agnostic formula embedding extraction (Fig. 3);
+//! * [`analysis`] — pairwise distance / cosine geometry (Fig. 16);
+//! * [`pca`], [`tsne`], [`cluster`] — the "TSNE in tandem with PCA"
+//!   pipeline plus k-means cluster metrics (Fig. 17).
+
+pub mod analysis;
+pub mod cluster;
+pub mod embedding;
+pub mod harness;
+pub mod pca;
+pub mod perplexity;
+pub mod tasks;
+pub mod tsne;
+
+pub use analysis::{pairwise_cosine, pairwise_euclidean, summarize, GeometrySummary, Histogram};
+pub use cluster::{choose_k, kmeans, purity, silhouette, KMeans};
+pub use embedding::{embed_all, BertEmbedder, Embedder, GptEmbedder, GptKnowledgeProbe};
+pub use harness::{continuation_start, evaluate, predict, sweep, SweepResult, TaskScore};
+pub use pca::pca_project;
+pub use perplexity::{text_metrics, TextMetrics};
+pub use tasks::{chance_accuracy, generate, QaItem, TaskKind};
+pub use tsne::{tsne, TsneOptions};

@@ -1,0 +1,156 @@
+//! Principal component analysis via power iteration with deflation —
+//! the first stage of the paper's "TSNE in tandem with PCA" (Fig. 17).
+
+/// Project `data` (rows = samples) onto its top `k` principal components.
+/// Returns the projected rows.
+pub fn pca_project(data: &[Vec<f32>], k: usize, iters: usize) -> Vec<Vec<f32>> {
+    let n = data.len();
+    if n == 0 {
+        return vec![];
+    }
+    let d = data[0].len();
+    let k = k.min(d);
+    // centre
+    let mut mean = vec![0.0f64; d];
+    for row in data {
+        for (m, &v) in mean.iter_mut().zip(row.iter()) {
+            *m += v as f64;
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= n as f64;
+    }
+    let centered: Vec<Vec<f64>> = data
+        .iter()
+        .map(|row| {
+            row.iter()
+                .zip(mean.iter())
+                .map(|(&v, &m)| v as f64 - m)
+                .collect()
+        })
+        .collect();
+
+    // power iteration on the implicit covariance X^T X
+    let mut components: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for ki in 0..k {
+        // deterministic start vector
+        let mut v: Vec<f64> = (0..d)
+            .map(|i| (((i + 1) * (ki + 3)) as f64).sin())
+            .collect();
+        normalize(&mut v);
+        for _ in 0..iters {
+            // w = X^T (X v), minus projections on earlier components
+            let xv: Vec<f64> = centered
+                .iter()
+                .map(|row| dot(row, &v))
+                .collect();
+            let mut w = vec![0.0f64; d];
+            for (row, &s) in centered.iter().zip(xv.iter()) {
+                for (wj, &rj) in w.iter_mut().zip(row.iter()) {
+                    *wj += s * rj;
+                }
+            }
+            for c in &components {
+                let p = dot(&w, c);
+                for (wj, &cj) in w.iter_mut().zip(c.iter()) {
+                    *wj -= p * cj;
+                }
+            }
+            if normalize(&mut w) < 1e-12 {
+                break;
+            }
+            v = w;
+        }
+        components.push(v);
+    }
+
+    centered
+        .iter()
+        .map(|row| {
+            components
+                .iter()
+                .map(|c| dot(row, c) as f32)
+                .collect()
+        })
+        .collect()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_axis() {
+        // points spread along (1, 1, 0) with small noise on other axes
+        let data: Vec<Vec<f32>> = (0..50)
+            .map(|i| {
+                let t = i as f32 - 25.0;
+                vec![t + 0.01 * (i as f32).sin(), t, 0.02 * (i as f32).cos()]
+            })
+            .collect();
+        let proj = pca_project(&data, 1, 50);
+        // the first PC should capture nearly all variance: projected values
+        // should span ~|t|*sqrt(2)
+        let spread = proj.iter().map(|p| p[0]).fold(f32::NEG_INFINITY, f32::max)
+            - proj.iter().map(|p| p[0]).fold(f32::INFINITY, f32::min);
+        assert!(spread > 60.0, "spread {spread}");
+    }
+
+    #[test]
+    fn projection_has_requested_dims() {
+        let data: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32; 5]).collect();
+        let proj = pca_project(&data, 2, 30);
+        assert_eq!(proj.len(), 10);
+        assert_eq!(proj[0].len(), 2);
+    }
+
+    #[test]
+    fn components_are_orthogonal_in_projection() {
+        // For an anisotropic Gaussian-ish cloud the two projected
+        // coordinates should be (nearly) uncorrelated.
+        let data: Vec<Vec<f32>> = (0..100)
+            .map(|i| {
+                let a = (i as f32 * 0.37).sin() * 10.0;
+                let b = (i as f32 * 0.83).cos() * 3.0;
+                vec![a + b, a - b, 0.5 * a, 0.1 * b]
+            })
+            .collect();
+        let proj = pca_project(&data, 2, 100);
+        let n = proj.len() as f64;
+        let m0 = proj.iter().map(|p| p[0] as f64).sum::<f64>() / n;
+        let m1 = proj.iter().map(|p| p[1] as f64).sum::<f64>() / n;
+        let cov = proj
+            .iter()
+            .map(|p| (p[0] as f64 - m0) * (p[1] as f64 - m1))
+            .sum::<f64>()
+            / n;
+        let s0 = (proj.iter().map(|p| (p[0] as f64 - m0).powi(2)).sum::<f64>() / n).sqrt();
+        let s1 = (proj.iter().map(|p| (p[1] as f64 - m1).powi(2)).sum::<f64>() / n).sqrt();
+        let corr = cov / (s0 * s1 + 1e-12);
+        assert!(corr.abs() < 0.2, "correlation {corr}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(pca_project(&[], 2, 10).is_empty());
+        let constant: Vec<Vec<f32>> = (0..5).map(|_| vec![1.0, 2.0]).collect();
+        let proj = pca_project(&constant, 2, 10);
+        for p in proj {
+            assert!(p.iter().all(|x| x.abs() < 1e-6));
+        }
+    }
+}

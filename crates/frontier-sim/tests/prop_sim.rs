@@ -1,0 +1,146 @@
+//! Property-based tests for the Frontier simulator: cost-model sanity
+//! laws that must hold for any configuration.
+
+use matgpt_frontier_sim::parallel::Strategy as ParStrategy;
+use matgpt_frontier_sim::{
+    collective_time, peak_memory_gib, simulate_step, Collective, Constraints, FlashVersion,
+    KernelModel, MachineConfig, Partitioning, TrainSetup,
+};
+use matgpt_model::{ArchKind, GptConfig};
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = GptConfig> {
+    (1usize..=8, 1usize..=8).prop_map(|(layers4, heads)| {
+        let heads = heads * 4;
+        let layers = layers4 * 4;
+        GptConfig {
+            layers,
+            heads,
+            hidden: heads * 64, // head dim 64 — always valid
+            ..GptConfig::paper_1_7b(ArchKind::NeoX, 52_000)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Collective time increases with message size.
+    #[test]
+    fn collective_monotone_in_bytes(kb in 1u64..1_000_000, extra in 1u64..1_000_000) {
+        let m = MachineConfig::frontier();
+        let ranks: Vec<usize> = (0..16).collect();
+        let small = collective_time(&m, Collective::AllReduce, kb as f64 * 1e3, &ranks);
+        let large = collective_time(&m, Collective::AllReduce, (kb + extra) as f64 * 1e3, &ranks);
+        prop_assert!(large > small);
+    }
+
+    /// Collective time never beats the pure-bandwidth lower bound.
+    #[test]
+    fn collective_respects_bandwidth_bound(mb in 1u64..10_000) {
+        let m = MachineConfig::frontier();
+        let bytes = mb as f64 * 1e6;
+        let ranks: Vec<usize> = (0..8).collect();
+        let t = collective_time(&m, Collective::AllReduce, bytes, &ranks);
+        let volume = 2.0 * 7.0 / 8.0 * bytes;
+        let bound = volume / (m.intra_node_gbps * 1e9);
+        prop_assert!(t >= bound * 0.999, "{} vs bound {}", t, bound);
+    }
+
+    /// Memory grows monotonically with sequence length and micro-batch.
+    #[test]
+    fn memory_monotone(cfg in arb_cfg(), seq_k in 1usize..16, mb in 1usize..4) {
+        let part = Partitioning::data_parallel(1);
+        let seq = seq_k * 512;
+        let m1 = peak_memory_gib(&cfg, mb, seq, FlashVersion::None, &part);
+        let m2 = peak_memory_gib(&cfg, mb, seq + 512, FlashVersion::None, &part);
+        let m3 = peak_memory_gib(&cfg, mb + 1, seq, FlashVersion::None, &part);
+        prop_assert!(m2 > m1);
+        prop_assert!(m3 > m1);
+        // flash never uses more memory than naive
+        let mf = peak_memory_gib(&cfg, mb, seq, FlashVersion::V2, &part);
+        prop_assert!(mf <= m1 + 1e-9);
+    }
+
+    /// ZeRO sharding is monotone: more ranks, less per-GCD memory.
+    #[test]
+    fn zero_memory_monotone_in_dp(cfg in arb_cfg(), dp_pow in 1u32..8) {
+        let dp = 1usize << dp_pow;
+        let p1 = Partitioning { dp, zero1: true, tp: 1, pp: 1 };
+        let p2 = Partitioning { dp: dp * 2, zero1: true, tp: 1, pp: 1 };
+        let m1 = peak_memory_gib(&cfg, 1, 2048, FlashVersion::V2, &p1);
+        let m2 = peak_memory_gib(&cfg, 1, 2048, FlashVersion::V2, &p2);
+        prop_assert!(m2 < m1);
+    }
+
+    /// Achieved throughput never exceeds the GCD peak.
+    #[test]
+    fn throughput_below_peak(cfg in arb_cfg(), seq_k in 1usize..4) {
+        let km = KernelModel::default();
+        for flash in [FlashVersion::None, FlashVersion::V1, FlashVersion::V2] {
+            let t = km.achieved_tflops(&cfg, 8, seq_k * 1024, flash);
+            prop_assert!(t > 0.0 && t < 191.5, "{t}");
+        }
+    }
+
+    /// Simulated step reports are internally consistent.
+    #[test]
+    fn step_report_consistency(
+        n_pow in 3u32..9,
+        strat_idx in 0usize..4,
+        mb in 1usize..4,
+    ) {
+        let n = 1usize << n_pow;
+        let strat = [
+            ParStrategy::DataParallel,
+            ParStrategy::Zero1,
+            ParStrategy::TensorParallel(2),
+            ParStrategy::PipelineParallel(2),
+        ][strat_idx];
+        let mut setup = TrainSetup::new(GptConfig::paper_6_7b(ArchKind::Llama, 52_000), n, strat);
+        setup.micro_batch = mb;
+        let r = simulate_step(&setup);
+        prop_assert!(r.step_s > 0.0);
+        prop_assert!(r.compute_s > 0.0);
+        prop_assert!(r.comm_exposed_s >= 0.0);
+        prop_assert!(r.comm_exposed_s <= r.comm_s + 1e-12);
+        prop_assert!(r.step_s >= r.compute_s);
+        prop_assert!((r.step_s - (r.compute_s + r.comm_exposed_s + r.io_s)).abs() < 1e-9);
+        let (a, b, c) = r.breakdown();
+        prop_assert!((a + b + c - 1.0).abs() < 1e-9);
+        prop_assert!(r.tflops_per_gcd > 0.0);
+        prop_assert!(r.tokens_per_step > 0);
+    }
+
+    /// Aggregate throughput never decreases when adding GPUs (weak scaling
+    /// with fixed per-device batch).
+    #[test]
+    fn aggregate_throughput_monotone(n_pow in 3u32..8) {
+        let n = 1usize << n_pow;
+        let small = simulate_step(&TrainSetup::new(
+            GptConfig::paper_1_7b(ArchKind::Llama, 52_000), n, ParStrategy::DataParallel));
+        let large = simulate_step(&TrainSetup::new(
+            GptConfig::paper_1_7b(ArchKind::Llama, 52_000), n * 2, ParStrategy::DataParallel));
+        prop_assert!(large.aggregate_pflops > small.aggregate_pflops);
+    }
+
+    /// Constraint checker: satisfied configs really satisfy every equation.
+    #[test]
+    fn constraints_soundness(
+        hidden in 64usize..4096,
+        layers in 1usize..48,
+        heads in 1usize..64,
+        tp in 1usize..4,
+        pp in 1usize..4,
+        dp in 1usize..64,
+    ) {
+        let c = Constraints { tp, pp, dp, device_multiple: 8 };
+        if c.satisfied(hidden, layers, heads) {
+            prop_assert_eq!(hidden % heads, 0);
+            prop_assert_eq!(hidden % tp, 0);
+            prop_assert_eq!(layers % pp, 0);
+            prop_assert_eq!(heads % tp, 0);
+            prop_assert_eq!((tp * pp * dp) % 8, 0);
+        }
+    }
+}

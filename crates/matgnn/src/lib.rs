@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # matgpt-gnn
+//!
+//! Crystal-graph neural networks for materials property regression — the
+//! substrate of the paper's scientific downstream task (Sec. III, Fig. 3,
+//! Table V):
+//!
+//! * [`graph`] — k-NN crystal graphs with Gaussian distance expansion and
+//!   optional line-graph angle features;
+//! * [`model`] — four message-passing variants of increasing feature
+//!   complexity (CGCNN, MEGNet, ALIGNN, MF-CGNN) with optional
+//!   LLM-embedding fusion at readout;
+//! * [`train`] — Adam-based regression training and MAE evaluation.
+
+pub mod graph;
+pub mod model;
+pub mod train;
+
+pub use graph::{build_graph, build_graph_with_target, CrystalGraph, GraphOptions, PropertyTarget};
+pub use model::{GnnModel, GnnVariant};
+pub use train::{train_and_eval, GnnDataset, GnnTrainConfig, RegressionResult};

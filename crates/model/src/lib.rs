@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # matgpt-model
+//!
+//! Transformer architectures for the MatGPT reproduction:
+//!
+//! * [`gpt::GptModel`] — decoder-only GPT supporting both of the paper's
+//!   variants ([`config::ArchKind::NeoX`] and [`config::ArchKind::Llama`],
+//!   Fig. 2): identical rotary-embedding causal attention, differing in
+//!   normalisation (LayerNorm vs RMSNorm) and MLP (GELU-4h vs SwiGLU-8h/3);
+//! * [`bert::BertModel`] — a bidirectional masked-LM encoder, the
+//!   MatSciBERT surrogate for the embedding studies;
+//! * [`config`] — Table II configurations (1.7B / 6.7B) plus CPU-trainable
+//!   tiny/small variants;
+//! * [`count`] — exact parameter and FLOP accounting shared with the
+//!   Frontier simulator (Fig. 2, Fig. 10, Table II);
+//! * [`generate`] — autoregressive sampling.
+
+pub mod bert;
+pub mod config;
+pub mod count;
+pub mod generate;
+pub mod gpt;
+
+pub use bert::{mask_tokens, BertModel};
+pub use config::{ArchKind, BertConfig, GptConfig};
+pub use generate::{generate, SampleOptions};
+pub use gpt::GptModel;

@@ -1,0 +1,389 @@
+#![warn(missing_docs)]
+
+//! # matgpt-optim
+//!
+//! Optimizers and learning-rate schedules for MatGPT training, matching the
+//! pre-training recipes of the paper's Table III:
+//!
+//! * [`Adam`] / AdamW — the baseline optimizer used for the 1M-token-batch
+//!   runs (β₁ = 0.9, β₂ = 0.95, lr = 2e-4);
+//! * [`Lamb`] — layer-wise adaptive moments for the 4M-token large-batch
+//!   runs (β₁ = 0.9, β₂ = 0.999, lr = 1e-2), the optimizer the paper ports
+//!   to Frontier to mitigate the large-batch generalisation gap;
+//! * [`Sgd`] with optional momentum, as a control;
+//! * [`CosineSchedule`] — warmup + cosine decay to a floor, exactly the
+//!   paper's schedule (1 % warmup, final LR = 10 % of initial).
+//!
+//! All optimizers drive a [`matgpt_tensor::ParamStore`] in place.
+
+pub mod schedule;
+
+pub use schedule::{ConstantSchedule, CosineSchedule, LrSchedule};
+
+use matgpt_tensor::ParamStore;
+use serde::{Deserialize, Serialize};
+
+/// A stateful optimizer stepping a parameter store.
+pub trait Optimizer {
+    /// Apply one update using the gradients currently in `store`, at
+    /// learning rate `lr`. Does not zero the gradients.
+    fn step(&mut self, store: &mut ParamStore, lr: f32);
+
+    /// Human-readable name for logs and experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Configuration shared by the Adam-family optimizers.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Decoupled weight decay (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.95,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+impl AdamConfig {
+    /// The paper's Adam recipe for the 1.7B model (Table III).
+    pub fn paper_adam() -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.95,
+            eps: 1e-8,
+            weight_decay: 0.1,
+        }
+    }
+
+    /// The paper's LAMB betas (Table III).
+    pub fn paper_lamb() -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-6,
+            weight_decay: 0.1,
+        }
+    }
+}
+
+/// Adam / AdamW (decoupled weight decay when `weight_decay > 0`).
+pub struct Adam {
+    cfg: AdamConfig,
+    /// Per-parameter first moments, lazily sized.
+    m: Vec<Vec<f32>>,
+    /// Per-parameter second moments.
+    v: Vec<Vec<f32>>,
+    t: u64,
+}
+
+impl Adam {
+    /// New optimizer with the given config.
+    pub fn new(cfg: AdamConfig) -> Self {
+        Self {
+            cfg,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    fn ensure_state(&mut self, i: usize, n: usize) {
+        while self.m.len() <= i {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        if self.m[i].len() != n {
+            self.m[i] = vec![0.0; n];
+            self.v[i] = vec![0.0; n];
+        }
+    }
+
+    /// Compute the bias-corrected Adam update direction for one parameter,
+    /// writing it into `out`. Shared with LAMB.
+    fn direction(
+        cfg: &AdamConfig,
+        m: &mut [f32],
+        v: &mut [f32],
+        grad: &[f32],
+        value: &[f32],
+        t: u64,
+        out: &mut [f32],
+    ) {
+        let b1 = cfg.beta1;
+        let b2 = cfg.beta2;
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        for i in 0..grad.len() {
+            m[i] = b1 * m[i] + (1.0 - b1) * grad[i];
+            v[i] = b2 * v[i] + (1.0 - b2) * grad[i] * grad[i];
+            let mhat = m[i] / bc1;
+            let vhat = v[i] / bc2;
+            out[i] = mhat / (vhat.sqrt() + cfg.eps) + cfg.weight_decay * value[i];
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, lr: f32) {
+        self.t += 1;
+        let t = self.t;
+        let cfg = self.cfg;
+        let sizes: Vec<usize> = store.ids().map(|id| store.value(id).numel()).collect();
+        for (i, n) in sizes.iter().enumerate() {
+            self.ensure_state(i, *n);
+        }
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        store.for_each_param(|i, value, grad| {
+            let n = value.numel();
+            let mut dir = vec![0.0f32; n];
+            Adam::direction(&cfg, &mut ms[i], &mut vs[i], grad.data(), value.data(), t, &mut dir);
+            for (w, d) in value.data_mut().iter_mut().zip(dir.iter()) {
+                *w -= lr * d;
+            }
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+/// LAMB (You et al., 2020): Adam direction rescaled per layer by the trust
+/// ratio `‖w‖ / ‖update‖`, enabling very large batch sizes.
+pub struct Lamb {
+    cfg: AdamConfig,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    t: u64,
+    /// Clamp for the trust ratio, as in common implementations.
+    pub max_trust: f32,
+}
+
+impl Lamb {
+    /// New LAMB optimizer.
+    pub fn new(cfg: AdamConfig) -> Self {
+        Self {
+            cfg,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+            max_trust: 10.0,
+        }
+    }
+
+    /// Trust ratio for a weight/update norm pair. Falls back to 1 when
+    /// either norm vanishes (as in the reference implementation).
+    pub fn trust_ratio(w_norm: f32, u_norm: f32, max_trust: f32) -> f32 {
+        if w_norm > 0.0 && u_norm > 0.0 {
+            (w_norm / u_norm).min(max_trust)
+        } else {
+            1.0
+        }
+    }
+}
+
+impl Optimizer for Lamb {
+    fn step(&mut self, store: &mut ParamStore, lr: f32) {
+        self.t += 1;
+        let t = self.t;
+        let cfg = self.cfg;
+        let max_trust = self.max_trust;
+        let sizes: Vec<usize> = store.ids().map(|id| store.value(id).numel()).collect();
+        while self.m.len() < sizes.len() {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        for (i, n) in sizes.iter().enumerate() {
+            if self.m[i].len() != *n {
+                self.m[i] = vec![0.0; *n];
+                self.v[i] = vec![0.0; *n];
+            }
+        }
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        store.for_each_param(|i, value, grad| {
+            let n = value.numel();
+            let mut dir = vec![0.0f32; n];
+            Adam::direction(&cfg, &mut ms[i], &mut vs[i], grad.data(), value.data(), t, &mut dir);
+            let w_norm = value.norm();
+            let u_norm = dir.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let trust = Lamb::trust_ratio(w_norm, u_norm, max_trust);
+            for (w, d) in value.data_mut().iter_mut().zip(dir.iter()) {
+                *w -= lr * trust * d;
+            }
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "lamb"
+    }
+}
+
+/// Plain SGD with optional momentum.
+pub struct Sgd {
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    bufs: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    pub fn new(momentum: f32) -> Self {
+        Self {
+            momentum,
+            bufs: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, lr: f32) {
+        let mu = self.momentum;
+        let sizes: Vec<usize> = store.ids().map(|id| store.value(id).numel()).collect();
+        while self.bufs.len() < sizes.len() {
+            self.bufs.push(Vec::new());
+        }
+        for (i, n) in sizes.iter().enumerate() {
+            if self.bufs[i].len() != *n {
+                self.bufs[i] = vec![0.0; *n];
+            }
+        }
+        let bufs = &mut self.bufs;
+        store.for_each_param(|i, value, grad| {
+            let buf = &mut bufs[i];
+            for ((w, &g), b) in value
+                .data_mut()
+                .iter_mut()
+                .zip(grad.data())
+                .zip(buf.iter_mut())
+            {
+                *b = mu * *b + g;
+                *w -= lr * *b;
+            }
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "sgd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matgpt_tensor::{ParamStore, Tensor};
+
+    fn quadratic_store() -> (ParamStore, matgpt_tensor::ParamId) {
+        let mut s = ParamStore::new();
+        let p = s.add("x", Tensor::from_vec(&[2], vec![5.0, -3.0]));
+        (s, p)
+    }
+
+    /// Minimise f(x) = 0.5 ||x||^2 (gradient = x): all optimizers must
+    /// drive x toward 0.
+    fn run<O: Optimizer>(mut opt: O, steps: usize, lr: f32) -> f32 {
+        let (mut store, p) = quadratic_store();
+        for _ in 0..steps {
+            store.zero_grads();
+            let x = store.value(p).data().to_vec();
+            store.grad_mut(p).data_mut().copy_from_slice(&x);
+            opt.step(&mut store, lr);
+        }
+        store.value(p).norm()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(run(Sgd::new(0.0), 100, 0.1) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        assert!(run(Sgd::new(0.9), 200, 0.02) < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(run(Adam::new(AdamConfig::default()), 300, 0.1) < 1e-2);
+    }
+
+    #[test]
+    fn lamb_converges_on_quadratic() {
+        assert!(run(Lamb::new(AdamConfig::paper_lamb()), 300, 0.05) < 1e-1);
+    }
+
+    #[test]
+    fn adam_first_step_is_signed_unit_scale() {
+        // With bias correction, the very first Adam step is ≈ lr * sign(g).
+        let mut s = ParamStore::new();
+        let p = s.add("x", Tensor::from_vec(&[2], vec![1.0, 1.0]));
+        s.grad_mut(p).data_mut().copy_from_slice(&[0.5, -2.0]);
+        let mut opt = Adam::new(AdamConfig {
+            weight_decay: 0.0,
+            ..AdamConfig::default()
+        });
+        opt.step(&mut s, 0.1);
+        let x = s.value(p).data();
+        assert!((x[0] - (1.0 - 0.1)).abs() < 1e-3, "{}", x[0]);
+        assert!((x[1] - (1.0 + 0.1)).abs() < 1e-3, "{}", x[1]);
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero_without_gradient() {
+        let mut s = ParamStore::new();
+        let p = s.add("x", Tensor::from_vec(&[1], vec![10.0]));
+        let mut opt = Adam::new(AdamConfig {
+            weight_decay: 0.1,
+            ..AdamConfig::default()
+        });
+        for _ in 0..10 {
+            s.zero_grads();
+            opt.step(&mut s, 0.1);
+        }
+        assert!(s.value(p).data()[0] < 10.0);
+    }
+
+    #[test]
+    fn trust_ratio_bounds() {
+        assert_eq!(Lamb::trust_ratio(0.0, 1.0, 10.0), 1.0);
+        assert_eq!(Lamb::trust_ratio(1.0, 0.0, 10.0), 1.0);
+        assert_eq!(Lamb::trust_ratio(100.0, 1.0, 10.0), 10.0);
+        assert!((Lamb::trust_ratio(2.0, 4.0, 10.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lamb_update_is_scale_invariant_in_gradient() {
+        // LAMB normalises by the update norm: scaling all gradients by a
+        // constant must produce (nearly) the same first step.
+        let run_once = |scale: f32| {
+            let mut s = ParamStore::new();
+            let p = s.add("x", Tensor::from_vec(&[2], vec![3.0, 4.0]));
+            s.grad_mut(p)
+                .data_mut()
+                .copy_from_slice(&[0.3 * scale, -0.4 * scale]);
+            let mut opt = Lamb::new(AdamConfig {
+                weight_decay: 0.0,
+                ..AdamConfig::paper_lamb()
+            });
+            opt.step(&mut s, 0.01);
+            s.value(p).data().to_vec()
+        };
+        let a = run_once(1.0);
+        let b = run_once(100.0);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+}

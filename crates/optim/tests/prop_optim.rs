@@ -1,0 +1,99 @@
+//! Property-based tests for the optimizers and schedules.
+
+use matgpt_optim::{Adam, AdamConfig, ConstantSchedule, CosineSchedule, Lamb, LrSchedule, Optimizer, Sgd};
+use matgpt_tensor::{ParamStore, Tensor};
+use proptest::prelude::*;
+
+fn store_with(values: Vec<f32>, grads: Vec<f32>) -> ParamStore {
+    let mut s = ParamStore::new();
+    let id = s.add("p", Tensor::from_vec(&[values.len()], values));
+    s.grad_mut(id).data_mut().copy_from_slice(&grads);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adam's per-coordinate step is bounded by ~lr (ignoring weight decay):
+    /// |Δw| ≤ lr · (1 + ε-slack).
+    #[test]
+    fn adam_step_is_bounded(
+        g in proptest::collection::vec(-100.0f32..100.0, 1..8),
+        lr in 1e-4f32..0.5,
+    ) {
+        let w0: Vec<f32> = g.iter().map(|x| x * 0.5 + 1.0).collect();
+        let mut s = store_with(w0.clone(), g.clone());
+        let mut opt = Adam::new(AdamConfig { weight_decay: 0.0, ..AdamConfig::default() });
+        opt.step(&mut s, lr);
+        let id = s.ids().next().unwrap();
+        for (before, after) in w0.iter().zip(s.value(id).data()) {
+            prop_assert!((before - after).abs() <= lr * 1.05 + 1e-6);
+        }
+    }
+
+    /// A zero gradient leaves SGD parameters untouched, and (without weight
+    /// decay) Adam/LAMB too.
+    #[test]
+    fn zero_gradient_is_fixed_point(w in proptest::collection::vec(-10.0f32..10.0, 1..8)) {
+        let zeros = vec![0.0f32; w.len()];
+        for opt_name in ["sgd", "adam", "lamb"] {
+            let mut s = store_with(w.clone(), zeros.clone());
+            let mut opt: Box<dyn Optimizer> = match opt_name {
+                "sgd" => Box::new(Sgd::new(0.9)),
+                "adam" => Box::new(Adam::new(AdamConfig { weight_decay: 0.0, ..AdamConfig::default() })),
+                _ => Box::new(Lamb::new(AdamConfig { weight_decay: 0.0, ..AdamConfig::paper_lamb() })),
+            };
+            opt.step(&mut s, 0.1);
+            let id = s.ids().next().unwrap();
+            for (a, b) in w.iter().zip(s.value(id).data()) {
+                prop_assert!((a - b).abs() < 1e-6, "{opt_name}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// SGD step equals -lr·g exactly (no momentum).
+    #[test]
+    fn sgd_closed_form(
+        g in proptest::collection::vec(-10.0f32..10.0, 1..8),
+        lr in 1e-4f32..1.0,
+    ) {
+        let w0 = vec![1.0f32; g.len()];
+        let mut s = store_with(w0.clone(), g.clone());
+        let mut opt = Sgd::new(0.0);
+        opt.step(&mut s, lr);
+        let id = s.ids().next().unwrap();
+        for ((w, gi), after) in w0.iter().zip(&g).zip(s.value(id).data()) {
+            prop_assert!((after - (w - lr * gi)).abs() < 1e-5);
+        }
+    }
+
+    /// Cosine schedule stays within [min(final, base·step-ramp), base].
+    #[test]
+    fn cosine_schedule_bounds(
+        base in 1e-4f32..1.0,
+        total in 10usize..10_000,
+        step in 0usize..20_000,
+    ) {
+        let s = CosineSchedule::paper(base, total);
+        let lr = s.lr(step);
+        prop_assert!(lr > 0.0);
+        prop_assert!(lr <= base * 1.0001, "{lr} vs {base}");
+        if step >= total {
+            prop_assert!((lr - s.final_lr).abs() < 1e-9);
+        }
+    }
+
+    /// Constant schedule is constant.
+    #[test]
+    fn constant_schedule_is_constant(lr in 1e-6f32..1.0, a in 0usize..1000, b in 0usize..1000) {
+        let s = ConstantSchedule(lr);
+        prop_assert_eq!(s.lr(a), s.lr(b));
+    }
+
+    /// LAMB trust ratio is always in (0, max_trust].
+    #[test]
+    fn trust_ratio_in_range(w in 0.0f32..1e6, u in 0.0f32..1e6, max in 1.0f32..100.0) {
+        let t = Lamb::trust_ratio(w, u, max);
+        prop_assert!(t > 0.0 && t <= max.max(1.0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Checkpointing: serialise a [`ParamStore`] to a compact binary format
+//! and restore it bit-exactly.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "MGPT" | version u32 | n_params u32 |
+//!   per param: name_len u32 | name bytes | rank u32 | dims u64… | f32 data…
+//! ```
+//!
+//! Gradients are not persisted — a checkpoint captures model weights, as
+//! training-framework checkpoints do (optimizer state lives with the
+//! optimizer).
+
+use crate::param::ParamStore;
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"MGPT";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint decoding.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Buffer ended prematurely or lengths are inconsistent.
+    Truncated,
+    /// A declared shape does not match its payload.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a MatGPT checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::ShapeMismatch => write!(f, "checkpoint shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serialise all parameters (names, shapes, values) of `store`.
+pub fn save(store: &ParamStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + store.num_scalars() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(store.len() as u32);
+    for id in store.ids() {
+        let name = store.name(id).as_bytes();
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name);
+        let t = store.value(id);
+        buf.put_u32_le(t.rank() as u32);
+        for &d in t.shape() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in t.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a checkpoint into a fresh [`ParamStore`].
+pub fn load(bytes: &[u8]) -> Result<ParamStore, CheckpointError> {
+    let mut buf = bytes;
+    if buf.remaining() < 12 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..n {
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut name = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name);
+        let name = String::from_utf8_lossy(&name).into_owned();
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let rank = buf.get_u32_le() as usize;
+        if buf.remaining() < rank * 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            shape.push(buf.get_u64_le() as usize);
+        }
+        let numel: usize = shape.iter().product();
+        if buf.remaining() < numel * 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            data.push(buf.get_f32_le());
+        }
+        store.add(name, Tensor::from_vec(&shape, data));
+    }
+    Ok(store)
+}
+
+/// Copy values from `src` into `dst` by matching names and shapes.
+/// Returns the number of parameters restored; parameters present in only
+/// one store are left untouched.
+pub fn restore_into(dst: &mut ParamStore, src: &ParamStore) -> usize {
+    let mut restored = 0;
+    let src_ids: Vec<_> = src.ids().collect();
+    for id in dst.ids().collect::<Vec<_>>() {
+        let name = dst.name(id).to_string();
+        if let Some(&sid) = src_ids
+            .iter()
+            .find(|&&sid| src.name(sid) == name)
+        {
+            if src.value(sid).shape() == dst.value(id).shape() {
+                let data = src.value(sid).data().to_vec();
+                dst.value_mut(id).data_mut().copy_from_slice(&data);
+                restored += 1;
+            }
+        }
+    }
+    restored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    fn sample_store() -> ParamStore {
+        let mut rng = init::rng(5);
+        let mut s = ParamStore::new();
+        s.add("w1", init::randn(&[3, 4], 1.0, &mut rng));
+        s.add("b1", init::randn(&[4], 1.0, &mut rng));
+        s.add("scalar", Tensor::scalar(7.25));
+        s
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let store = sample_store();
+        let bytes = save(&store);
+        let loaded = load(&bytes).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        for (a, b) in store.ids().zip(loaded.ids()) {
+            assert_eq!(store.name(a), loaded.name(b));
+            assert_eq!(store.value(a).shape(), loaded.value(b).shape());
+            assert_eq!(store.value(a).data(), loaded.value(b).data());
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_detected() {
+        let store = sample_store();
+        let bytes = save(&store);
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert_eq!(load(&bad).err(), Some(CheckpointError::BadMagic));
+        assert_eq!(
+            load(&bytes[..bytes.len() - 3]).err(),
+            Some(CheckpointError::Truncated)
+        );
+        assert_eq!(load(&[]).err(), Some(CheckpointError::Truncated));
+    }
+
+    #[test]
+    fn version_is_checked() {
+        let store = sample_store();
+        let bytes = save(&store);
+        let mut bad = bytes.to_vec();
+        bad[4] = 99;
+        assert!(matches!(load(&bad), Err(CheckpointError::BadVersion(_))));
+    }
+
+    #[test]
+    fn restore_into_matches_by_name_and_shape() {
+        let src = sample_store();
+        let mut dst = ParamStore::new();
+        let mut rng = init::rng(9);
+        let w = dst.add("w1", init::randn(&[3, 4], 1.0, &mut rng));
+        dst.add("extra", Tensor::zeros(&[2])); // not in src
+        dst.add("b1", Tensor::zeros(&[5])); // wrong shape
+        let restored = restore_into(&mut dst, &src);
+        assert_eq!(restored, 1);
+        let src_w = src.ids().next().unwrap();
+        assert_eq!(dst.value(w).data(), src.value(src_w).data());
+    }
+
+    #[test]
+    fn checkpoint_size_is_as_expected() {
+        let store = sample_store();
+        let bytes = save(&store);
+        // header 12 + per-param (4 + name + 4 + 8*rank) + 4*scalars
+        let expected = 12
+            + (4 + 2 + 4 + 16)
+            + (4 + 2 + 4 + 8)
+            + (4 + 6 + 4)
+            + 4 * store.num_scalars();
+        assert_eq!(bytes.len(), expected);
+    }
+}

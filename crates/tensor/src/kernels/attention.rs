@@ -1,0 +1,354 @@
+//! Causal multi-head attention kernels.
+//!
+//! Two functionally identical implementations, mirroring the contrast the
+//! paper measures on MI250X (Figs. 4 and 5):
+//!
+//! * [`AttentionImpl::Naive`] materialises the full `[T, T]` probability
+//!   matrix per head — O(T²) auxiliary memory, saved for the backward pass;
+//! * [`AttentionImpl::Flash`] streams keys/values with an online softmax —
+//!   O(T) auxiliary memory per row, saving only the per-row log-sum-exp and
+//!   recomputing probabilities tile-free in the backward pass.
+//!
+//! Inputs are laid out `[BH, T, D]` (batch×heads fused, contiguous rows).
+
+use super::softmax::{softmax_rows, OnlineSoftmax};
+use rayon::prelude::*;
+
+/// Which attention algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttentionImpl {
+    /// Quadratic-memory reference implementation.
+    Naive,
+    /// Linear-memory streaming implementation (flash-attention style).
+    Flash,
+}
+
+/// Tensors stashed by the forward pass for the backward pass.
+#[derive(Clone, Debug)]
+pub enum AttnSaved {
+    /// Full probabilities `[BH, T, T]` (naive).
+    Probs(Vec<f32>),
+    /// Per-row log-sum-exp `[BH, T]` (flash).
+    Lse(Vec<f32>),
+}
+
+impl AttnSaved {
+    /// Bytes of auxiliary memory this save set occupies — the quantity the
+    /// paper's Fig. 5 tracks (quadratic vs linear in sequence length).
+    pub fn aux_bytes(&self) -> usize {
+        match self {
+            AttnSaved::Probs(p) => p.len() * std::mem::size_of::<f32>(),
+            AttnSaved::Lse(l) => l.len() * std::mem::size_of::<f32>(),
+        }
+    }
+}
+
+/// Forward causal attention. Returns `(out, saved)` where `out` is
+/// `[BH, T, D]`.
+pub fn causal_attention_fwd(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    bh: usize,
+    t: usize,
+    d: usize,
+    imp: AttentionImpl,
+) -> (Vec<f32>, AttnSaved) {
+    attention_fwd(q, k, v, bh, t, d, imp, true)
+}
+
+/// Forward attention with a selectable mask: `causal = true` masks
+/// future positions, `false` is full bidirectional attention (BERT-style).
+#[allow(clippy::too_many_arguments)]
+pub fn attention_fwd(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    bh: usize,
+    t: usize,
+    d: usize,
+    imp: AttentionImpl,
+    causal: bool,
+) -> (Vec<f32>, AttnSaved) {
+    debug_assert_eq!(q.len(), bh * t * d);
+    debug_assert_eq!(k.len(), bh * t * d);
+    debug_assert_eq!(v.len(), bh * t * d);
+    let scale = 1.0 / (d as f32).sqrt();
+    match imp {
+        AttentionImpl::Naive => {
+            let mut out = vec![0.0f32; bh * t * d];
+            let mut probs = vec![0.0f32; bh * t * t];
+            out.par_chunks_mut(t * d)
+                .zip(probs.par_chunks_mut(t * t))
+                .enumerate()
+                .for_each(|(b, (ob, pb))| {
+                    let qb = &q[b * t * d..(b + 1) * t * d];
+                    let kb = &k[b * t * d..(b + 1) * t * d];
+                    let vb = &v[b * t * d..(b + 1) * t * d];
+                    // scores with causal mask
+                    for i in 0..t {
+                        let qi = &qb[i * d..(i + 1) * d];
+                        let hi = if causal { i } else { t - 1 };
+                        for j in 0..t {
+                            pb[i * t + j] = if j <= hi {
+                                let kj = &kb[j * d..(j + 1) * d];
+                                qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale
+                            } else {
+                                f32::NEG_INFINITY
+                            };
+                        }
+                    }
+                    softmax_rows(pb, t, t);
+                    // out = P @ V
+                    for i in 0..t {
+                        let oi = &mut ob[i * d..(i + 1) * d];
+                        let hi = if causal { i } else { t - 1 };
+                        for j in 0..=hi {
+                            let p = pb[i * t + j];
+                            if p == 0.0 {
+                                continue;
+                            }
+                            let vj = &vb[j * d..(j + 1) * d];
+                            for (o, &vv) in oi.iter_mut().zip(vj) {
+                                *o += p * vv;
+                            }
+                        }
+                    }
+                });
+            (out, AttnSaved::Probs(probs))
+        }
+        AttentionImpl::Flash => {
+            let mut out = vec![0.0f32; bh * t * d];
+            let mut lse = vec![0.0f32; bh * t];
+            out.par_chunks_mut(t * d)
+                .zip(lse.par_chunks_mut(t))
+                .enumerate()
+                .for_each(|(b, (ob, lb))| {
+                    let qb = &q[b * t * d..(b + 1) * t * d];
+                    let kb = &k[b * t * d..(b + 1) * t * d];
+                    let vb = &v[b * t * d..(b + 1) * t * d];
+                    for i in 0..t {
+                        let qi = &qb[i * d..(i + 1) * d];
+                        let mut os = OnlineSoftmax::default();
+                        let acc = &mut ob[i * d..(i + 1) * d];
+                        let hi = if causal { i } else { t - 1 };
+                        for j in 0..=hi {
+                            let kj = &kb[j * d..(j + 1) * d];
+                            let s = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                            os.push(s, &vb[j * d..(j + 1) * d], acc);
+                        }
+                        os.finish(acc);
+                        lb[i] = os.logsumexp();
+                    }
+                });
+            (out, AttnSaved::Lse(lse))
+        }
+    }
+}
+
+/// Backward causal attention. Accumulates into `dq`, `dk`, `dv`.
+#[allow(clippy::too_many_arguments)]
+pub fn causal_attention_bwd(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    out: &[f32],
+    dout: &[f32],
+    saved: &AttnSaved,
+    dq: &mut [f32],
+    dk: &mut [f32],
+    dv: &mut [f32],
+    bh: usize,
+    t: usize,
+    d: usize,
+) {
+    attention_bwd(q, k, v, out, dout, saved, dq, dk, dv, bh, t, d, true);
+}
+
+/// Backward attention with a selectable mask (see [`attention_fwd`]).
+#[allow(clippy::too_many_arguments)]
+pub fn attention_bwd(
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    out: &[f32],
+    dout: &[f32],
+    saved: &AttnSaved,
+    dq: &mut [f32],
+    dk: &mut [f32],
+    dv: &mut [f32],
+    bh: usize,
+    t: usize,
+    d: usize,
+    causal: bool,
+) {
+    debug_assert_eq!(dq.len(), bh * t * d);
+    let scale = 1.0 / (d as f32).sqrt();
+    // Parallel over the fused batch-head dimension: each chunk of dq/dk/dv
+    // belongs to exactly one head, so the accumulation is race-free.
+    dq.par_chunks_mut(t * d)
+        .zip(dk.par_chunks_mut(t * d))
+        .zip(dv.par_chunks_mut(t * d))
+        .enumerate()
+        .for_each(|(b, ((dqb, dkb), dvb))| {
+            let qb = &q[b * t * d..(b + 1) * t * d];
+            let kb = &k[b * t * d..(b + 1) * t * d];
+            let vb = &v[b * t * d..(b + 1) * t * d];
+            let ob = &out[b * t * d..(b + 1) * t * d];
+            let dob = &dout[b * t * d..(b + 1) * t * d];
+            // D_i = dO_i · O_i (both algorithms use it)
+            let mut drow = vec![0.0f32; t];
+            for i in 0..t {
+                drow[i] = dob[i * d..(i + 1) * d]
+                    .iter()
+                    .zip(&ob[i * d..(i + 1) * d])
+                    .map(|(a, b)| a * b)
+                    .sum();
+            }
+            let prob_at = |i: usize, j: usize| -> f32 {
+                match saved {
+                    AttnSaved::Probs(p) => p[b * t * t + i * t + j],
+                    AttnSaved::Lse(l) => {
+                        let qi = &qb[i * d..(i + 1) * d];
+                        let kj = &kb[j * d..(j + 1) * d];
+                        let s = qi.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                        (s - l[b * t + i]).exp()
+                    }
+                }
+            };
+            for i in 0..t {
+                let qi = &qb[i * d..(i + 1) * d];
+                let doi = &dob[i * d..(i + 1) * d];
+                let hi = if causal { i } else { t - 1 };
+                for j in 0..=hi {
+                    let p = prob_at(i, j);
+                    if p == 0.0 {
+                        continue;
+                    }
+                    let kj = &kb[j * d..(j + 1) * d];
+                    let vj = &vb[j * d..(j + 1) * d];
+                    // dp_ij = dO_i · V_j ; ds_ij = p (dp - D_i)
+                    let dp: f32 = doi.iter().zip(vj).map(|(a, b)| a * b).sum();
+                    let ds = p * (dp - drow[i]) * scale;
+                    let dqi = &mut dqb[i * d..(i + 1) * d];
+                    for x in 0..d {
+                        dqi[x] += ds * kj[x];
+                    }
+                    let dkj = &mut dkb[j * d..(j + 1) * d];
+                    for x in 0..d {
+                        dkj[x] += ds * qi[x];
+                    }
+                    let dvj = &mut dvb[j * d..(j + 1) * d];
+                    for x in 0..d {
+                        dvj[x] += p * doi[x];
+                    }
+                }
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_buf(n: usize, seed: u64) -> Vec<f32> {
+        // cheap deterministic pseudo-random values
+        (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                ((x >> 33) as f32 / u32::MAX as f32 - 0.5) * 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flash_matches_naive_forward() {
+        let (bh, t, d) = (3, 7, 4);
+        let q = rand_buf(bh * t * d, 1);
+        let k = rand_buf(bh * t * d, 2);
+        let v = rand_buf(bh * t * d, 3);
+        let (o1, _) = causal_attention_fwd(&q, &k, &v, bh, t, d, AttentionImpl::Naive);
+        let (o2, _) = causal_attention_fwd(&q, &k, &v, bh, t, d, AttentionImpl::Flash);
+        for (a, b) in o1.iter().zip(o2.iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn flash_aux_memory_is_linear_naive_quadratic() {
+        let (bh, d) = (2, 8);
+        let mut naive_prev = 0;
+        let mut flash_prev = 0;
+        for t in [16usize, 32] {
+            let q = rand_buf(bh * t * d, 1);
+            let (_, sn) = causal_attention_fwd(&q, &q, &q, bh, t, d, AttentionImpl::Naive);
+            let (_, sf) = causal_attention_fwd(&q, &q, &q, bh, t, d, AttentionImpl::Flash);
+            if naive_prev > 0 {
+                assert_eq!(sn.aux_bytes(), naive_prev * 4); // T doubled -> 4x
+                assert_eq!(sf.aux_bytes(), flash_prev * 2); // T doubled -> 2x
+            }
+            naive_prev = sn.aux_bytes();
+            flash_prev = sf.aux_bytes();
+        }
+    }
+
+    #[test]
+    fn causality_first_row_sees_only_itself() {
+        let (bh, t, d) = (1, 4, 2);
+        let q = rand_buf(bh * t * d, 5);
+        let k = rand_buf(bh * t * d, 6);
+        let v = rand_buf(bh * t * d, 7);
+        let (o, _) = causal_attention_fwd(&q, &k, &v, bh, t, d, AttentionImpl::Naive);
+        // row 0 attends only to position 0 -> out[0] == v[0]
+        assert!((o[0] - v[0]).abs() < 1e-6);
+        assert!((o[1] - v[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_both_impls() {
+        let (bh, t, d) = (1, 5, 3);
+        let q0 = rand_buf(bh * t * d, 11);
+        let k0 = rand_buf(bh * t * d, 12);
+        let v0 = rand_buf(bh * t * d, 13);
+        let w = rand_buf(bh * t * d, 14); // weights for scalar objective
+
+        for imp in [AttentionImpl::Naive, AttentionImpl::Flash] {
+            let f = |q: &[f32], k: &[f32], v: &[f32]| {
+                let (o, _) = causal_attention_fwd(q, k, v, bh, t, d, imp);
+                o.iter().zip(w.iter()).map(|(a, b)| a * b).sum::<f32>()
+            };
+            let (o, saved) = causal_attention_fwd(&q0, &k0, &v0, bh, t, d, imp);
+            let mut dq = vec![0.0; q0.len()];
+            let mut dk = vec![0.0; k0.len()];
+            let mut dv = vec![0.0; v0.len()];
+            causal_attention_bwd(
+                &q0, &k0, &v0, &o, &w, &saved, &mut dq, &mut dk, &mut dv, bh, t, d,
+            );
+            let h = 1e-2;
+            for i in 0..q0.len() {
+                let mut qp = q0.clone();
+                qp[i] += h;
+                let mut qm = q0.clone();
+                qm[i] -= h;
+                let num = (f(&qp, &k0, &v0) - f(&qm, &k0, &v0)) / (2.0 * h);
+                assert!((num - dq[i]).abs() < 3e-2, "{imp:?} dq[{i}] {num} vs {}", dq[i]);
+            }
+            for i in 0..k0.len() {
+                let mut kp = k0.clone();
+                kp[i] += h;
+                let mut km = k0.clone();
+                km[i] -= h;
+                let num = (f(&q0, &kp, &v0) - f(&q0, &km, &v0)) / (2.0 * h);
+                assert!((num - dk[i]).abs() < 3e-2, "{imp:?} dk[{i}] {num} vs {}", dk[i]);
+            }
+            for i in 0..v0.len() {
+                let mut vp = v0.clone();
+                vp[i] += h;
+                let mut vm = v0.clone();
+                vm[i] -= h;
+                let num = (f(&q0, &k0, &vp) - f(&q0, &k0, &vm)) / (2.0 * h);
+                assert!((num - dv[i]).abs() < 3e-2, "{imp:?} dv[{i}] {num} vs {}", dv[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Raw numeric kernels: matmul, activations, norms, softmax, attention.
+
+pub mod activation;
+pub mod attention;
+pub mod matmul;
+pub mod norm;
+pub mod softmax;

@@ -1,0 +1,163 @@
+//! Persistent parameter storage shared across training steps.
+//!
+//! Models register their weights in a [`ParamStore`] once; every training
+//! step stages them onto a fresh [`crate::tape::Tape`], runs
+//! forward/backward, and copies the gradients back with
+//! [`crate::tape::Tape::accumulate_param_grads`]. Optimizers then walk the
+//! store's `(value, grad)` pairs.
+
+use crate::tensor::Tensor;
+
+/// Handle to a parameter in a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+struct Entry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A named collection of trainable tensors and their gradients.
+#[derive(Default)]
+pub struct ParamStore {
+    entries: Vec<Entry>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter, returning its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let grad = Tensor::zeros(value.shape());
+        self.entries.push(Entry {
+            name: name.into(),
+            value,
+            grad,
+        });
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.numel()).sum()
+    }
+
+    /// The value tensor of `id`.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutable value tensor of `id`.
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// The gradient tensor of `id`.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Mutable gradient tensor of `id`.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].grad
+    }
+
+    /// The registered name of `id`.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Iterate over `(id, name)` pairs.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    /// Zero every gradient (call between optimizer steps).
+    pub fn zero_grads(&mut self) {
+        for e in self.entries.iter_mut() {
+            e.grad.data_mut().fill(0.0);
+        }
+    }
+
+    /// Visit `(name, value, grad)` triples mutably — the optimizer entry
+    /// point.
+    pub fn for_each_param(&mut self, mut f: impl FnMut(usize, &mut Tensor, &Tensor)) {
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            f(i, &mut e.value, &e.grad);
+        }
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|e| e.grad.sq_norm())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scale all gradients so the global norm is at most `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for e in self.entries.iter_mut() {
+                e.grad.scale_assign(s);
+            }
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::zeros(&[2, 3]));
+        let b = s.add("b", Tensor::zeros(&[3]));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 9);
+        assert_eq!(s.name(a), "w");
+        assert_eq!(s.value(b).shape(), &[3]);
+    }
+
+    #[test]
+    fn zero_and_clip_grads() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::zeros(&[2]));
+        s.grad_mut(a).data_mut().copy_from_slice(&[3.0, 4.0]);
+        assert!((s.grad_norm() - 5.0).abs() < 1e-6);
+        let pre = s.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((s.grad_norm() - 1.0).abs() < 1e-5);
+        s.zero_grads();
+        assert_eq!(s.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn clip_below_threshold_is_noop() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::zeros(&[2]));
+        s.grad_mut(a).data_mut().copy_from_slice(&[0.3, 0.4]);
+        s.clip_grad_norm(10.0);
+        assert_eq!(s.grad(a).data(), &[0.3, 0.4]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Special-token layout shared by both tokenizer families.
+
+/// Unknown token.
+pub const UNK: u32 = 0;
+/// Beginning-of-sequence.
+pub const BOS: u32 = 1;
+/// End-of-sequence / document separator.
+pub const EOS: u32 = 2;
+/// Padding.
+pub const PAD: u32 = 3;
+/// Number of reserved special ids.
+pub const NUM_SPECIAL: u32 = 4;
+
+/// Printable names for the reserved ids.
+pub fn name(id: u32) -> Option<&'static str> {
+    match id {
+        UNK => Some("<unk>"),
+        BOS => Some("<bos>"),
+        EOS => Some("<eos>"),
+        PAD => Some("<pad>"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_and_contiguous() {
+        assert_eq!(UNK, 0);
+        assert_eq!(BOS, 1);
+        assert_eq!(EOS, 2);
+        assert_eq!(PAD, 3);
+        assert_eq!(NUM_SPECIAL, 4);
+    }
+
+    #[test]
+    fn names_cover_specials_only() {
+        for id in 0..NUM_SPECIAL {
+            assert!(name(id).is_some());
+        }
+        assert!(name(NUM_SPECIAL).is_none());
+    }
+}

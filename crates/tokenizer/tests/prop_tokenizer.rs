@@ -1,0 +1,93 @@
+//! Property-based tests for the tokenizer crate.
+
+use matgpt_tokenizer::{special, BpeTokenizer, Tokenizer, TokenizerKind, UnigramTokenizer};
+use proptest::prelude::*;
+
+fn train_corpus() -> Vec<String> {
+    vec![
+        "the band gap of the oxide material is wide and the lattice is cubic".into(),
+        "perovskite solar absorbers exhibit a narrow band gap under strain".into(),
+        "we report synthesis and characterization of layered sulfide compounds".into(),
+        "band gap band gap energy formation energy bulk modulus".into(),
+        // pangram so every ascii letter is in the unigram character set
+        "jackdaws love my big sphinx of quartz".into(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Byte-level BPE round-trips *any* single-space-separated printable
+    /// ASCII text exactly, trained on a completely unrelated corpus.
+    #[test]
+    fn bpe_roundtrip_arbitrary_ascii(words in proptest::collection::vec("[!-~]{1,8}", 0..8)) {
+        let text = words.join(" ");
+        let tok = BpeTokenizer::train(&train_corpus(), 300);
+        prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    }
+
+    /// BPE round-trips arbitrary unicode (byte fallback).
+    #[test]
+    fn bpe_roundtrip_unicode(text in "\\PC{0,24}") {
+        let tok = BpeTokenizer::train(&train_corpus(), 280);
+        prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    }
+
+    /// Token ids from both tokenizers are always within the vocabulary.
+    #[test]
+    fn ids_within_vocab(text in "[a-z ]{0,48}") {
+        let bpe = BpeTokenizer::train(&train_corpus(), 280);
+        let uni = UnigramTokenizer::train(&train_corpus(), 128);
+        for id in bpe.encode(&text) {
+            prop_assert!((id as usize) < bpe.vocab_size());
+        }
+        for id in uni.encode(&text) {
+            prop_assert!((id as usize) < uni.vocab_size());
+        }
+    }
+
+    /// Unigram round-trips text drawn from its training character set.
+    #[test]
+    fn unigram_roundtrip_in_domain(words in proptest::collection::vec("[a-z]{1,10}", 1..6)) {
+        let text = words.join(" ");
+        let tok = UnigramTokenizer::train(&train_corpus(), 160);
+        prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    }
+
+    /// encode_with_specials always frames with BOS/EOS.
+    #[test]
+    fn specials_frame(text in "[a-z ]{0,32}") {
+        let tok = BpeTokenizer::train(&train_corpus(), 280);
+        let ids = tok.encode_with_specials(&text);
+        prop_assert_eq!(*ids.first().unwrap(), special::BOS);
+        prop_assert_eq!(*ids.last().unwrap(), special::EOS);
+    }
+
+    /// Encoding never produces more tokens than input bytes (BPE) or
+    /// chars + words (unigram's ▁ prefixes).
+    #[test]
+    fn token_count_bounds(words in proptest::collection::vec("[a-z]{1,8}", 0..6)) {
+        let text = words.join(" ");
+        let bpe = BpeTokenizer::train(&train_corpus(), 280);
+        prop_assert!(bpe.encode(&text).len() <= text.len().max(1));
+        let uni = UnigramTokenizer::train(&train_corpus(), 128);
+        let n_chars = text.chars().count();
+        prop_assert!(uni.encode(&text).len() <= n_chars + words.len() + 1);
+    }
+}
+
+#[test]
+fn kinds_are_reported() {
+    let bpe = BpeTokenizer::train(&train_corpus(), 280);
+    let uni = UnigramTokenizer::train(&train_corpus(), 128);
+    assert_eq!(bpe.kind(), TokenizerKind::Hf);
+    assert_eq!(uni.kind(), TokenizerKind::Spm);
+}
+
+#[test]
+fn fertility_is_finite_and_positive() {
+    let texts = train_corpus();
+    let bpe = BpeTokenizer::train(&texts, 400);
+    let f = bpe.fertility(&texts);
+    assert!(f > 0.5 && f < 10.0, "fertility {f}");
+}

@@ -1,0 +1,59 @@
+//! Drive the Frontier simulator the way the paper's HPC evaluation does:
+//! pick a parallelism strategy per model size, sweep the GPU count, and
+//! account the energy bill of a full pre-training run.
+//!
+//! ```sh
+//! cargo run --release --example frontier_scaling
+//! ```
+
+use matgpt_frontier_sim::{
+    simulate_step, training_run, PowerModel, Strategy, TrainSetup,
+};
+use matgpt_model::{ArchKind, GptConfig};
+
+fn main() {
+    let cfg17 = GptConfig::paper_1_7b(ArchKind::Llama, 52_000);
+    let cfg67 = GptConfig::paper_6_7b(ArchKind::Llama, 52_000);
+
+    println!("single Frontier node (8 GCDs), MatGPT 6.7B:");
+    for strat in [
+        Strategy::Zero1,
+        Strategy::TensorParallel(2),
+        Strategy::PipelineParallel(2),
+    ] {
+        let r = simulate_step(&TrainSetup::new(cfg67.clone(), 8, strat));
+        println!(
+            "  {:<6} {:5.1} TFLOPS/GCD   mem {:5.1} GiB   step {:.3}s   fits: {}",
+            strat.label(),
+            r.tflops_per_gcd,
+            r.memory_gib,
+            r.step_s,
+            r.fits_memory
+        );
+    }
+
+    println!("\nscaling MatGPT 1.7B with pure data parallelism:");
+    for n in [8usize, 32, 128, 256, 1024] {
+        let r = simulate_step(&TrainSetup::new(cfg17.clone(), n, Strategy::DataParallel));
+        println!(
+            "  {n:>5} GCDs: {:6.1} TFLOPS/GCD, aggregate {:7.2} PFLOPS",
+            r.tflops_per_gcd, r.aggregate_pflops
+        );
+    }
+
+    println!("\nenergy bill for 15B training tokens on 256 GCDs:");
+    let pm = PowerModel::default();
+    for (label, cfg, strat, mb) in [
+        ("1.7B", cfg17, Strategy::DataParallel, 8usize),
+        ("6.7B", cfg67, Strategy::Zero1, 2),
+    ] {
+        let mut setup = TrainSetup::new(cfg, 256, strat);
+        setup.micro_batch = mb;
+        let r = simulate_step(&setup);
+        let run = training_run(&setup, &r, &pm, 15e9);
+        println!(
+            "  {label}: {:6.1} h, {:.2} MWh, {:.2} TFLOPS/W at {:.0} W per MI250X",
+            run.hours, run.energy_mwh, run.efficiency, run.mean_power_w
+        );
+    }
+}

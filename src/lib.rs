@@ -1,0 +1,24 @@
+//! # MatGPT-rs
+//!
+//! A from-scratch Rust reproduction of *"Comparative Study of Large
+//! Language Model Architectures on Frontier"* (Yin et al., IPDPS 2024):
+//! the end-to-end MatGPT pipeline — synthetic materials corpus, trainable
+//! BPE/unigram tokenizers, GPT-NeoX and LLaMA architectures with real
+//! CPU training, a calibrated Frontier (MI250X) performance/power
+//! simulator, the zero/few-shot evaluation harness, embedding analysis,
+//! and the GNN + LLM-embedding band-gap regression.
+//!
+//! This facade crate re-exports every workspace crate under one roof; the
+//! runnable entry points live in `examples/` and in the `matgpt-bench`
+//! figure/table harnesses. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use matgpt_core as core;
+pub use matgpt_corpus as corpus;
+pub use matgpt_eval as eval;
+pub use matgpt_frontier_sim as frontier_sim;
+pub use matgpt_gnn as gnn;
+pub use matgpt_model as model;
+pub use matgpt_optim as optim;
+pub use matgpt_tensor as tensor;
+pub use matgpt_tokenizer as tokenizer;

@@ -1,0 +1,117 @@
+//! Integration tests for the model-level extension features: checkpoint
+//! round-trips through a full GPT, grouped-query attention end-to-end,
+//! and precision-emulated training.
+
+use matgpt::core::{pretrain, OptChoice, PretrainConfig, SizeRole};
+use matgpt::corpus::{build_corpus, CorpusConfig};
+use matgpt::model::{ArchKind, GptConfig, GptModel};
+use matgpt::tensor::{checkpoint, init, ParamStore, Precision, Tape};
+use matgpt::tokenizer::TokenizerKind;
+
+fn docs() -> Vec<String> {
+    build_corpus(&CorpusConfig {
+        n_materials: 50,
+        total_docs: 150,
+        offtopic_fraction: 0.2,
+        seed: 71,
+    })
+    .documents
+}
+
+#[test]
+fn checkpoint_roundtrip_through_trained_gpt() {
+    let documents = docs();
+    let mut cfg = PretrainConfig::scaled(
+        ArchKind::Llama,
+        TokenizerKind::Hf,
+        400,
+        OptChoice::Adam,
+        SizeRole::Base,
+    );
+    cfg.steps = 20;
+    let trained = pretrain(&documents, &cfg);
+
+    let bytes = checkpoint::save(&trained.store);
+    let loaded = checkpoint::load(&bytes).expect("decode");
+    let mut fresh_store = ParamStore::new();
+    let fresh = GptModel::new(trained.model.cfg.clone(), &mut fresh_store, &mut init::rng(12345));
+    let restored = checkpoint::restore_into(&mut fresh_store, &loaded);
+    assert_eq!(restored, fresh_store.len(), "every tensor restored");
+
+    // identical logits on a probe
+    let probe: Vec<u32> = (4..12).collect();
+    let logits = |model: &GptModel, store: &ParamStore| {
+        let mut tape = Tape::new();
+        let l = model.logits(&mut tape, store, &probe, 1, probe.len());
+        tape.value(l).data().to_vec()
+    };
+    assert_eq!(
+        logits(&trained.model, &trained.store),
+        logits(&fresh, &fresh_store)
+    );
+}
+
+#[test]
+fn gqa_trains_comparably_to_mha() {
+    let documents = docs();
+    let tok = matgpt::core::train_tokenizer(TokenizerKind::Hf, 400, &documents);
+    let vocab = tok.vocab_size();
+    let mut results = Vec::new();
+    for kv in [None, Some(2)] {
+        let cfg = GptConfig {
+            kv_heads: kv,
+            ..GptConfig::tiny(ArchKind::Llama, vocab)
+        };
+        let mut store = ParamStore::new();
+        let model = GptModel::new(cfg, &mut store, &mut init::rng(5));
+        let mut ds = matgpt::corpus::TokenDataset::new(&documents, &*tok, 0.1, 5);
+        let mut opt = matgpt::optim::Adam::new(matgpt::optim::AdamConfig::paper_adam());
+        use matgpt::optim::Optimizer;
+        let mut last = f32::NAN;
+        for _ in 0..40 {
+            let b = ds.sample_batch(4, 32);
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let loss = model.loss(&mut tape, &store, &b.inputs, &b.targets, b.batch, b.seq);
+            last = tape.value(loss).item();
+            tape.backward(loss);
+            tape.accumulate_param_grads(&mut store);
+            store.clip_grad_norm(1.0);
+            opt.step(&mut store, 3e-3);
+        }
+        results.push(last);
+    }
+    let (mha, gqa) = (results[0], results[1]);
+    assert!(gqa.is_finite() && mha.is_finite());
+    assert!(
+        (gqa / mha - 1.0).abs() < 0.25,
+        "GQA {gqa} should track MHA {mha}"
+    );
+}
+
+#[test]
+fn precision_emulated_training_stays_close_to_f32() {
+    let documents = docs();
+    let mut base = PretrainConfig::scaled(
+        ArchKind::Llama,
+        TokenizerKind::Hf,
+        400,
+        OptChoice::Adam,
+        SizeRole::Base,
+    );
+    base.steps = 30;
+    let mut finals = Vec::new();
+    for precision in [Precision::F32, Precision::Bf16, Precision::F16] {
+        let mut cfg = base.clone();
+        cfg.precision = precision;
+        finals.push(pretrain(&documents, &cfg).curves.final_train());
+    }
+    let f32v = finals[0];
+    for (i, name) in ["bf16", "f16"].iter().enumerate() {
+        let v = finals[i + 1];
+        assert!(
+            (v / f32v - 1.0).abs() < 0.1,
+            "{name} {v} should track f32 {f32v}"
+        );
+    }
+}
