@@ -38,12 +38,30 @@ fn bench_attention(c: &mut Criterion) {
         let v = init::randn(&[bh * t * d], 1.0, &mut rng).into_vec();
         group.bench_with_input(BenchmarkId::new("naive", t), &t, |bench, &t| {
             bench.iter(|| {
-                black_box(attention_fwd(&q, &k, &v, bh, t, d, AttentionImpl::Naive, true))
+                black_box(attention_fwd(
+                    &q,
+                    &k,
+                    &v,
+                    bh,
+                    t,
+                    d,
+                    AttentionImpl::Naive,
+                    true,
+                ))
             })
         });
         group.bench_with_input(BenchmarkId::new("flash", t), &t, |bench, &t| {
             bench.iter(|| {
-                black_box(attention_fwd(&q, &k, &v, bh, t, d, AttentionImpl::Flash, true))
+                black_box(attention_fwd(
+                    &q,
+                    &k,
+                    &v,
+                    bh,
+                    t,
+                    d,
+                    AttentionImpl::Flash,
+                    true,
+                ))
             })
         });
     }

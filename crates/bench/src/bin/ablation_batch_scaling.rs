@@ -29,14 +29,24 @@ fn main() {
         rows.push(vec![
             mb.to_string(),
             format!("{:.1}", r.memory_gib),
-            if r.fits_memory { "yes".into() } else { "OOM".into() },
+            if r.fits_memory {
+                "yes".into()
+            } else {
+                "OOM".into()
+            },
             format!("{:.1}", r.tflops_per_gcd),
             format!("{:.0}%", comm * 100.0),
         ]);
     }
     print_table(
         "Extension: per-device batch sweep — 6.7B, ZeRO-1, 256 GCDs",
-        &["micro-batch", "mem GiB/GCD", "fits", "TFLOPS/GCD", "exposed comm"],
+        &[
+            "micro-batch",
+            "mem GiB/GCD",
+            "fits",
+            "TFLOPS/GCD",
+            "exposed comm",
+        ],
         &rows,
     );
 
@@ -45,8 +55,17 @@ fn main() {
     compare(
         "larger per-device batch recovers ZeRO efficiency",
         "suggested, not measured",
-        &format!("{:.1} -> {:.1} TFLOPS/GCD ({:+.0}%)", first.unwrap(), best, (gain - 1.0) * 100.0),
-        if gain > 1.05 { "CONFIRMS the paper's suggestion" } else { "CHECK" },
+        &format!(
+            "{:.1} -> {:.1} TFLOPS/GCD ({:+.0}%)",
+            first.unwrap(),
+            best,
+            (gain - 1.0) * 100.0
+        ),
+        if gain > 1.05 {
+            "CONFIRMS the paper's suggestion"
+        } else {
+            "CHECK"
+        },
     );
 
     // and the memory headroom ZeRO creates is exactly why this is possible

@@ -118,7 +118,13 @@ fn main() {
         .collect();
     print_table(
         "Ablation: kernel-model knob -> Fig. 4 facts",
-        &["variant", "grid winner", "mod-8 advantage", "v1 boost", "v2 boost"],
+        &[
+            "variant",
+            "grid winner",
+            "mod-8 advantage",
+            "v1 boost",
+            "v2 boost",
+        ],
         &rows,
     );
 

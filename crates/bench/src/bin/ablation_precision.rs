@@ -62,14 +62,23 @@ fn main() {
     compare(
         "fp16 and bf16 loss curves almost identical",
         "almost identical",
-        &format!("val {:.4} vs {:.4} ({:.2}% apart)", f16_val, bf16_val, spread * 100.0),
+        &format!(
+            "val {:.4} vs {:.4} ({:.2}% apart)",
+            f16_val,
+            bf16_val,
+            spread * 100.0
+        ),
         if spread < 0.02 { "MATCH" } else { "CHECK" },
     );
     compare(
         "16-bit storage tracks fp32 closely",
         "(implied)",
         &format!("fp32 {f32_val:.4} vs bf16 {bf16_val:.4}"),
-        if ((f32_val - bf16_val) / f32_val).abs() < 0.05 { "MATCH" } else { "CHECK" },
+        if ((f32_val - bf16_val) / f32_val).abs() < 0.05 {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     println!(
         "\nnote: the paper also notes bf16 \"provides better numerical stability\" — here\n\

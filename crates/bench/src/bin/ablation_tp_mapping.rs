@@ -13,7 +13,11 @@ fn main() {
     for (name, mapping, link) in [
         ("same MI250X", TpMapping::IntraMi250x, "200 GB/s"),
         ("same node", TpMapping::IntraNode, "100 GB/s"),
-        ("across nodes", TpMapping::InterNode, "100 GB/s + contention"),
+        (
+            "across nodes",
+            TpMapping::InterNode,
+            "100 GB/s + contention",
+        ),
     ] {
         let mut s = TrainSetup::new(
             GptConfig::paper_6_7b(ArchKind::Llama, 52_000),
@@ -40,6 +44,10 @@ fn main() {
         "map model parallelism to topology",
         "intra-MI250X mapping best (Obs. 2)",
         &format!("{:.0} > {:.0} >= {:.0}", tflops[0], tflops[1], tflops[2]),
-        if tflops[0] > tflops[1] && tflops[1] >= tflops[2] { "MATCH" } else { "MISMATCH" },
+        if tflops[0] > tflops[1] && tflops[1] >= tflops[2] {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
 }

@@ -29,7 +29,8 @@ fn main() {
         (TokenizerKind::Hf, 448),
         (TokenizerKind::Spm, 448),
     ] {
-        let mut cfg = PretrainConfig::scaled(ArchKind::Llama, tok, vocab, OptChoice::Adam, SizeRole::Base);
+        let mut cfg =
+            PretrainConfig::scaled(ArchKind::Llama, tok, vocab, OptChoice::Adam, SizeRole::Base);
         cfg.steps = 150;
         let trained = pretrain(&train_docs, &cfg);
         let m = text_metrics(
@@ -49,7 +50,13 @@ fn main() {
     }
     print_table(
         "Extension: same held-out text, three tokenizations (Observation 3 resolved)",
-        &["experiment", "val loss (own tokens)", "held-out NLL/token", "bits/byte", "tokens"],
+        &[
+            "experiment",
+            "val loss (own tokens)",
+            "held-out NLL/token",
+            "bits/byte",
+            "tokens",
+        ],
         &rows,
     );
 
@@ -77,6 +84,10 @@ fn main() {
         "bits/byte ranking: larger vocabulary wins",
         "52K > 32K on science text (Fig. 14)",
         &format!("best = {} ({:.3} b/B)", best.0, best.1),
-        if (best.1 - hf_large).abs() < 1e-12 { "MATCH" } else { "CHECK" },
+        if (best.1 - hf_large).abs() < 1e-12 {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
 }

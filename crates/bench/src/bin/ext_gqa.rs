@@ -26,7 +26,11 @@ fn main() {
     // varying kv_heads on the small config.
     let mut rows = Vec::new();
     let mut losses = Vec::new();
-    for (name, kv) in [("MHA (8 kv)", None), ("GQA (4 kv)", Some(4)), ("MQA (1 kv)", Some(1))] {
+    for (name, kv) in [
+        ("MHA (8 kv)", None),
+        ("GQA (4 kv)", Some(4)),
+        ("MQA (1 kv)", Some(1)),
+    ] {
         let mut cfg = PretrainConfig::scaled(
             ArchKind::Llama,
             TokenizerKind::Hf,
@@ -49,7 +53,13 @@ fn main() {
     }
     print_table(
         "Extension: multi-head vs grouped-query vs multi-query attention",
-        &["variant", "params", "KV-cache B/token", "train loss", "val loss"],
+        &[
+            "variant",
+            "params",
+            "KV-cache B/token",
+            "train loss",
+            "val loss",
+        ],
         &rows,
     );
 
@@ -58,8 +68,17 @@ fn main() {
     compare(
         "GQA matches MHA quality",
         "LLaMA-2 finding",
-        &format!("val {:.3} vs {:.3} ({:.1}% apart)", losses[1], losses[0], spread * 100.0),
-        if spread < 0.15 { "MATCH (within 15% at tiny scale)" } else { "CHECK" },
+        &format!(
+            "val {:.3} vs {:.3} ({:.1}% apart)",
+            losses[1],
+            losses[0],
+            spread * 100.0
+        ),
+        if spread < 0.15 {
+            "MATCH (within 15% at tiny scale)"
+        } else {
+            "CHECK"
+        },
     );
     compare(
         "KV cache shrinks with kv-heads",

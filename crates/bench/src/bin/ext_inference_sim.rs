@@ -27,14 +27,25 @@ fn main() {
     }
     print_table(
         "Inference (6.7B, batch 8, MHA): prompt-length sweep",
-        &["prompt", "prefill (s)", "ms/token", "tokens/s", "KV cache GB", "KV share of decode"],
+        &[
+            "prompt",
+            "prefill (s)",
+            "ms/token",
+            "tokens/s",
+            "KV cache GB",
+            "KV share of decode",
+        ],
         &rows,
     );
 
     // MHA vs GQA vs MQA at long context
     let mut rows = Vec::new();
     let mut per_tok = Vec::new();
-    for (name, kv) in [("MHA (32 kv)", None), ("GQA (8 kv)", Some(8)), ("MQA (1 kv)", Some(1))] {
+    for (name, kv) in [
+        ("MHA (32 kv)", None),
+        ("GQA (8 kv)", Some(8)),
+        ("MQA (1 kv)", Some(1)),
+    ] {
         let mut s = InferenceSetup::new(GptConfig {
             kv_heads: kv,
             ..base_cfg.clone()
@@ -60,7 +71,15 @@ fn main() {
     compare(
         "GQA improves long-context decode",
         "LLaMA-2 motivation",
-        &format!("{:.1} -> {:.1} ms/token", per_tok[0] * 1e3, per_tok[1] * 1e3),
-        if per_tok[1] < per_tok[0] { "MATCH" } else { "MISMATCH" },
+        &format!(
+            "{:.1} -> {:.1} ms/token",
+            per_tok[0] * 1e3,
+            per_tok[1] * 1e3
+        ),
+        if per_tok[1] < per_tok[0] {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
 }

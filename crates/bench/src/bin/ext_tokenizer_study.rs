@@ -46,18 +46,36 @@ fn main() {
     }
     print_table(
         "Extension: tokenizer fertility on the materials corpus",
-        &["family", "budget", "actual vocab", "tokens/word", "tokens/formula"],
+        &[
+            "family",
+            "budget",
+            "actual vocab",
+            "tokens/word",
+            "tokens/formula",
+        ],
         &rows,
     );
 
     println!("\n-- paper vs measured --");
-    let hf_small = formula_tokens.iter().find(|(k, v, _)| *k == TokenizerKind::Hf && *v == 320).unwrap().2;
-    let hf_large = formula_tokens.iter().find(|(k, v, _)| *k == TokenizerKind::Hf && *v == 1024).unwrap().2;
+    let hf_small = formula_tokens
+        .iter()
+        .find(|(k, v, _)| *k == TokenizerKind::Hf && *v == 320)
+        .unwrap()
+        .2;
+    let hf_large = formula_tokens
+        .iter()
+        .find(|(k, v, _)| *k == TokenizerKind::Hf && *v == 1024)
+        .unwrap()
+        .2;
     compare(
         "larger vocab fragments formulas less",
         "larger vocabulary helps scientific texts",
         &format!("{hf_small:.2} -> {hf_large:.2} tokens/formula"),
-        if hf_large < hf_small { "MATCH" } else { "CHECK" },
+        if hf_large < hf_small {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     println!(
         "a formula split into fewer pieces keeps element identities intact in one\n\

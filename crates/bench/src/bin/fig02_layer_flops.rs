@@ -16,10 +16,26 @@ fn main() {
             &format!("Fig. 2 — one {arch} transformer layer (1.7B, seq {seq}, batch {batch})"),
             &["block", "parameters", "forward GFLOP"],
             &[
-                vec!["QKV projection".to_string(), p.qkv.to_string(), format!("{:.1}", f.qkv / 1e9)],
-                vec!["attention score (QK^T)".to_string(), "0".to_string(), format!("{:.1}", f.score / 1e9)],
-                vec!["attention over values".to_string(), "0".to_string(), format!("{:.1}", f.aov / 1e9)],
-                vec!["output projection".to_string(), p.attn_proj.to_string(), format!("{:.1}", f.linproj / 1e9)],
+                vec![
+                    "QKV projection".to_string(),
+                    p.qkv.to_string(),
+                    format!("{:.1}", f.qkv / 1e9),
+                ],
+                vec![
+                    "attention score (QK^T)".to_string(),
+                    "0".to_string(),
+                    format!("{:.1}", f.score / 1e9),
+                ],
+                vec![
+                    "attention over values".to_string(),
+                    "0".to_string(),
+                    format!("{:.1}", f.aov / 1e9),
+                ],
+                vec![
+                    "output projection".to_string(),
+                    p.attn_proj.to_string(),
+                    format!("{:.1}", f.linproj / 1e9),
+                ],
                 vec![
                     format!(
                         "MLP ({})",
@@ -31,8 +47,16 @@ fn main() {
                     p.mlp.to_string(),
                     format!("{:.1}", f.mlp / 1e9),
                 ],
-                vec!["norms (+dropout etc.)".to_string(), p.norms.to_string(), format!("{:.1}", f.other / 1e9)],
-                vec!["layer total".to_string(), p.total().to_string(), format!("{:.1}", f.total() / 1e9)],
+                vec![
+                    "norms (+dropout etc.)".to_string(),
+                    p.norms.to_string(),
+                    format!("{:.1}", f.other / 1e9),
+                ],
+                vec![
+                    "layer total".to_string(),
+                    p.total().to_string(),
+                    format!("{:.1}", f.total() / 1e9),
+                ],
             ],
         );
     }
@@ -44,7 +68,11 @@ fn main() {
         "per-layer FLOPs NeoX ≈ LLaMA",
         "≈ equal",
         &format!("ratio {:.3}", fl / fn_),
-        if (fl / fn_ - 1.0).abs() < 0.02 { "MATCH" } else { "MISMATCH" },
+        if (fl / fn_ - 1.0).abs() < 0.02 {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     let pn = layer_params(&GptConfig::paper_1_7b(ArchKind::NeoX, 52_000));
     let pl = layer_params(&GptConfig::paper_1_7b(ArchKind::Llama, 52_000));
@@ -52,6 +80,10 @@ fn main() {
         "attention layers identical (modulo NeoX biases)",
         "identical",
         &format!("qkv {} vs {}", pn.qkv, pl.qkv),
-        if pn.qkv - 3 * 2304 == pl.qkv { "MATCH" } else { "MISMATCH" },
+        if pn.qkv - 3 * 2304 == pl.qkv {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
 }

@@ -11,8 +11,14 @@ fn main() {
     let cells = one_b_grid(52_000, 2048, &km, &Constraints::default());
 
     // left panel: heatmap
-    let lo = cells.iter().map(|c| c.tflops_base).fold(f64::INFINITY, f64::min);
-    let hi = cells.iter().map(|c| c.tflops_base).fold(f64::NEG_INFINITY, f64::max);
+    let lo = cells
+        .iter()
+        .map(|c| c.tflops_base)
+        .fold(f64::INFINITY, f64::min);
+    let hi = cells
+        .iter()
+        .map(|c| c.tflops_base)
+        .fold(f64::NEG_INFINITY, f64::max);
     let layers: BTreeSet<usize> = cells.iter().map(|c| c.layers).collect();
     println!("== Fig. 4 (left): training throughput heatmap, TFLOPS/GCD, no flash ==");
     println!("   rows = layers, cells = hidden:value, shade ramp .:-=+*#@ over [{lo:.0},{hi:.0}]");
@@ -46,8 +52,16 @@ fn main() {
                 format!("{}", (b'A' + i as u8) as char),
                 format!("{}x{} (head {})", c.layers, c.hidden, c.head_dim),
                 format!("{:.1}", c.tflops_base),
-                format!("{:.1} (+{:.0}%)", c.tflops_v1, 100.0 * (c.tflops_v1 / c.tflops_base - 1.0)),
-                format!("{:.1} (+{:.0}%)", c.tflops_v2, 100.0 * (c.tflops_v2 / c.tflops_base - 1.0)),
+                format!(
+                    "{:.1} (+{:.0}%)",
+                    c.tflops_v1,
+                    100.0 * (c.tflops_v1 / c.tflops_base - 1.0)
+                ),
+                format!(
+                    "{:.1} (+{:.0}%)",
+                    c.tflops_v2,
+                    100.0 * (c.tflops_v2 / c.tflops_base - 1.0)
+                ),
             ]
         })
         .collect();
@@ -63,7 +77,11 @@ fn main() {
         "throughput range across grid (TFLOPS)",
         "58 – 76",
         &format!("{lo:.0} – {hi:.0}"),
-        if (50.0..70.0).contains(&lo) && (70.0..85.0).contains(&hi) { "MATCH" } else { "CHECK" },
+        if (50.0..70.0).contains(&lo) && (70.0..85.0).contains(&hi) {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     let best = cells
         .iter()
@@ -73,28 +91,46 @@ fn main() {
         "best architecture",
         "24 layers, hidden 2304",
         &format!("{} layers, hidden {}", best.layers, best.hidden),
-        if (best.layers, best.hidden) == (24, 2304) { "MATCH" } else { "MISMATCH" },
+        if (best.layers, best.hidden) == (24, 2304) {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     let v1_eligible: Vec<_> = cells
         .iter()
         .filter(|c| c.head_mod8 && c.head_dim <= 128)
         .collect();
-    let b1: f64 = v1_eligible.iter().map(|c| c.tflops_v1 / c.tflops_base - 1.0).sum::<f64>()
+    let b1: f64 = v1_eligible
+        .iter()
+        .map(|c| c.tflops_v1 / c.tflops_base - 1.0)
+        .sum::<f64>()
         / v1_eligible.len() as f64;
     let v2_eligible: Vec<_> = cells.iter().filter(|c| c.head_mod8).collect();
-    let b2: f64 = v2_eligible.iter().map(|c| c.tflops_v2 / c.tflops_base - 1.0).sum::<f64>()
+    let b2: f64 = v2_eligible
+        .iter()
+        .map(|c| c.tflops_v2 / c.tflops_base - 1.0)
+        .sum::<f64>()
         / v2_eligible.len() as f64;
     compare(
         "mean flash v1 boost",
         "~14%",
         &format!("{:.0}%", b1 * 100.0),
-        if (0.08..0.22).contains(&b1) { "MATCH" } else { "CHECK" },
+        if (0.08..0.22).contains(&b1) {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     compare(
         "mean flash v2 boost",
         "~19%",
         &format!("{:.0}%", b2 * 100.0),
-        if (0.12..0.28).contains(&b2) { "MATCH" } else { "CHECK" },
+        if (0.12..0.28).contains(&b2) {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     compare(
         "best overall with flash (TFLOPS/GCD)",

@@ -45,13 +45,21 @@ fn main() {
         "max sequence without flash",
         "8192 (OOM beyond)",
         &max_none.to_string(),
-        if max_none == 8192 { "MATCH" } else { "MISMATCH" },
+        if max_none == 8192 {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     compare(
         "max sequence with flash",
         "32768 (~4x)",
         &max_flash.to_string(),
-        if max_flash == 32_768 { "MATCH" } else { "MISMATCH" },
+        if max_flash == 32_768 {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
 
     // ground truth from the real CPU kernels: auxiliary bytes saved by the

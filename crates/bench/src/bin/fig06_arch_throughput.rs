@@ -33,7 +33,11 @@ fn main() {
                 format!("{}x{}", c.layers, c.hidden),
                 format!("{tn:.1}"),
                 format!("{tl:.1}"),
-                if tn > tl { "NeoX".into() } else { "LLaMA".into() },
+                if tn > tl {
+                    "NeoX".into()
+                } else {
+                    "LLaMA".into()
+                },
             ]
         })
         .collect();
@@ -48,7 +52,11 @@ fn main() {
         "NeoX edge (cases won of 8)",
         "7 of 8 (slight)",
         &format!("{neox_wins} of 8"),
-        if neox_wins >= 6 { "MATCH (shape)" } else { "MISMATCH" },
+        if neox_wins >= 6 {
+            "MATCH (shape)"
+        } else {
+            "MISMATCH"
+        },
     );
     println!(
         "mechanism (paper): \"the difference likely comes from the parameterization of MLP\n\

@@ -12,7 +12,10 @@ fn main() {
         simulate_step(&setup)
     };
 
-    let r17 = run(GptConfig::paper_1_7b(ArchKind::Llama, 52_000), Strategy::DataParallel);
+    let r17 = run(
+        GptConfig::paper_1_7b(ArchKind::Llama, 52_000),
+        Strategy::DataParallel,
+    );
     rows.push(vec![
         "1.7B".to_string(),
         "DP".to_string(),
@@ -32,7 +35,11 @@ fn main() {
             strat.label(),
             format!("{:.1}", r.tflops_per_gcd),
             format!("{:.1}", r.memory_gib),
-            if r.fits_memory { "yes".into() } else { "NO".into() },
+            if r.fits_memory {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
         results.push((Box::leak(strat.label().into_boxed_str()), r.tflops_per_gcd));
     }
@@ -48,12 +55,20 @@ fn main() {
         "6.7B best single-node strategy",
         "ZeRO-1 (81 TFLOPS/GPU)",
         &format!("ZeRO-1 ({:.0})", get("ZeRO=1")),
-        if get("ZeRO=1") > get("TP=2") && get("ZeRO=1") > get("PP=2") { "MATCH" } else { "MISMATCH" },
+        if get("ZeRO=1") > get("TP=2") && get("ZeRO=1") > get("PP=2") {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     compare(
         "PP=2 performs much worse even on one node",
         "yes",
         &format!("PP {:.0} vs TP {:.0}", get("PP=2"), get("TP=2")),
-        if get("PP=2") < get("TP=2") { "MATCH" } else { "MISMATCH" },
+        if get("PP=2") < get("TP=2") {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
 }

@@ -74,19 +74,33 @@ fn main() {
         .collect();
     print_table(
         "Fig. 8 (bottom): rocprof kernel-time breakdown at 256 GCDs",
-        &["config", "compute", "communication (RCCL)", "IO (data movement)"],
+        &[
+            "config",
+            "compute",
+            "communication (RCCL)",
+            "IO (data movement)",
+        ],
         &rows,
     );
 
     println!("\n-- paper vs measured --");
-    let dp256 = at256.iter().find(|(l, _)| *l == "1.7B DP").unwrap().1.clone();
+    let dp256 = at256
+        .iter()
+        .find(|(l, _)| *l == "1.7B DP")
+        .unwrap()
+        .1
+        .clone();
     let dp8 = at8.iter().find(|(l, _)| *l == "1.7B DP").unwrap().1;
     let eff = dp256.tflops_per_gcd / dp8;
     compare(
         "1.7B DP aggregate at 256 GCDs",
         ">18 PFLOPS",
         &format!("{:.1} PFLOPS", dp256.aggregate_pflops),
-        if dp256.aggregate_pflops > 15.0 { "MATCH" } else { "MISMATCH" },
+        if dp256.aggregate_pflops > 15.0 {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     compare(
         "1.7B DP scaling efficiency",
@@ -95,13 +109,27 @@ fn main() {
         if eff > 0.75 { "MATCH" } else { "CHECK" },
     );
     let z64 = at64.iter().find(|(l, _)| *l == "6.7B ZeRO=1").unwrap().1;
-    let z256 = at256.iter().find(|(l, _)| *l == "6.7B ZeRO=1").unwrap().1.tflops_per_gcd;
-    let t256 = at256.iter().find(|(l, _)| *l == "6.7B TP=2").unwrap().1.tflops_per_gcd;
+    let z256 = at256
+        .iter()
+        .find(|(l, _)| *l == "6.7B ZeRO=1")
+        .unwrap()
+        .1
+        .tflops_per_gcd;
+    let t256 = at256
+        .iter()
+        .find(|(l, _)| *l == "6.7B TP=2")
+        .unwrap()
+        .1
+        .tflops_per_gcd;
     compare(
         "ZeRO-1 drops beyond 64 GPUs",
         "yes",
         &format!("{z64:.0} -> {z256:.0}"),
-        if z256 < z64 * 0.95 { "MATCH" } else { "MISMATCH" },
+        if z256 < z64 * 0.95 {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     compare(
         "TP=2 beats ZeRO-1 at 256 GPUs",
@@ -119,12 +147,20 @@ fn main() {
         "6.7B ZeRO comm share of kernel time",
         "~40%",
         &format!("{:.0}%", comm * 100.0),
-        if (0.2..0.6).contains(&comm) { "MATCH" } else { "CHECK" },
+        if (0.2..0.6).contains(&comm) {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     compare(
         "IO share (ZeRO has the most data movement)",
         "~5%",
         &format!("{:.0}%", io * 100.0),
-        if (0.01..0.12).contains(&io) { "MATCH" } else { "CHECK" },
+        if (0.01..0.12).contains(&io) {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
 }

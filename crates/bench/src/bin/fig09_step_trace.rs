@@ -19,7 +19,10 @@ fn main() {
     let timeline = step_timeline(&setup, &report);
 
     println!("== Fig. 9: one training step (6.7B, ZeRO-1, 256 GCDs) ==");
-    println!("step time {:.3}s — fwd/bwd compute {:.3}s, exposed comm {:.3}s, io {:.3}s", report.step_s, report.compute_s, report.comm_exposed_s, report.io_s);
+    println!(
+        "step time {:.3}s — fwd/bwd compute {:.3}s, exposed comm {:.3}s, io {:.3}s",
+        report.step_s, report.compute_s, report.comm_exposed_s, report.io_s
+    );
 
     // condensed timeline: phase spans
     let mut spans: Vec<(PhaseKind, f64, f64)> = Vec::new();
@@ -93,18 +96,23 @@ fn main() {
         "backward ≈ 2x forward",
         "2x",
         &format!("{:.2}x", bwd / fwd),
-        if (1.8..2.2).contains(&(bwd / fwd)) { "MATCH" } else { "MISMATCH" },
+        if (1.8..2.2).contains(&(bwd / fwd)) {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
-    let has_comm_tail = spans
-        .iter()
-        .any(|(k, _, _)| *k == PhaseKind::Communication);
+    let has_comm_tail = spans.iter().any(|(k, _, _)| *k == PhaseKind::Communication);
     compare(
         "allreduce takes significant time in the backward tail",
         "yes",
         if has_comm_tail { "yes" } else { "no" },
         if has_comm_tail { "MATCH" } else { "MISMATCH" },
     );
-    let lo = trace.iter().map(|s| s.power_w).fold(f64::INFINITY, f64::min);
+    let lo = trace
+        .iter()
+        .map(|s| s.power_w)
+        .fold(f64::INFINITY, f64::min);
     compare(
         "power drops during communication",
         "yes (oscillation)",

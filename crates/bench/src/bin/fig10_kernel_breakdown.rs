@@ -21,11 +21,23 @@ fn main() {
         let total = f.total();
         let rows = vec![
             vec!["QKV".to_string(), format!("{:.1}%", f.qkv / total * 100.0)],
-            vec!["attention (flash)".to_string(), format!("{:.1}%", (f.score + f.aov) / total * 100.0)],
-            vec!["Linproj".to_string(), format!("{:.1}%", f.linproj / total * 100.0)],
+            vec![
+                "attention (flash)".to_string(),
+                format!("{:.1}%", (f.score + f.aov) / total * 100.0),
+            ],
+            vec![
+                "Linproj".to_string(),
+                format!("{:.1}%", f.linproj / total * 100.0),
+            ],
             vec!["MLP".to_string(), format!("{:.1}%", f.mlp / total * 100.0)],
-            vec!["LN + DR + other".to_string(), format!("{:.1}%", f.other / total * 100.0)],
-            vec!["GEMM total".to_string(), format!("{:.1}%", f.gemm_fraction() * 100.0)],
+            vec![
+                "LN + DR + other".to_string(),
+                format!("{:.1}%", f.other / total * 100.0),
+            ],
+            vec![
+                "GEMM total".to_string(),
+                format!("{:.1}%", f.gemm_fraction() * 100.0),
+            ],
         ];
         print_table(
             &format!("Fig. 10 (left): per-layer latency shares — {label}"),
@@ -40,9 +52,15 @@ fn main() {
             &["GEMM", "share of GEMM time"],
             &[
                 vec!["QKV".to_string(), format!("{:.1}%", f.qkv / g * 100.0)],
-                vec!["score (QK^T)".to_string(), format!("{:.1}%", f.score / g * 100.0)],
+                vec![
+                    "score (QK^T)".to_string(),
+                    format!("{:.1}%", f.score / g * 100.0),
+                ],
                 vec!["AOV (PV)".to_string(), format!("{:.1}%", f.aov / g * 100.0)],
-                vec!["Linproj".to_string(), format!("{:.1}%", f.linproj / g * 100.0)],
+                vec![
+                    "Linproj".to_string(),
+                    format!("{:.1}%", f.linproj / g * 100.0),
+                ],
                 vec!["MLP".to_string(), format!("{:.1}%", f.mlp / g * 100.0)],
             ],
         );
@@ -53,13 +71,21 @@ fn main() {
         "GEMM share, medium model",
         "65.9%",
         &format!("{:.1}%", gemm_fracs[0].1 * 100.0),
-        if gemm_fracs[0].1 < gemm_fracs[1].1 { "MATCH (ordering)" } else { "MISMATCH" },
+        if gemm_fracs[0].1 < gemm_fracs[1].1 {
+            "MATCH (ordering)"
+        } else {
+            "MISMATCH"
+        },
     );
     compare(
         "GEMM share, large model",
         "91.2%",
         &format!("{:.1}%", gemm_fracs[1].1 * 100.0),
-        if gemm_fracs[1].1 > 0.9 { "MATCH" } else { "CHECK" },
+        if gemm_fracs[1].1 > 0.9 {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     let f = layer_flops(&large, 16, 2048);
     let qkv_mlp = (f.qkv + f.mlp) / f.gemm();

@@ -15,9 +15,21 @@ fn main() {
     let cfg17 = GptConfig::paper_1_7b(ArchKind::Llama, 52_000);
     let cfg67 = GptConfig::paper_6_7b(ArchKind::Llama, 52_000);
     let cases = [
-        ("1.7B DP", run(cfg17.clone(), Strategy::DataParallel), 2.0 * total_params(&cfg17) as f64),
-        ("6.7B ZeRO=1", run(cfg67.clone(), Strategy::Zero1), 2.0 * total_params(&cfg67) as f64),
-        ("6.7B TP=2", run(cfg67.clone(), Strategy::TensorParallel(2)), 2.0 * total_params(&cfg67) as f64),
+        (
+            "1.7B DP",
+            run(cfg17.clone(), Strategy::DataParallel),
+            2.0 * total_params(&cfg17) as f64,
+        ),
+        (
+            "6.7B ZeRO=1",
+            run(cfg67.clone(), Strategy::Zero1),
+            2.0 * total_params(&cfg67) as f64,
+        ),
+        (
+            "6.7B TP=2",
+            run(cfg67.clone(), Strategy::TensorParallel(2)),
+            2.0 * total_params(&cfg67) as f64,
+        ),
     ];
 
     for (label, r, _) in &cases {
@@ -66,25 +78,41 @@ fn main() {
         "ZeRO/TP calls vs DP",
         ">10x more",
         &format!("{zero_calls}/{tp_calls} vs {dp_calls}"),
-        if zero_calls > 10 * dp_calls && tp_calls > 10 * dp_calls { "MATCH" } else { "MISMATCH" },
+        if zero_calls > 10 * dp_calls && tp_calls > 10 * dp_calls {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     let ratio = |i: usize| cases[i].1.total_wire_bytes() / cases[i].2;
     compare(
         "DP total volume",
         "~2x model size",
         &format!("{:.1}x", ratio(0)),
-        if (1.5..2.5).contains(&ratio(0)) { "MATCH" } else { "CHECK" },
+        if (1.5..2.5).contains(&ratio(0)) {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     compare(
         "ZeRO total volume",
         "~2x model size",
         &format!("{:.1}x", ratio(1)),
-        if (1.5..2.5).contains(&ratio(1)) { "MATCH" } else { "CHECK" },
+        if (1.5..2.5).contains(&ratio(1)) {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     compare(
         "TP total volume exceeds ZeRO (extra activation traffic)",
         "~3x model size",
         &format!("{:.1}x", ratio(2)),
-        if ratio(2) > ratio(1) { "MATCH" } else { "MISMATCH" },
+        if ratio(2) > ratio(1) {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
 }

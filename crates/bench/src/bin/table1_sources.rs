@@ -58,7 +58,10 @@ fn main() {
         &["Source", "generated", "kept", "kept %"],
         &rows,
     );
-    println!("\nscreening accuracy (held-out): {:.3}", corpus.screening_accuracy);
+    println!(
+        "\nscreening accuracy (held-out): {:.3}",
+        corpus.screening_accuracy
+    );
     println!("total kept documents: {}", corpus.documents.len());
     println!("total tokens after BPE: {}", ds.train_tokens());
 
@@ -67,7 +70,11 @@ fn main() {
         "SCOPUS arrives pre-filtered",
         "yes",
         "yes",
-        if corpus.stats.iter().any(|s| s.name == "SCOPUS" && s.kept == s.generated) {
+        if corpus
+            .stats
+            .iter()
+            .any(|s| s.name == "SCOPUS" && s.kept == s.generated)
+        {
             "MATCH"
         } else {
             "MISMATCH"

@@ -34,7 +34,14 @@ fn main() {
     print_table(
         "Table II: MatGPT architectures (parameters recomputed)",
         &[
-            "Arch", "size", "#params", "hidden", "#layers", "#heads", "head-dim", "tokenizer",
+            "Arch",
+            "size",
+            "#params",
+            "hidden",
+            "#layers",
+            "#heads",
+            "head-dim",
+            "tokenizer",
             "vocab",
         ],
         &rows,
@@ -46,14 +53,26 @@ fn main() {
         "Per-layer parameter breakdown (1.7B)",
         &["component", "NeoX", "LLaMA"],
         &[
-            vec!["qkv".to_string(), lp_neox.qkv.to_string(), lp_llama.qkv.to_string()],
+            vec![
+                "qkv".to_string(),
+                lp_neox.qkv.to_string(),
+                lp_llama.qkv.to_string(),
+            ],
             vec![
                 "attn proj".to_string(),
                 lp_neox.attn_proj.to_string(),
                 lp_llama.attn_proj.to_string(),
             ],
-            vec!["mlp".to_string(), lp_neox.mlp.to_string(), lp_llama.mlp.to_string()],
-            vec!["norms".to_string(), lp_neox.norms.to_string(), lp_llama.norms.to_string()],
+            vec![
+                "mlp".to_string(),
+                lp_neox.mlp.to_string(),
+                lp_llama.mlp.to_string(),
+            ],
+            vec![
+                "norms".to_string(),
+                lp_neox.norms.to_string(),
+                lp_llama.norms.to_string(),
+            ],
             vec![
                 "total".to_string(),
                 lp_neox.total().to_string(),
@@ -69,19 +88,31 @@ fn main() {
         "1.7B config parameter count",
         "1.7B",
         &format!("{p17:.2}B"),
-        if (1.5..2.0).contains(&p17) { "MATCH" } else { "MISMATCH" },
+        if (1.5..2.0).contains(&p17) {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     compare(
         "6.7B config parameter count",
         "6.7B",
         &format!("{p67:.2}B"),
-        if (6.2..7.2).contains(&p67) { "MATCH" } else { "MISMATCH" },
+        if (6.2..7.2).contains(&p67) {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     let ratio = lp_llama.total() as f64 / lp_neox.total() as f64;
     compare(
         "per-layer params NeoX ≈ LLaMA",
         "≈ equal",
         &format!("ratio {ratio:.3}"),
-        if (ratio - 1.0).abs() < 0.02 { "MATCH" } else { "MISMATCH" },
+        if (ratio - 1.0).abs() < 0.02 {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
 }

@@ -39,7 +39,13 @@ fn main() {
         .collect();
     print_table(
         "Scaled-down reproduction recipes (see DESIGN.md for the mapping)",
-        &["experiment", "optimizer", "LR", "batch(seqs x len)", "steps"],
+        &[
+            "experiment",
+            "optimizer",
+            "LR",
+            "batch(seqs x len)",
+            "steps",
+        ],
         &rows,
     );
     println!(

@@ -40,7 +40,14 @@ fn main() {
     }
     print_table(
         "Table IV: time and energy for pre-training on 15B tokens (simulated)",
-        &["Model", "GPUs", "Time (h)", "Energy (MWh)", "Eff (TFLOPS/W)", "Power (W/MI250X)"],
+        &[
+            "Model",
+            "GPUs",
+            "Time (h)",
+            "Energy (MWh)",
+            "Eff (TFLOPS/W)",
+            "Power (W/MI250X)",
+        ],
         &rows,
     );
 
@@ -49,32 +56,52 @@ fn main() {
         "1.7B efficiency (TFLOPS/W)",
         "0.33",
         &format!("{:.2}", measured[0].efficiency),
-        if (0.25..0.45).contains(&measured[0].efficiency) { "MATCH" } else { "MISMATCH" },
+        if (0.25..0.45).contains(&measured[0].efficiency) {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     compare(
         "6.7B efficiency (TFLOPS/W)",
         "0.27",
         &format!("{:.2}", measured[1].efficiency),
-        if (0.2..0.4).contains(&measured[1].efficiency) { "MATCH" } else { "MISMATCH" },
+        if (0.2..0.4).contains(&measured[1].efficiency) {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     compare(
         "1.7B mean MI250X power (W)",
         "476",
         &format!("{:.0}", measured[0].mean_power_w),
-        if (430.0..510.0).contains(&measured[0].mean_power_w) { "MATCH" } else { "MISMATCH" },
+        if (430.0..510.0).contains(&measured[0].mean_power_w) {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     compare(
         "6.7B mean MI250X power (W)",
         "434",
         &format!("{:.0}", measured[1].mean_power_w),
-        if measured[1].mean_power_w < measured[0].mean_power_w { "MATCH (ordering)" } else { "MISMATCH" },
+        if measured[1].mean_power_w < measured[0].mean_power_w {
+            "MATCH (ordering)"
+        } else {
+            "MISMATCH"
+        },
     );
     let ratio = measured[1].hours / measured[0].hours;
     compare(
         "time ratio 6.7B / 1.7B",
         "16.5/4.1 = 4.0",
         &format!("{ratio:.1}"),
-        if (3.0..5.5).contains(&ratio) { "MATCH" } else { "MISMATCH" },
+        if (3.0..5.5).contains(&ratio) {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
     );
     println!(
         "\nNote: absolute hours differ from the paper (the paper's token/epoch\n\

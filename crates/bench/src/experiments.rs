@@ -37,10 +37,7 @@ pub mod suite_idx {
 /// Fig. 13: training/validation loss curves of the controlled suite.
 pub fn fig13_report(suite: &MatGptSuite) {
     for m in &suite.models {
-        print_series(
-            &format!("train loss — {}", m.curves.label),
-            &m.curves.train,
-        );
+        print_series(&format!("train loss — {}", m.curves.label), &m.curves.train);
         print_series(&format!("val loss — {}", m.curves.label), &m.curves.val);
     }
     let rows: Vec<Vec<String>> = suite
@@ -67,8 +64,17 @@ pub fn fig13_report(suite: &MatGptSuite) {
     compare(
         "LAMB-4M val loss vs Adam-1M (same data)",
         "~2% smaller",
-        &format!("{:.3} vs {:.3} ({:+.1}%)", lamb, adam, (lamb / adam - 1.0) * 100.0),
-        if lamb <= adam * 1.02 { "MATCH" } else { "CHECK" },
+        &format!(
+            "{:.3} vs {:.3} ({:+.1}%)",
+            lamb,
+            adam,
+            (lamb / adam - 1.0) * 100.0
+        ),
+        if lamb <= adam * 1.02 {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     let large = val(suite_idx::LLAMA_LARGE);
     let base = val(suite_idx::LLAMA_LAMB);
@@ -83,7 +89,11 @@ pub fn fig13_report(suite: &MatGptSuite) {
         "SPM-tokenized loss differs (not comparable)",
         "significantly bigger",
         &format!("{spm:.3} vs {base:.3}"),
-        if (spm - base).abs() > 0.02 { "MATCH (different token stream)" } else { "CHECK" },
+        if (spm - base).abs() > 0.02 {
+            "MATCH (different token stream)"
+        } else {
+            "CHECK"
+        },
     );
     let small_vocab = val(suite_idx::LLAMA_SMALL_VOCAB);
     compare(
@@ -97,7 +107,11 @@ pub fn fig13_report(suite: &MatGptSuite) {
         "LLaMA loss vs NeoX (same recipe)",
         "LLaMA slightly smaller",
         &format!("{base:.3} vs {neox:.3}"),
-        if base <= neox { "MATCH" } else { "CHECK (noise at tiny scale)" },
+        if base <= neox {
+            "MATCH"
+        } else {
+            "CHECK (noise at tiny scale)"
+        },
     );
 }
 
@@ -164,7 +178,11 @@ pub fn fig14_report(suite: &MatGptSuite, items: usize) {
         "trained models beat chance on average",
         "yes",
         &format!("{:.2} vs chance {:.2}", mean_acc(&hf), chance),
-        if mean_acc(&hf) > chance { "MATCH" } else { "CHECK" },
+        if mean_acc(&hf) > chance {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     let ht_tasks = ["HT-CM", "HT-CCS"];
     let ht_mean: f64 = hf
@@ -184,7 +202,11 @@ pub fn fig14_report(suite: &MatGptSuite, items: usize) {
         "NeoX vs LLaMA roughly on par",
         "within noise",
         &format!("{:.2} vs {:.2}", mean_acc(&neox), mean_acc(&hf)),
-        if (mean_acc(&neox) - mean_acc(&hf)).abs() < 0.10 { "MATCH" } else { "CHECK" },
+        if (mean_acc(&neox) - mean_acc(&hf)).abs() < 0.10 {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
 }
 
@@ -206,13 +228,29 @@ pub fn fig15_report(suite: &MatGptSuite, items: usize) {
 
     println!("\n-- paper vs measured --");
     let zero = run_sweep(suite, suite_idx::NEOX_LARGE, items, 0);
-    let sciq0 = zero.scores.iter().find(|(l, _)| l == "SciQ").unwrap().1.accuracy;
-    let sciq5 = sweeps[3].scores.iter().find(|(l, _)| l == "SciQ").unwrap().1.accuracy;
+    let sciq0 = zero
+        .scores
+        .iter()
+        .find(|(l, _)| l == "SciQ")
+        .unwrap()
+        .1
+        .accuracy;
+    let sciq5 = sweeps[3]
+        .scores
+        .iter()
+        .find(|(l, _)| l == "SciQ")
+        .unwrap()
+        .1
+        .accuracy;
     compare(
         "few-shot helps SciQ (NeoX 5-shot best)",
         "up to ~5% over zero-shot",
         &format!("{sciq0:.2} -> {sciq5:.2}"),
-        if sciq5 >= sciq0 - 0.05 { "MATCH (direction)" } else { "CHECK" },
+        if sciq5 >= sciq0 - 0.05 {
+            "MATCH (direction)"
+        } else {
+            "CHECK"
+        },
     );
 }
 
@@ -302,7 +340,11 @@ pub fn fig16_report(suite: &MatGptSuite) {
         "GPT embeddings closer together than BERT's",
         "GPT histograms near y-axis",
         &format!("dist {:.3} vs {:.3}", gpt.mean_distance, bert.mean_distance),
-        if gpt.mean_distance < bert.mean_distance { "MATCH" } else { "CHECK" },
+        if gpt.mean_distance < bert.mean_distance {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     compare(
         "GPT cosines concentrate near 1",
@@ -367,7 +409,12 @@ pub fn fig17_report(suite: &MatGptSuite) {
     }
     print_table(
         "Fig. 17: PCA + t-SNE embedding clustering per model",
-        &["model", "chosen k (silhouette)", "silhouette", "purity vs gap class (k=3)"],
+        &[
+            "model",
+            "chosen k (silhouette)",
+            "silhouette",
+            "purity vs gap class (k=3)",
+        ],
         &rows,
     );
 
@@ -392,7 +439,11 @@ pub fn fig17_report(suite: &MatGptSuite) {
         "best GPT embedding clusters align with gap classes at least as well as BERT",
         "GPT clusters reflect band-gap categories",
         &format!("purity {gpt_purity:.2} vs {bert_purity:.2}"),
-        if gpt_purity >= bert_purity - 0.02 { "MATCH" } else { "CHECK" },
+        if gpt_purity >= bert_purity - 0.02 {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     let _ = bert_k;
 }
@@ -416,7 +467,11 @@ pub fn table5_report(suite: &MatGptSuite, epochs: usize) {
     ] {
         let ds = GnnDataset::new(mats, variant, 0.8);
         let r = train_and_eval(variant, &ds, &cfg, variant.label());
-        rows.push(vec![r.label.clone(), format!("{:.3}", r.test_mae), format!("{:.3}", r.train_mae)]);
+        rows.push(vec![
+            r.label.clone(),
+            format!("{:.3}", r.test_mae),
+            format!("{:.3}", r.train_mae),
+        ]);
         results.insert(r.label.clone(), r.test_mae);
     }
 
@@ -453,14 +508,14 @@ pub fn table5_report(suite: &MatGptSuite, epochs: usize) {
         ("+GPT (probe)", &probe),
     ] {
         let vectors = embed_all(emb, &formulas);
-        let map: HashMap<String, Vec<f32>> = formulas
-            .iter()
-            .cloned()
-            .zip(vectors)
-            .collect();
+        let map: HashMap<String, Vec<f32>> = formulas.iter().cloned().zip(vectors).collect();
         let ds = GnnDataset::new(mats, GnnVariant::MfCgnn, 0.8).with_embeddings(map);
         let r = train_and_eval(GnnVariant::MfCgnn, &ds, &cfg, label);
-        rows.push(vec![r.label.clone(), format!("{:.3}", r.test_mae), format!("{:.3}", r.train_mae)]);
+        rows.push(vec![
+            r.label.clone(),
+            format!("{:.3}", r.test_mae),
+            format!("{:.3}", r.train_mae),
+        ]);
         results.insert(r.label.clone(), r.test_mae);
     }
 
@@ -477,13 +532,21 @@ pub fn table5_report(suite: &MatGptSuite, epochs: usize) {
         "deeper/angle-aware GNNs beat CGCNN",
         "ALIGNN < CGCNN",
         &format!("{:.3} vs {:.3}", g("ALIGNN"), g("CGCNN")),
-        if g("ALIGNN") < g("CGCNN") { "MATCH" } else { "CHECK" },
+        if g("ALIGNN") < g("CGCNN") {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     compare(
         "+SciBERT improves on structure-only MF-CGNN",
         "0.204 < 0.215 (~5%)",
         &format!("{:.3} vs {:.3}", g("+SciBERT"), g("MF-CGNN")),
-        if g("+SciBERT") < g("MF-CGNN") { "MATCH" } else { "CHECK" },
+        if g("+SciBERT") < g("MF-CGNN") {
+            "MATCH"
+        } else {
+            "CHECK"
+        },
     );
     compare(
         "+GPT is the best predictor",
@@ -511,5 +574,10 @@ pub fn suite_summary(suite: &MatGptSuite) {
         suite.corpus.materials.len(),
         suite.corpus.screening_accuracy
     );
-    let _ = (ArchKind::NeoX, TokenizerKind::Hf, OptChoice::Adam, SizeRole::Base);
+    let _ = (
+        ArchKind::NeoX,
+        TokenizerKind::Hf,
+        OptChoice::Adam,
+        SizeRole::Base,
+    );
 }

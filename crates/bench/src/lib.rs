@@ -63,7 +63,9 @@ pub fn compare(metric: &str, paper: &str, measured: &str, verdict: &str) {
 /// True when `--smoke` (or env `MATGPT_SMOKE=1`) asks for the fast scale.
 pub fn smoke_requested() -> bool {
     std::env::args().any(|a| a == "--smoke")
-        || std::env::var("MATGPT_SMOKE").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("MATGPT_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
 }
 
 /// The suite scale selected by the command line.

@@ -74,13 +74,49 @@ pub fn experiment_matrix(scale: &SuiteScale) -> Vec<PretrainConfig> {
         cfg
     };
     vec![
-        base(Llama, Hf, scale.vocab_large, OptChoice::Adam, SizeRole::Base),
-        base(Llama, Hf, scale.vocab_large, OptChoice::Lamb, SizeRole::Base),
-        base(Llama, Spm, scale.vocab_large, OptChoice::Lamb, SizeRole::Base),
-        base(Llama, Hf, scale.vocab_small, OptChoice::Lamb, SizeRole::Base),
+        base(
+            Llama,
+            Hf,
+            scale.vocab_large,
+            OptChoice::Adam,
+            SizeRole::Base,
+        ),
+        base(
+            Llama,
+            Hf,
+            scale.vocab_large,
+            OptChoice::Lamb,
+            SizeRole::Base,
+        ),
+        base(
+            Llama,
+            Spm,
+            scale.vocab_large,
+            OptChoice::Lamb,
+            SizeRole::Base,
+        ),
+        base(
+            Llama,
+            Hf,
+            scale.vocab_small,
+            OptChoice::Lamb,
+            SizeRole::Base,
+        ),
         base(NeoX, Hf, scale.vocab_large, OptChoice::Lamb, SizeRole::Base),
-        base(Llama, Hf, scale.vocab_large, OptChoice::Lamb, SizeRole::Large),
-        base(NeoX, Hf, scale.vocab_large, OptChoice::Lamb, SizeRole::Large),
+        base(
+            Llama,
+            Hf,
+            scale.vocab_large,
+            OptChoice::Lamb,
+            SizeRole::Large,
+        ),
+        base(
+            NeoX,
+            Hf,
+            scale.vocab_large,
+            OptChoice::Lamb,
+            SizeRole::Large,
+        ),
     ]
 }
 
@@ -110,14 +146,12 @@ pub fn pretrain_bert(
     let mut rng = init::rng(seed);
     let mut store = ParamStore::new();
     let model = BertModel::new(cfg, &mut store, &mut rng);
-    let mut dataset =
-        matgpt_corpus::TokenDataset::new(documents, tokenizer, 0.05, seed ^ 0xbe27);
+    let mut dataset = matgpt_corpus::TokenDataset::new(documents, tokenizer, 0.05, seed ^ 0xbe27);
     let mut opt = Adam::new(AdamConfig::paper_adam());
     let mut final_loss = f32::NAN;
     for step in 0..steps {
         let batch = dataset.sample_batch(4, seq);
-        let (inputs, targets) =
-            matgpt_model::mask_tokens(&batch.inputs, mask_prob, &mut rng);
+        let (inputs, targets) = matgpt_model::mask_tokens(&batch.inputs, mask_prob, &mut rng);
         store.zero_grads();
         let mut tape = Tape::new();
         let loss = model.mlm_loss(&mut tape, &store, &inputs, &targets, batch.batch, batch.seq);
@@ -163,9 +197,15 @@ pub fn train_suite(scale: &SuiteScale) -> MatGptSuite {
     let mut models = Vec::new();
     for cfg in experiment_matrix(scale) {
         let tok: Box<dyn Tokenizer> = match (cfg.tokenizer, cfg.vocab == scale.vocab_large) {
-            (TokenizerKind::Hf, true) => dyn_clone_hf(&corpus.documents, scale.vocab_large, &*hf_large),
-            (TokenizerKind::Hf, false) => dyn_clone_hf(&corpus.documents, scale.vocab_small, &*hf_small),
-            (TokenizerKind::Spm, _) => dyn_clone_spm(&corpus.documents, scale.vocab_large, &*spm_large),
+            (TokenizerKind::Hf, true) => {
+                dyn_clone_hf(&corpus.documents, scale.vocab_large, &*hf_large)
+            }
+            (TokenizerKind::Hf, false) => {
+                dyn_clone_hf(&corpus.documents, scale.vocab_small, &*hf_small)
+            }
+            (TokenizerKind::Spm, _) => {
+                dyn_clone_spm(&corpus.documents, scale.vocab_large, &*spm_large)
+            }
         };
         models.push(pretrain_with_tokenizer(&corpus.documents, &cfg, tok));
     }
@@ -210,8 +250,7 @@ mod tests {
         assert!(m.iter().any(|c| c.arch == matgpt_model::ArchKind::NeoX));
         assert!(m.iter().any(|c| c.size == SizeRole::Large));
         // labels are unique
-        let labels: std::collections::HashSet<String> =
-            m.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<String> = m.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 7);
     }
 

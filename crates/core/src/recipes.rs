@@ -43,9 +43,30 @@ pub struct PaperRecipe {
 
 /// Table III verbatim.
 pub const TABLE_III: &[PaperRecipe] = &[
-    PaperRecipe { model: "1.7B", optimizer: OptChoice::Adam, beta1: 0.9, beta2: 0.95, lr: 2e-4, batch_tokens: 1e6 },
-    PaperRecipe { model: "1.7B", optimizer: OptChoice::Lamb, beta1: 0.9, beta2: 0.999, lr: 1e-2, batch_tokens: 4e6 },
-    PaperRecipe { model: "6.7B", optimizer: OptChoice::Lamb, beta1: 0.9, beta2: 0.999, lr: 6e-3, batch_tokens: 4e6 },
+    PaperRecipe {
+        model: "1.7B",
+        optimizer: OptChoice::Adam,
+        beta1: 0.9,
+        beta2: 0.95,
+        lr: 2e-4,
+        batch_tokens: 1e6,
+    },
+    PaperRecipe {
+        model: "1.7B",
+        optimizer: OptChoice::Lamb,
+        beta1: 0.9,
+        beta2: 0.999,
+        lr: 1e-2,
+        batch_tokens: 4e6,
+    },
+    PaperRecipe {
+        model: "6.7B",
+        optimizer: OptChoice::Lamb,
+        beta1: 0.9,
+        beta2: 0.999,
+        lr: 6e-3,
+        batch_tokens: 4e6,
+    },
 ];
 
 /// The two model-size roles of the loss study (Fig. 13), scaled down for
@@ -97,7 +118,13 @@ pub struct PretrainConfig {
 
 impl PretrainConfig {
     /// The scaled-down analogue of a Table III row.
-    pub fn scaled(arch: ArchKind, tokenizer: TokenizerKind, vocab: usize, optimizer: OptChoice, size: SizeRole) -> Self {
+    pub fn scaled(
+        arch: ArchKind,
+        tokenizer: TokenizerKind,
+        vocab: usize,
+        optimizer: OptChoice,
+        size: SizeRole,
+    ) -> Self {
         let (batch_seqs, lr) = match optimizer {
             OptChoice::Adam => (4, 3e-3),
             OptChoice::Lamb => (16, 2e-2), // 4× larger batch, LAMB-scale LR

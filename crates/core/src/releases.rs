@@ -43,40 +43,176 @@ pub struct Release {
 
 /// Major releases, following the evolutionary-tree survey the paper cites.
 pub const RELEASES: &[Release] = &[
-    Release { name: "GPT-1", year: 2018, branch: Branch::DecoderOnly },
-    Release { name: "BERT", year: 2018, branch: Branch::EncoderOnly },
-    Release { name: "GPT-2", year: 2019, branch: Branch::DecoderOnly },
-    Release { name: "RoBERTa", year: 2019, branch: Branch::EncoderOnly },
-    Release { name: "ALBERT", year: 2019, branch: Branch::EncoderOnly },
-    Release { name: "XLNet", year: 2019, branch: Branch::EncoderOnly },
-    Release { name: "DistilBERT", year: 2019, branch: Branch::EncoderOnly },
-    Release { name: "T5", year: 2019, branch: Branch::EncoderDecoder },
-    Release { name: "BART", year: 2019, branch: Branch::EncoderDecoder },
-    Release { name: "ELECTRA", year: 2020, branch: Branch::EncoderOnly },
-    Release { name: "DeBERTa", year: 2020, branch: Branch::EncoderOnly },
-    Release { name: "GPT-3", year: 2020, branch: Branch::DecoderOnly },
-    Release { name: "mT5", year: 2020, branch: Branch::EncoderDecoder },
-    Release { name: "Switch", year: 2021, branch: Branch::EncoderDecoder },
-    Release { name: "GPT-J", year: 2021, branch: Branch::DecoderOnly },
-    Release { name: "Jurassic-1", year: 2021, branch: Branch::DecoderOnly },
-    Release { name: "Gopher", year: 2021, branch: Branch::DecoderOnly },
-    Release { name: "ERNIE 3.0", year: 2021, branch: Branch::DecoderOnly },
-    Release { name: "Codex", year: 2021, branch: Branch::DecoderOnly },
-    Release { name: "GPT-NeoX", year: 2022, branch: Branch::DecoderOnly },
-    Release { name: "PaLM", year: 2022, branch: Branch::DecoderOnly },
-    Release { name: "OPT", year: 2022, branch: Branch::DecoderOnly },
-    Release { name: "BLOOM", year: 2022, branch: Branch::DecoderOnly },
-    Release { name: "Chinchilla", year: 2022, branch: Branch::DecoderOnly },
-    Release { name: "GLM-130B", year: 2022, branch: Branch::DecoderOnly },
-    Release { name: "UL2", year: 2022, branch: Branch::EncoderDecoder },
-    Release { name: "Flan-T5", year: 2022, branch: Branch::EncoderDecoder },
-    Release { name: "LLaMA", year: 2023, branch: Branch::DecoderOnly },
-    Release { name: "GPT-4", year: 2023, branch: Branch::DecoderOnly },
-    Release { name: "LLaMA 2", year: 2023, branch: Branch::DecoderOnly },
-    Release { name: "Falcon", year: 2023, branch: Branch::DecoderOnly },
-    Release { name: "MPT", year: 2023, branch: Branch::DecoderOnly },
-    Release { name: "PaLM 2", year: 2023, branch: Branch::DecoderOnly },
-    Release { name: "Claude", year: 2023, branch: Branch::DecoderOnly },
+    Release {
+        name: "GPT-1",
+        year: 2018,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "BERT",
+        year: 2018,
+        branch: Branch::EncoderOnly,
+    },
+    Release {
+        name: "GPT-2",
+        year: 2019,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "RoBERTa",
+        year: 2019,
+        branch: Branch::EncoderOnly,
+    },
+    Release {
+        name: "ALBERT",
+        year: 2019,
+        branch: Branch::EncoderOnly,
+    },
+    Release {
+        name: "XLNet",
+        year: 2019,
+        branch: Branch::EncoderOnly,
+    },
+    Release {
+        name: "DistilBERT",
+        year: 2019,
+        branch: Branch::EncoderOnly,
+    },
+    Release {
+        name: "T5",
+        year: 2019,
+        branch: Branch::EncoderDecoder,
+    },
+    Release {
+        name: "BART",
+        year: 2019,
+        branch: Branch::EncoderDecoder,
+    },
+    Release {
+        name: "ELECTRA",
+        year: 2020,
+        branch: Branch::EncoderOnly,
+    },
+    Release {
+        name: "DeBERTa",
+        year: 2020,
+        branch: Branch::EncoderOnly,
+    },
+    Release {
+        name: "GPT-3",
+        year: 2020,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "mT5",
+        year: 2020,
+        branch: Branch::EncoderDecoder,
+    },
+    Release {
+        name: "Switch",
+        year: 2021,
+        branch: Branch::EncoderDecoder,
+    },
+    Release {
+        name: "GPT-J",
+        year: 2021,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "Jurassic-1",
+        year: 2021,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "Gopher",
+        year: 2021,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "ERNIE 3.0",
+        year: 2021,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "Codex",
+        year: 2021,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "GPT-NeoX",
+        year: 2022,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "PaLM",
+        year: 2022,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "OPT",
+        year: 2022,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "BLOOM",
+        year: 2022,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "Chinchilla",
+        year: 2022,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "GLM-130B",
+        year: 2022,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "UL2",
+        year: 2022,
+        branch: Branch::EncoderDecoder,
+    },
+    Release {
+        name: "Flan-T5",
+        year: 2022,
+        branch: Branch::EncoderDecoder,
+    },
+    Release {
+        name: "LLaMA",
+        year: 2023,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "GPT-4",
+        year: 2023,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "LLaMA 2",
+        year: 2023,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "Falcon",
+        year: 2023,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "MPT",
+        year: 2023,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "PaLM 2",
+        year: 2023,
+        branch: Branch::DecoderOnly,
+    },
+    Release {
+        name: "Claude",
+        year: 2023,
+        branch: Branch::DecoderOnly,
+    },
 ];
 
 /// Count releases per (year, branch) — the Fig. 1 series.
@@ -103,7 +239,12 @@ mod tests {
     fn encoder_models_led_2018_2019() {
         let counts = counts_by_year();
         let y2019 = counts.iter().find(|(y, _)| *y == 2019).unwrap().1;
-        assert!(y2019[0] > y2019[2], "2019: encoder {} vs decoder {}", y2019[0], y2019[2]);
+        assert!(
+            y2019[0] > y2019[2],
+            "2019: encoder {} vs decoder {}",
+            y2019[0],
+            y2019[2]
+        );
     }
 
     #[test]

@@ -258,14 +258,28 @@ mod tests {
         // Unfiltered sources should have dropped roughly the off-topic share
         for s in &c.stats {
             if s.name != "SCOPUS" {
-                assert!(s.kept < s.generated, "{}: {} of {}", s.name, s.kept, s.generated);
+                assert!(
+                    s.kept < s.generated,
+                    "{}: {} of {}",
+                    s.name,
+                    s.kept,
+                    s.generated
+                );
             } else {
                 assert_eq!(s.kept, s.generated);
             }
         }
         // documents should all talk about materials
-        let with_gap = c.documents.iter().filter(|d| d.contains("band gap")).count();
-        assert!(with_gap * 10 >= c.documents.len() * 9, "{with_gap}/{}", c.documents.len());
+        let with_gap = c
+            .documents
+            .iter()
+            .filter(|d| d.contains("band gap"))
+            .count();
+        assert!(
+            with_gap * 10 >= c.documents.len() * 9,
+            "{with_gap}/{}",
+            c.documents.len()
+        );
     }
 
     #[test]

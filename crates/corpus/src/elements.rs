@@ -26,49 +26,393 @@ pub struct Element {
 
 /// The element table used by the generator.
 pub const ELEMENTS: &[Element] = &[
-    Element { symbol: "Li", z: 3, electronegativity: 0.98, radius: 1.28, valence: 1, mass: 6.94, metallic: true },
-    Element { symbol: "Be", z: 4, electronegativity: 1.57, radius: 0.96, valence: 2, mass: 9.01, metallic: true },
-    Element { symbol: "B", z: 5, electronegativity: 2.04, radius: 0.84, valence: 3, mass: 10.81, metallic: false },
-    Element { symbol: "C", z: 6, electronegativity: 2.55, radius: 0.76, valence: 4, mass: 12.01, metallic: false },
-    Element { symbol: "N", z: 7, electronegativity: 3.04, radius: 0.71, valence: 5, mass: 14.01, metallic: false },
-    Element { symbol: "O", z: 8, electronegativity: 3.44, radius: 0.66, valence: 6, mass: 16.00, metallic: false },
-    Element { symbol: "F", z: 9, electronegativity: 3.98, radius: 0.57, valence: 7, mass: 19.00, metallic: false },
-    Element { symbol: "Na", z: 11, electronegativity: 0.93, radius: 1.66, valence: 1, mass: 22.99, metallic: true },
-    Element { symbol: "Mg", z: 12, electronegativity: 1.31, radius: 1.41, valence: 2, mass: 24.31, metallic: true },
-    Element { symbol: "Al", z: 13, electronegativity: 1.61, radius: 1.21, valence: 3, mass: 26.98, metallic: true },
-    Element { symbol: "Si", z: 14, electronegativity: 1.90, radius: 1.11, valence: 4, mass: 28.09, metallic: false },
-    Element { symbol: "P", z: 15, electronegativity: 2.19, radius: 1.07, valence: 5, mass: 30.97, metallic: false },
-    Element { symbol: "S", z: 16, electronegativity: 2.58, radius: 1.05, valence: 6, mass: 32.06, metallic: false },
-    Element { symbol: "Cl", z: 17, electronegativity: 3.16, radius: 1.02, valence: 7, mass: 35.45, metallic: false },
-    Element { symbol: "K", z: 19, electronegativity: 0.82, radius: 2.03, valence: 1, mass: 39.10, metallic: true },
-    Element { symbol: "Ca", z: 20, electronegativity: 1.00, radius: 1.76, valence: 2, mass: 40.08, metallic: true },
-    Element { symbol: "Ti", z: 22, electronegativity: 1.54, radius: 1.60, valence: 4, mass: 47.87, metallic: true },
-    Element { symbol: "V", z: 23, electronegativity: 1.63, radius: 1.53, valence: 5, mass: 50.94, metallic: true },
-    Element { symbol: "Cr", z: 24, electronegativity: 1.66, radius: 1.39, valence: 6, mass: 52.00, metallic: true },
-    Element { symbol: "Mn", z: 25, electronegativity: 1.55, radius: 1.39, valence: 7, mass: 54.94, metallic: true },
-    Element { symbol: "Fe", z: 26, electronegativity: 1.83, radius: 1.32, valence: 8, mass: 55.85, metallic: true },
-    Element { symbol: "Co", z: 27, electronegativity: 1.88, radius: 1.26, valence: 9, mass: 58.93, metallic: true },
-    Element { symbol: "Ni", z: 28, electronegativity: 1.91, radius: 1.24, valence: 10, mass: 58.69, metallic: true },
-    Element { symbol: "Cu", z: 29, electronegativity: 1.90, radius: 1.32, valence: 11, mass: 63.55, metallic: true },
-    Element { symbol: "Zn", z: 30, electronegativity: 1.65, radius: 1.22, valence: 12, mass: 65.38, metallic: true },
-    Element { symbol: "Ga", z: 31, electronegativity: 1.81, radius: 1.22, valence: 3, mass: 69.72, metallic: true },
-    Element { symbol: "Ge", z: 32, electronegativity: 2.01, radius: 1.20, valence: 4, mass: 72.63, metallic: false },
-    Element { symbol: "As", z: 33, electronegativity: 2.18, radius: 1.19, valence: 5, mass: 74.92, metallic: false },
-    Element { symbol: "Se", z: 34, electronegativity: 2.55, radius: 1.20, valence: 6, mass: 78.97, metallic: false },
-    Element { symbol: "Sr", z: 38, electronegativity: 0.95, radius: 1.95, valence: 2, mass: 87.62, metallic: true },
-    Element { symbol: "Zr", z: 40, electronegativity: 1.33, radius: 1.75, valence: 4, mass: 91.22, metallic: true },
-    Element { symbol: "Nb", z: 41, electronegativity: 1.60, radius: 1.64, valence: 5, mass: 92.91, metallic: true },
-    Element { symbol: "Mo", z: 42, electronegativity: 2.16, radius: 1.54, valence: 6, mass: 95.95, metallic: true },
-    Element { symbol: "Ag", z: 47, electronegativity: 1.93, radius: 1.45, valence: 11, mass: 107.87, metallic: true },
-    Element { symbol: "Cd", z: 48, electronegativity: 1.69, radius: 1.44, valence: 12, mass: 112.41, metallic: true },
-    Element { symbol: "In", z: 49, electronegativity: 1.78, radius: 1.42, valence: 3, mass: 114.82, metallic: true },
-    Element { symbol: "Sn", z: 50, electronegativity: 1.96, radius: 1.39, valence: 4, mass: 118.71, metallic: true },
-    Element { symbol: "Sb", z: 51, electronegativity: 2.05, radius: 1.39, valence: 5, mass: 121.76, metallic: false },
-    Element { symbol: "Te", z: 52, electronegativity: 2.10, radius: 1.38, valence: 6, mass: 127.60, metallic: false },
-    Element { symbol: "Ba", z: 56, electronegativity: 0.89, radius: 2.15, valence: 2, mass: 137.33, metallic: true },
-    Element { symbol: "W", z: 74, electronegativity: 2.36, radius: 1.62, valence: 6, mass: 183.84, metallic: true },
-    Element { symbol: "Pb", z: 82, electronegativity: 2.33, radius: 1.46, valence: 4, mass: 207.20, metallic: true },
-    Element { symbol: "Bi", z: 83, electronegativity: 2.02, radius: 1.48, valence: 5, mass: 208.98, metallic: false },
+    Element {
+        symbol: "Li",
+        z: 3,
+        electronegativity: 0.98,
+        radius: 1.28,
+        valence: 1,
+        mass: 6.94,
+        metallic: true,
+    },
+    Element {
+        symbol: "Be",
+        z: 4,
+        electronegativity: 1.57,
+        radius: 0.96,
+        valence: 2,
+        mass: 9.01,
+        metallic: true,
+    },
+    Element {
+        symbol: "B",
+        z: 5,
+        electronegativity: 2.04,
+        radius: 0.84,
+        valence: 3,
+        mass: 10.81,
+        metallic: false,
+    },
+    Element {
+        symbol: "C",
+        z: 6,
+        electronegativity: 2.55,
+        radius: 0.76,
+        valence: 4,
+        mass: 12.01,
+        metallic: false,
+    },
+    Element {
+        symbol: "N",
+        z: 7,
+        electronegativity: 3.04,
+        radius: 0.71,
+        valence: 5,
+        mass: 14.01,
+        metallic: false,
+    },
+    Element {
+        symbol: "O",
+        z: 8,
+        electronegativity: 3.44,
+        radius: 0.66,
+        valence: 6,
+        mass: 16.00,
+        metallic: false,
+    },
+    Element {
+        symbol: "F",
+        z: 9,
+        electronegativity: 3.98,
+        radius: 0.57,
+        valence: 7,
+        mass: 19.00,
+        metallic: false,
+    },
+    Element {
+        symbol: "Na",
+        z: 11,
+        electronegativity: 0.93,
+        radius: 1.66,
+        valence: 1,
+        mass: 22.99,
+        metallic: true,
+    },
+    Element {
+        symbol: "Mg",
+        z: 12,
+        electronegativity: 1.31,
+        radius: 1.41,
+        valence: 2,
+        mass: 24.31,
+        metallic: true,
+    },
+    Element {
+        symbol: "Al",
+        z: 13,
+        electronegativity: 1.61,
+        radius: 1.21,
+        valence: 3,
+        mass: 26.98,
+        metallic: true,
+    },
+    Element {
+        symbol: "Si",
+        z: 14,
+        electronegativity: 1.90,
+        radius: 1.11,
+        valence: 4,
+        mass: 28.09,
+        metallic: false,
+    },
+    Element {
+        symbol: "P",
+        z: 15,
+        electronegativity: 2.19,
+        radius: 1.07,
+        valence: 5,
+        mass: 30.97,
+        metallic: false,
+    },
+    Element {
+        symbol: "S",
+        z: 16,
+        electronegativity: 2.58,
+        radius: 1.05,
+        valence: 6,
+        mass: 32.06,
+        metallic: false,
+    },
+    Element {
+        symbol: "Cl",
+        z: 17,
+        electronegativity: 3.16,
+        radius: 1.02,
+        valence: 7,
+        mass: 35.45,
+        metallic: false,
+    },
+    Element {
+        symbol: "K",
+        z: 19,
+        electronegativity: 0.82,
+        radius: 2.03,
+        valence: 1,
+        mass: 39.10,
+        metallic: true,
+    },
+    Element {
+        symbol: "Ca",
+        z: 20,
+        electronegativity: 1.00,
+        radius: 1.76,
+        valence: 2,
+        mass: 40.08,
+        metallic: true,
+    },
+    Element {
+        symbol: "Ti",
+        z: 22,
+        electronegativity: 1.54,
+        radius: 1.60,
+        valence: 4,
+        mass: 47.87,
+        metallic: true,
+    },
+    Element {
+        symbol: "V",
+        z: 23,
+        electronegativity: 1.63,
+        radius: 1.53,
+        valence: 5,
+        mass: 50.94,
+        metallic: true,
+    },
+    Element {
+        symbol: "Cr",
+        z: 24,
+        electronegativity: 1.66,
+        radius: 1.39,
+        valence: 6,
+        mass: 52.00,
+        metallic: true,
+    },
+    Element {
+        symbol: "Mn",
+        z: 25,
+        electronegativity: 1.55,
+        radius: 1.39,
+        valence: 7,
+        mass: 54.94,
+        metallic: true,
+    },
+    Element {
+        symbol: "Fe",
+        z: 26,
+        electronegativity: 1.83,
+        radius: 1.32,
+        valence: 8,
+        mass: 55.85,
+        metallic: true,
+    },
+    Element {
+        symbol: "Co",
+        z: 27,
+        electronegativity: 1.88,
+        radius: 1.26,
+        valence: 9,
+        mass: 58.93,
+        metallic: true,
+    },
+    Element {
+        symbol: "Ni",
+        z: 28,
+        electronegativity: 1.91,
+        radius: 1.24,
+        valence: 10,
+        mass: 58.69,
+        metallic: true,
+    },
+    Element {
+        symbol: "Cu",
+        z: 29,
+        electronegativity: 1.90,
+        radius: 1.32,
+        valence: 11,
+        mass: 63.55,
+        metallic: true,
+    },
+    Element {
+        symbol: "Zn",
+        z: 30,
+        electronegativity: 1.65,
+        radius: 1.22,
+        valence: 12,
+        mass: 65.38,
+        metallic: true,
+    },
+    Element {
+        symbol: "Ga",
+        z: 31,
+        electronegativity: 1.81,
+        radius: 1.22,
+        valence: 3,
+        mass: 69.72,
+        metallic: true,
+    },
+    Element {
+        symbol: "Ge",
+        z: 32,
+        electronegativity: 2.01,
+        radius: 1.20,
+        valence: 4,
+        mass: 72.63,
+        metallic: false,
+    },
+    Element {
+        symbol: "As",
+        z: 33,
+        electronegativity: 2.18,
+        radius: 1.19,
+        valence: 5,
+        mass: 74.92,
+        metallic: false,
+    },
+    Element {
+        symbol: "Se",
+        z: 34,
+        electronegativity: 2.55,
+        radius: 1.20,
+        valence: 6,
+        mass: 78.97,
+        metallic: false,
+    },
+    Element {
+        symbol: "Sr",
+        z: 38,
+        electronegativity: 0.95,
+        radius: 1.95,
+        valence: 2,
+        mass: 87.62,
+        metallic: true,
+    },
+    Element {
+        symbol: "Zr",
+        z: 40,
+        electronegativity: 1.33,
+        radius: 1.75,
+        valence: 4,
+        mass: 91.22,
+        metallic: true,
+    },
+    Element {
+        symbol: "Nb",
+        z: 41,
+        electronegativity: 1.60,
+        radius: 1.64,
+        valence: 5,
+        mass: 92.91,
+        metallic: true,
+    },
+    Element {
+        symbol: "Mo",
+        z: 42,
+        electronegativity: 2.16,
+        radius: 1.54,
+        valence: 6,
+        mass: 95.95,
+        metallic: true,
+    },
+    Element {
+        symbol: "Ag",
+        z: 47,
+        electronegativity: 1.93,
+        radius: 1.45,
+        valence: 11,
+        mass: 107.87,
+        metallic: true,
+    },
+    Element {
+        symbol: "Cd",
+        z: 48,
+        electronegativity: 1.69,
+        radius: 1.44,
+        valence: 12,
+        mass: 112.41,
+        metallic: true,
+    },
+    Element {
+        symbol: "In",
+        z: 49,
+        electronegativity: 1.78,
+        radius: 1.42,
+        valence: 3,
+        mass: 114.82,
+        metallic: true,
+    },
+    Element {
+        symbol: "Sn",
+        z: 50,
+        electronegativity: 1.96,
+        radius: 1.39,
+        valence: 4,
+        mass: 118.71,
+        metallic: true,
+    },
+    Element {
+        symbol: "Sb",
+        z: 51,
+        electronegativity: 2.05,
+        radius: 1.39,
+        valence: 5,
+        mass: 121.76,
+        metallic: false,
+    },
+    Element {
+        symbol: "Te",
+        z: 52,
+        electronegativity: 2.10,
+        radius: 1.38,
+        valence: 6,
+        mass: 127.60,
+        metallic: false,
+    },
+    Element {
+        symbol: "Ba",
+        z: 56,
+        electronegativity: 0.89,
+        radius: 2.15,
+        valence: 2,
+        mass: 137.33,
+        metallic: true,
+    },
+    Element {
+        symbol: "W",
+        z: 74,
+        electronegativity: 2.36,
+        radius: 1.62,
+        valence: 6,
+        mass: 183.84,
+        metallic: true,
+    },
+    Element {
+        symbol: "Pb",
+        z: 82,
+        electronegativity: 2.33,
+        radius: 1.46,
+        valence: 4,
+        mass: 207.20,
+        metallic: true,
+    },
+    Element {
+        symbol: "Bi",
+        z: 83,
+        electronegativity: 2.02,
+        radius: 1.48,
+        valence: 5,
+        mass: 208.98,
+        metallic: false,
+    },
 ];
 
 /// Look up an element by symbol.
@@ -99,7 +443,11 @@ mod tests {
     #[test]
     fn properties_in_physical_ranges() {
         for e in ELEMENTS {
-            assert!(e.electronegativity > 0.5 && e.electronegativity < 4.5, "{}", e.symbol);
+            assert!(
+                e.electronegativity > 0.5 && e.electronegativity < 4.5,
+                "{}",
+                e.symbol
+            );
             assert!(e.radius > 0.3 && e.radius < 2.5, "{}", e.symbol);
             assert!(e.mass > 5.0 && e.mass < 250.0, "{}", e.symbol);
         }

@@ -91,7 +91,11 @@ impl Material {
     /// Cartesian coordinates of a site in Å.
     pub fn cartesian(&self, site: usize) -> [f32; 3] {
         let f = self.sites[site].frac;
-        [f[0] * self.lattice_a, f[1] * self.lattice_a, f[2] * self.lattice_a]
+        [
+            f[0] * self.lattice_a,
+            f[1] * self.lattice_a,
+            f[2] * self.lattice_a,
+        ]
     }
 
     /// Minimum-image distance between two sites in Å.
@@ -138,7 +142,12 @@ impl Material {
             .collect();
         let total: f32 = chis.iter().map(|&(_, c)| c).sum();
         let mean: f32 = chis.iter().map(|&(x, c)| x * c).sum::<f32>() / total;
-        (chis.iter().map(|&(x, c)| c * (x - mean) * (x - mean)).sum::<f32>() / total).sqrt()
+        (chis
+            .iter()
+            .map(|&(x, c)| c * (x - mean) * (x - mean))
+            .sum::<f32>()
+            / total)
+            .sqrt()
     }
 
     /// Composition-weighted metallic fraction.

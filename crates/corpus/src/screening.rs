@@ -58,11 +58,7 @@ impl ScreeningClassifier {
     }
 
     fn raw_score(&self, feats: &[(usize, f32)]) -> f32 {
-        self.bias
-            + feats
-                .iter()
-                .map(|&(i, v)| self.weights[i] * v)
-                .sum::<f32>()
+        self.bias + feats.iter().map(|&(i, v)| self.weights[i] * v).sum::<f32>()
     }
 
     /// Probability that `text` is materials science.
@@ -153,7 +149,10 @@ mod tests {
         let clf = ScreeningClassifier::train(&train, 1024, 20, 0.5);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let mats = MaterialGenerator::new(30).generate(10);
-        let mut docs: Vec<String> = mats.iter().map(|m| material_abstract(m, &mut rng)).collect();
+        let mut docs: Vec<String> = mats
+            .iter()
+            .map(|m| material_abstract(m, &mut rng))
+            .collect();
         let n_pos = docs.len();
         docs.extend((0..10).map(|_| offtopic_abstract(&mut rng)));
         let (keep, drop) = clf.screen(docs);

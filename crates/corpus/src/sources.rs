@@ -26,10 +26,34 @@ pub struct DataSource {
 
 /// The paper's Table I.
 pub const SOURCES: &[DataSource] = &[
-    DataSource { name: "CORE", abstracts_m: 2.5, full_text_m: 0.3, tokens_b: 8.8, prefiltered: false },
-    DataSource { name: "MAG", abstracts_m: 15.0, full_text_m: 0.0, tokens_b: 3.5, prefiltered: false },
-    DataSource { name: "Aminer", abstracts_m: 3.0, full_text_m: 0.0, tokens_b: 1.2, prefiltered: false },
-    DataSource { name: "SCOPUS", abstracts_m: 6.0, full_text_m: 0.0, tokens_b: 1.5, prefiltered: true },
+    DataSource {
+        name: "CORE",
+        abstracts_m: 2.5,
+        full_text_m: 0.3,
+        tokens_b: 8.8,
+        prefiltered: false,
+    },
+    DataSource {
+        name: "MAG",
+        abstracts_m: 15.0,
+        full_text_m: 0.0,
+        tokens_b: 3.5,
+        prefiltered: false,
+    },
+    DataSource {
+        name: "Aminer",
+        abstracts_m: 3.0,
+        full_text_m: 0.0,
+        tokens_b: 1.2,
+        prefiltered: false,
+    },
+    DataSource {
+        name: "SCOPUS",
+        abstracts_m: 6.0,
+        full_text_m: 0.0,
+        tokens_b: 1.5,
+        prefiltered: true,
+    },
 ];
 
 /// Aggregate totals across sources — must match Table I's "All" row.

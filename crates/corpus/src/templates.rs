@@ -108,10 +108,7 @@ pub fn material_abstract<R: Rng>(m: &Material, rng: &mut R) -> String {
                 "The {} unit cell has a lattice constant of {:.2} angstrom . ",
                 lattice, m.lattice_a
             ));
-            s.push_str(&format!(
-                "Applications in {} are discussed .",
-                app
-            ));
+            s.push_str(&format!("Applications in {} are discussed .", app));
         }
         _ => {
             s.push_str(&format!(

@@ -220,9 +220,7 @@ mod tests {
     #[test]
     fn tight_cluster_has_smaller_distances_and_higher_cosines() {
         // the Fig. 16 phenomenon in miniature
-        let tight: Vec<Vec<f32>> = (0..20)
-            .map(|i| vec![1.0 + 0.01 * i as f32, 1.0])
-            .collect();
+        let tight: Vec<Vec<f32>> = (0..20).map(|i| vec![1.0 + 0.01 * i as f32, 1.0]).collect();
         let spread: Vec<Vec<f32>> = (0..20)
             .map(|i| vec![(i as f32 * 0.7).sin() * 5.0, (i as f32 * 0.3).cos() * 5.0])
             .collect();

@@ -85,7 +85,10 @@ pub fn kmeans(data: &[Vec<f32>], k: usize, seed: u64, iters: usize) -> KMeans {
         }
         for c in 0..k {
             if counts[c] > 0 {
-                centers[c] = sums[c].iter().map(|&s| (s / counts[c] as f64) as f32).collect();
+                centers[c] = sums[c]
+                    .iter()
+                    .map(|&s| (s / counts[c] as f64) as f32)
+                    .collect();
             }
         }
         if !changed {
@@ -205,7 +208,11 @@ mod tests {
     fn kmeans_recovers_separated_blobs() {
         let (data, labels) = blobs(3, 20, 10.0);
         let km = kmeans(&data, 3, 1, 100);
-        assert!(purity(&km, &labels) > 0.95, "purity {}", purity(&km, &labels));
+        assert!(
+            purity(&km, &labels) > 0.95,
+            "purity {}",
+            purity(&km, &labels)
+        );
         assert!(km.inertia < 60.0 * 0.5, "inertia {}", km.inertia);
     }
 

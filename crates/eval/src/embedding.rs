@@ -186,9 +186,7 @@ impl Embedder for GptKnowledgeProbe<'_> {
         let mut weights: Vec<f32> = self
             .value_grid
             .iter()
-            .map(|v| {
-                self.mean_logprob(&vprompt, &format!("{v:.1}{}", self.value_prompt.1))
-            })
+            .map(|v| self.mean_logprob(&vprompt, &format!("{v:.1}{}", self.value_prompt.1)))
             .collect();
         softmax_inplace(&mut weights);
         let scale = self

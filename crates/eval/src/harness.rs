@@ -58,7 +58,10 @@ pub fn predict(
         let window = model.cfg.max_seq;
         let (tokens, start) = if full_tokens.len() > window {
             let drop = full_tokens.len() - window;
-            (full_tokens[drop..].to_vec(), start.saturating_sub(drop).max(1))
+            (
+                full_tokens[drop..].to_vec(),
+                start.saturating_sub(drop).max(1),
+            )
         } else {
             (full_tokens, start)
         };

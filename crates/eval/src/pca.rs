@@ -40,10 +40,7 @@ pub fn pca_project(data: &[Vec<f32>], k: usize, iters: usize) -> Vec<Vec<f32>> {
         normalize(&mut v);
         for _ in 0..iters {
             // w = X^T (X v), minus projections on earlier components
-            let xv: Vec<f64> = centered
-                .iter()
-                .map(|row| dot(row, &v))
-                .collect();
+            let xv: Vec<f64> = centered.iter().map(|row| dot(row, &v)).collect();
             let mut w = vec![0.0f64; d];
             for (row, &s) in centered.iter().zip(xv.iter()) {
                 for (wj, &rj) in w.iter_mut().zip(row.iter()) {
@@ -66,12 +63,7 @@ pub fn pca_project(data: &[Vec<f32>], k: usize, iters: usize) -> Vec<Vec<f32>> {
 
     centered
         .iter()
-        .map(|row| {
-            components
-                .iter()
-                .map(|c| dot(row, c) as f32)
-                .collect()
-        })
+        .map(|row| components.iter().map(|c| dot(row, c) as f32).collect())
         .collect()
 }
 

@@ -109,10 +109,7 @@ fn one_item<R: Rng>(kind: TaskKind, mats: &[Material], rng: &mut R) -> QaItem {
             // phrased exactly like the corpus templates so the LM transfers
             let prompt = format!("Our results show that {} is a ", m.formula);
             let classes = ["conductor", "semiconductor", "insulator"];
-            let answer = classes
-                .iter()
-                .position(|c| *c == m.class.name())
-                .unwrap();
+            let answer = classes.iter().position(|c| *c == m.class.name()).unwrap();
             QaItem {
                 prompt,
                 choices: classes.iter().map(|s| s.to_string()).collect(),
@@ -173,14 +170,15 @@ fn one_item<R: Rng>(kind: TaskKind, mats: &[Material], rng: &mut R) -> QaItem {
             let truth = ELEMENTS[e].symbol.to_string();
             let mut choices = vec![truth];
             while choices.len() < 4 {
-                let cand = ELEMENTS[rng.gen_range(0..ELEMENTS.len())].symbol.to_string();
+                let cand = ELEMENTS[rng.gen_range(0..ELEMENTS.len())]
+                    .symbol
+                    .to_string();
                 if !m.formula.contains(&cand) && !choices.contains(&cand) {
                     choices.push(cand);
                 }
             }
             let prompt = format!("The compound {} contains the element ", m.formula);
-            shuffle_with_answer(choices, rng)
-                .with_prompt(prompt)
+            shuffle_with_answer(choices, rng).with_prompt(prompt)
         }
         TaskKind::ArcChallenge => {
             let a = pick(mats, rng);
@@ -215,8 +213,7 @@ fn one_item<R: Rng>(kind: TaskKind, mats: &[Material], rng: &mut R) -> QaItem {
                 "Between {} and {} , the more electronegative element is ",
                 ELEMENTS[i].symbol, ELEMENTS[j].symbol
             );
-            let answer =
-                usize::from(ELEMENTS[j].electronegativity > ELEMENTS[i].electronegativity);
+            let answer = usize::from(ELEMENTS[j].electronegativity > ELEMENTS[i].electronegativity);
             QaItem {
                 prompt,
                 choices: vec![ELEMENTS[i].symbol.into(), ELEMENTS[j].symbol.into()],
@@ -225,10 +222,7 @@ fn one_item<R: Rng>(kind: TaskKind, mats: &[Material], rng: &mut R) -> QaItem {
         }
         TaskKind::HtCollegePhysics => {
             let m = pick(mats, rng);
-            let prompt = format!(
-                "The unit cell of {} has a lattice constant of ",
-                m.formula
-            );
+            let prompt = format!("The unit cell of {} has a lattice constant of ", m.formula);
             let truth = format!("{:.2} angstrom", m.lattice_a);
             let mut choices = vec![truth];
             while choices.len() < 4 {
@@ -329,8 +323,7 @@ mod tests {
                 assert!(!item.prompt.is_empty(), "{kind:?} empty prompt");
                 assert!(item.choices.len() >= 2, "{kind:?} choices");
                 assert!(item.answer < item.choices.len(), "{kind:?} answer idx");
-                let distinct: std::collections::HashSet<&String> =
-                    item.choices.iter().collect();
+                let distinct: std::collections::HashSet<&String> = item.choices.iter().collect();
                 assert_eq!(distinct.len(), item.choices.len(), "{kind:?} dup choice");
             }
         }

@@ -87,7 +87,11 @@ pub fn tsne(data: &[Vec<f32>], opts: &TsneOptions) -> Vec<[f32; 2]> {
             }
             if h > target_entropy {
                 lo = beta;
-                beta = if hi >= 1e12 { beta * 2.0 } else { (beta + hi) / 2.0 };
+                beta = if hi >= 1e12 {
+                    beta * 2.0
+                } else {
+                    (beta + hi) / 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;
@@ -193,7 +197,8 @@ mod tests {
             },
         );
         // mean intra-class distance must be far below inter-class distance
-        let dist = |a: [f32; 2], b: [f32; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
+        let dist =
+            |a: [f32; 2], b: [f32; 2]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
         let mut intra = (0.0f32, 0usize);
         let mut inter = (0.0f32, 0usize);
         for i in 0..y.len() {

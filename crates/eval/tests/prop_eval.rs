@@ -2,8 +2,8 @@
 //! within their mathematical ranges and the clustering utilities behave.
 
 use matgpt_eval::{
-    choose_k, kmeans, pairwise_cosine, pairwise_euclidean, pca_project, purity, silhouette,
-    tsne, Histogram, TsneOptions,
+    choose_k, kmeans, pairwise_cosine, pairwise_euclidean, pca_project, purity, silhouette, tsne,
+    Histogram, TsneOptions,
 };
 use proptest::prelude::*;
 

@@ -37,7 +37,8 @@ impl Constraints {
             && hidden.is_multiple_of(self.tp)                          // (2) N_h % TP == 0
             && layers.is_multiple_of(self.pp)                          // (3) N_l % PP == 0
             && heads.is_multiple_of(self.tp)                           // (4) N_a % TP == 0
-            && (self.tp * self.pp * self.dp).is_multiple_of(self.device_multiple) // (5)
+            && (self.tp * self.pp * self.dp).is_multiple_of(self.device_multiple)
+        // (5)
     }
 }
 
@@ -72,8 +73,8 @@ pub fn one_b_grid(vocab: usize, seq: usize, km: &KernelModel, cons: &Constraints
     let mut cells = Vec::new();
     for &layers in &layer_options {
         let heads = layers; // Table II couples N_a = N_l
-        // scan hidden sizes (multiples of the head count, Eq. 1) across the
-        // band the paper's Fig. 4 heatmap covers
+                            // scan hidden sizes (multiples of the head count, Eq. 1) across the
+                            // band the paper's Fig. 4 heatmap covers
         let lo = 1536usize.div_ceil(heads) * heads;
         let mut hidden = lo;
         while hidden <= 2880 {
@@ -159,10 +160,14 @@ mod tests {
 
     #[test]
     fn grid_covers_multiple_layer_counts_and_param_band() {
-        let cells = one_b_grid(52_000, 2048, &KernelModel::default(), &Constraints::default());
+        let cells = one_b_grid(
+            52_000,
+            2048,
+            &KernelModel::default(),
+            &Constraints::default(),
+        );
         assert!(cells.len() >= 15, "grid size {}", cells.len());
-        let layer_set: std::collections::BTreeSet<usize> =
-            cells.iter().map(|c| c.layers).collect();
+        let layer_set: std::collections::BTreeSet<usize> = cells.iter().map(|c| c.layers).collect();
         assert!(layer_set.len() >= 4);
         for c in &cells {
             assert!(
@@ -178,7 +183,12 @@ mod tests {
     fn winner_is_24_layers_2304_hidden() {
         // Paper Fig. 4: the best case corresponds to 24 layers with a
         // hidden size of 2304.
-        let cells = one_b_grid(52_000, 2048, &KernelModel::default(), &Constraints::default());
+        let cells = one_b_grid(
+            52_000,
+            2048,
+            &KernelModel::default(),
+            &Constraints::default(),
+        );
         let best = best_cell(&cells).unwrap();
         assert_eq!((best.layers, best.hidden), (24, 2304), "winner {best:?}");
     }
@@ -188,7 +198,12 @@ mod tests {
         // "We marked all the architectures with head dimensions satisfying
         // this criteria, and indeed they are among top performers for each
         // layer size."
-        let cells = one_b_grid(52_000, 2048, &KernelModel::default(), &Constraints::default());
+        let cells = one_b_grid(
+            52_000,
+            2048,
+            &KernelModel::default(),
+            &Constraints::default(),
+        );
         for layers in [16usize, 24, 32] {
             let row: Vec<&GridCell> = cells.iter().filter(|c| c.layers == layers).collect();
             if row.is_empty() {
@@ -204,7 +219,12 @@ mod tests {
 
     #[test]
     fn flash_only_boosts_eligible_cells() {
-        let cells = one_b_grid(52_000, 2048, &KernelModel::default(), &Constraints::default());
+        let cells = one_b_grid(
+            52_000,
+            2048,
+            &KernelModel::default(),
+            &Constraints::default(),
+        );
         let mut saw_ineligible = false;
         for c in &cells {
             if FlashVersion::V1.eligible(c.head_dim) {

@@ -54,6 +54,13 @@ impl InferenceSetup {
             gen_len: 256,
         }
     }
+
+    /// Predicted decode throughput in tokens/s across the batch — the
+    /// analytic counterpart of the serving engine's measured
+    /// `tokens_per_sec` metric (see `ext_serve_bench`).
+    pub fn decode_tokens_per_sec(&self) -> f64 {
+        simulate_inference(self).tokens_per_s
+    }
 }
 
 /// Inference cost breakdown.
@@ -82,12 +89,11 @@ pub fn simulate_inference(setup: &InferenceSetup) -> InferenceReport {
     let layer = layer_flops(cfg, setup.batch, setup.prompt_len);
     let peak = 191.5e12 * km.gemm_efficiency(cfg);
     let attn_eff = km.attention_rel_eff(cfg, setup.flash);
-    let prefill_layer =
-        (layer.qkv + layer.linproj + layer.mlp) / peak + (layer.score + layer.aov) / (peak * attn_eff);
-    let head = 2.0 * (setup.batch * setup.prompt_len) as f64
-        * cfg.hidden as f64
-        * cfg.vocab_size as f64
-        / peak;
+    let prefill_layer = (layer.qkv + layer.linproj + layer.mlp) / peak
+        + (layer.score + layer.aov) / (peak * attn_eff);
+    let head =
+        2.0 * (setup.batch * setup.prompt_len) as f64 * cfg.hidden as f64 * cfg.vocab_size as f64
+            / peak;
     let prefill_s = prefill_layer * cfg.layers as f64 + head;
 
     // ---- decode: bandwidth-bound; each token streams weights + KV cache
@@ -175,6 +181,23 @@ mod tests {
         let rl = simulate_inference(&long);
         assert!(rl.decode_per_token_s > rs.decode_per_token_s);
         assert!(rl.kv_fraction > rs.kv_fraction);
+    }
+
+    #[test]
+    fn decode_tokens_per_sec_is_monotone_in_batch() {
+        // Continuous batching exists because weights amortise: predicted
+        // throughput must be non-decreasing as the batch grows.
+        let mut prev = 0.0;
+        for batch in [1usize, 2, 4, 8, 16, 32] {
+            let mut s = base();
+            s.batch = batch;
+            let tps = s.decode_tokens_per_sec();
+            assert!(
+                tps >= prev,
+                "batch {batch}: {tps} tokens/s fell below {prev}"
+            );
+            prev = tps;
+        }
     }
 
     #[test]

@@ -162,8 +162,8 @@ impl KernelModel {
     ) -> f64 {
         let layer = self.layer_forward_time(cfg, batch, seq, flash) / tp as f64;
         // LM head + embedding GEMM
-        let head_flops = 2.0 * (batch * seq) as f64 * cfg.hidden as f64 * cfg.vocab_size as f64
-            / tp as f64;
+        let head_flops =
+            2.0 * (batch * seq) as f64 * cfg.hidden as f64 * cfg.vocab_size as f64 / tp as f64;
         let peak = 191.5e12 * self.gemm_efficiency(cfg);
         let fwd = layer * layers_on_gcd as f64 + head_flops / peak;
         3.0 * fwd

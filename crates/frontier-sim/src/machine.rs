@@ -117,7 +117,11 @@ impl MachineConfig {
 
     /// The first `n` global ranks (the usual contiguous allocation).
     pub fn ranks(&self, n: usize) -> Vec<usize> {
-        assert!(n <= self.total_gcds(), "machine has {} GCDs", self.total_gcds());
+        assert!(
+            n <= self.total_gcds(),
+            "machine has {} GCDs",
+            self.total_gcds()
+        );
         (0..n).collect()
     }
 }

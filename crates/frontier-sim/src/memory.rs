@@ -142,8 +142,22 @@ mod tests {
         // Paper: "for the training of a 1.7B model, a single GCD ... is able
         // to accommodate the entire model. However, for a 6.7B model, some
         // level of model parallelism is required."
-        assert!(fits(&cfg_1_7b(), 1, 2048, FlashVersion::None, &single(), 64.0));
-        assert!(!fits(&cfg_6_7b(), 1, 2048, FlashVersion::None, &single(), 64.0));
+        assert!(fits(
+            &cfg_1_7b(),
+            1,
+            2048,
+            FlashVersion::None,
+            &single(),
+            64.0
+        ));
+        assert!(!fits(
+            &cfg_6_7b(),
+            1,
+            2048,
+            FlashVersion::None,
+            &single(),
+            64.0
+        ));
     }
 
     #[test]
@@ -228,6 +242,9 @@ mod tests {
         let params = total_params(&c) as f64;
         let state_only = peak_memory_gib(&c, 1, 1, FlashVersion::V2, &single());
         let expected = params * 12.0 / (1024f64.powi(3));
-        assert!((state_only / expected - 1.0).abs() < 0.05, "{state_only} vs {expected}");
+        assert!(
+            (state_only / expected - 1.0).abs() < 0.05,
+            "{state_only} vs {expected}"
+        );
     }
 }

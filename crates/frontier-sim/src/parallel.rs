@@ -221,11 +221,7 @@ impl StepReport {
     /// communication kernels still accrue device time.
     pub fn profile_breakdown(&self) -> (f64, f64, f64) {
         let busy = self.compute_s + self.comm_s + self.io_s;
-        (
-            self.compute_s / busy,
-            self.comm_s / busy,
-            self.io_s / busy,
-        )
+        (self.compute_s / busy, self.comm_s / busy, self.io_s / busy)
     }
 }
 
@@ -247,15 +243,28 @@ pub fn simulate_step(setup: &TrainSetup) -> StepReport {
     // ---- compute time per GCD
     let (mut compute, replicas): (f64, usize) = match setup.strategy {
         Strategy::DataParallel | Strategy::Zero1 => (
-            km.step_compute_time(cfg, setup.micro_batch, setup.seq, setup.flash, cfg.layers, 1),
+            km.step_compute_time(
+                cfg,
+                setup.micro_batch,
+                setup.seq,
+                setup.flash,
+                cfg.layers,
+                1,
+            ),
             n,
         ),
         Strategy::TensorParallel(t) => {
             // TP halves the GEMM shapes; small efficiency loss from the
             // narrower matrices.
             // narrower sharded GEMMs run further from peak
-            let c = km.step_compute_time(cfg, setup.micro_batch, setup.seq, setup.flash, cfg.layers, t)
-                * 1.15;
+            let c = km.step_compute_time(
+                cfg,
+                setup.micro_batch,
+                setup.seq,
+                setup.flash,
+                cfg.layers,
+                t,
+            ) * 1.15;
             (c, n / t)
         }
         Strategy::PipelineParallel(p) => {
@@ -300,8 +309,8 @@ pub fn simulate_step(setup: &TrainSetup) -> StepReport {
                 let per_call = grad_bytes / calls as f64;
                 // reduce-scatter of gradients: ZeRO's per-bucket launches
                 // overlap the backward only partially
-                let rs = collective_time(m, Collective::ReduceScatter, per_call, &group)
-                    * calls as f64;
+                let rs =
+                    collective_time(m, Collective::ReduceScatter, per_call, &group) * calls as f64;
                 comm_overlappable += 0.5 * rs;
                 comm_critical += 0.5 * rs;
                 msgs.push(MsgRecord {
@@ -312,8 +321,7 @@ pub fn simulate_step(setup: &TrainSetup) -> StepReport {
                 });
                 // all-gather of updated parameters (blocks next forward —
                 // half of it still hides behind the optimizer/step tail)
-                let ag = collective_time(m, Collective::AllGather, per_call, &group)
-                    * calls as f64;
+                let ag = collective_time(m, Collective::AllGather, per_call, &group) * calls as f64;
                 comm_overlappable += 0.5 * ag;
                 comm_critical += 0.5 * ag;
                 msgs.push(MsgRecord {
@@ -349,8 +357,7 @@ pub fn simulate_step(setup: &TrainSetup) -> StepReport {
                 let calls = (shard_bytes / setup.dp_bucket_bytes).ceil() as usize;
                 let per_call = shard_bytes / calls as f64;
                 comm_overlappable +=
-                    collective_time(m, Collective::AllReduce, per_call, &dp_group)
-                        * calls as f64;
+                    collective_time(m, Collective::AllReduce, per_call, &dp_group) * calls as f64;
                 msgs.push(MsgRecord {
                     collective: Collective::AllReduce,
                     bytes_per_call: per_call,
@@ -363,8 +370,8 @@ pub fn simulate_step(setup: &TrainSetup) -> StepReport {
             // stage-boundary activations, twice per chunk (fwd + bwd)
             let act_bytes = (setup.micro_batch * setup.seq * cfg.hidden) as f64 * 2.0;
             let p2p_calls = 2 * setup.pipeline_chunks * (p - 1);
-            comm_critical += collective_time(m, Collective::P2p, act_bytes, &[0, 2])
-                * p2p_calls as f64;
+            comm_critical +=
+                collective_time(m, Collective::P2p, act_bytes, &[0, 2]) * p2p_calls as f64;
             msgs.push(MsgRecord {
                 collective: Collective::P2p,
                 bytes_per_call: act_bytes,
@@ -377,8 +384,7 @@ pub fn simulate_step(setup: &TrainSetup) -> StepReport {
                 let calls = (shard_bytes / setup.dp_bucket_bytes).ceil() as usize;
                 let per_call = shard_bytes / calls as f64;
                 comm_overlappable +=
-                    collective_time(m, Collective::AllReduce, per_call, &dp_group)
-                        * calls as f64;
+                    collective_time(m, Collective::AllReduce, per_call, &dp_group) * calls as f64;
                 msgs.push(MsgRecord {
                     collective: Collective::AllReduce,
                     bytes_per_call: per_call,
@@ -453,7 +459,11 @@ mod tests {
         // TP=2, with PP=2 performing much worse.
         let zero = simulate_step(&TrainSetup::new(cfg_6_7b(), 8, Strategy::Zero1));
         let tp = simulate_step(&TrainSetup::new(cfg_6_7b(), 8, Strategy::TensorParallel(2)));
-        let pp = simulate_step(&TrainSetup::new(cfg_6_7b(), 8, Strategy::PipelineParallel(2)));
+        let pp = simulate_step(&TrainSetup::new(
+            cfg_6_7b(),
+            8,
+            Strategy::PipelineParallel(2),
+        ));
         assert!(
             zero.tflops_per_gcd > tp.tflops_per_gcd,
             "ZeRO {} vs TP {}",
@@ -509,7 +519,11 @@ mod tests {
         // with ZeRO-1, then drops; TP=2 sustains better efficiency at 256.
         let z64 = simulate_step(&TrainSetup::new(cfg_6_7b(), 64, Strategy::Zero1));
         let z256 = simulate_step(&TrainSetup::new(cfg_6_7b(), 256, Strategy::Zero1));
-        let t256 = simulate_step(&TrainSetup::new(cfg_6_7b(), 256, Strategy::TensorParallel(2)));
+        let t256 = simulate_step(&TrainSetup::new(
+            cfg_6_7b(),
+            256,
+            Strategy::TensorParallel(2),
+        ));
         assert!(
             z256.tflops_per_gcd < z64.tflops_per_gcd * 0.95,
             "ZeRO should drop: {} -> {}",
@@ -610,7 +624,11 @@ mod tests {
             let base = simulate_step(&s);
             s.flash = FlashVersion::V2;
             let fast = simulate_step(&s);
-            assert!(fast.tflops_per_gcd > base.tflops_per_gcd, "{}", strat.label());
+            assert!(
+                fast.tflops_per_gcd > base.tflops_per_gcd,
+                "{}",
+                strat.label()
+            );
         }
     }
 }

@@ -175,7 +175,12 @@ mod tests {
             PlanObjective::GpuHours,
         )
         .unwrap();
-        assert!(fast.gcds >= cheap.gcds, "fast {} vs cheap {}", fast.gcds, cheap.gcds);
+        assert!(
+            fast.gcds >= cheap.gcds,
+            "fast {} vs cheap {}",
+            fast.gcds,
+            cheap.gcds
+        );
         assert!(cheap.gpu_hours <= fast.gpu_hours);
     }
 

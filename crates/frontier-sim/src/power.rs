@@ -162,7 +162,10 @@ mod tests {
         let ratio = t67.hours / t17.hours;
         assert!((3.0..5.5).contains(&ratio), "time ratio {ratio}");
         let energy_ratio = t67.energy_mwh / t17.energy_mwh;
-        assert!((2.8..5.5).contains(&energy_ratio), "energy ratio {energy_ratio}");
+        assert!(
+            (2.8..5.5).contains(&energy_ratio),
+            "energy ratio {energy_ratio}"
+        );
     }
 
     #[test]

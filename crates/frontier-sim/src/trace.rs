@@ -247,7 +247,10 @@ mod tests {
         let pm = PowerModel::default();
         let trace = device_trace(&s, &r, &pm, 3, r.step_s / 200.0);
         let max = trace.iter().map(|x| x.power_w).fold(0.0, f64::max);
-        let min = trace.iter().map(|x| x.power_w).fold(f64::INFINITY, f64::min);
+        let min = trace
+            .iter()
+            .map(|x| x.power_w)
+            .fold(f64::INFINITY, f64::min);
         assert_eq!(max, pm.compute_w);
         assert!(min < pm.compute_w, "trace must dip during comm/io");
     }

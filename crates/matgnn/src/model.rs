@@ -123,7 +123,10 @@ impl GnnModel {
         let d_in = d_emb + d_desc;
         let d_edge = variant.edge_dim();
         let p = |n: &str| format!("gnn.{}.{n}", variant.label());
-        let species_emb = store.add(p("species"), init::randn(&[ELEMENTS.len(), d_emb], 0.3, rng));
+        let species_emb = store.add(
+            p("species"),
+            init::randn(&[ELEMENTS.len(), d_emb], 0.3, rng),
+        );
         let proj_w = store.add(p("proj.w"), init::xavier(d_in, hidden, rng));
         let proj_b = store.add(p("proj.b"), Tensor::zeros(&[hidden]));
         let mut convs = Vec::new();

@@ -199,8 +199,7 @@ mod tests {
     fn training_beats_predicting_the_mean() {
         let mats = MaterialGenerator::new(21).generate(120);
         let ds = GnnDataset::new(&mats, GnnVariant::MfCgnn, 0.8);
-        let mean: f32 =
-            ds.train.iter().map(|g| g.target).sum::<f32>() / ds.train.len() as f32;
+        let mean: f32 = ds.train.iter().map(|g| g.target).sum::<f32>() / ds.train.len() as f32;
         let baseline: f64 = ds
             .test
             .iter()
@@ -235,8 +234,7 @@ mod tests {
                 (m.formula.clone(), v)
             })
             .collect();
-        let ds_fused =
-            GnnDataset::new(&mats, GnnVariant::MfCgnn, 0.8).with_embeddings(embeddings);
+        let ds_fused = GnnDataset::new(&mats, GnnVariant::MfCgnn, 0.8).with_embeddings(embeddings);
         let plain = train_and_eval(GnnVariant::MfCgnn, &ds_plain, &quick_cfg(), "MF-CGNN");
         let fused = train_and_eval(GnnVariant::MfCgnn, &ds_fused, &quick_cfg(), "+oracle");
         assert!(

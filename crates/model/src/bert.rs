@@ -204,11 +204,7 @@ impl BertModel {
 /// Apply BERT-style masking: each position is selected with probability
 /// `mask_prob`; selected positions are replaced by [`MASK_TOKEN`] in the
 /// inputs and kept as targets; everything else becomes `IGNORE_INDEX`.
-pub fn mask_tokens<R: Rng>(
-    tokens: &[u32],
-    mask_prob: f32,
-    rng: &mut R,
-) -> (Vec<u32>, Vec<u32>) {
+pub fn mask_tokens<R: Rng>(tokens: &[u32], mask_prob: f32, rng: &mut R) -> (Vec<u32>, Vec<u32>) {
     let mut inputs = tokens.to_vec();
     let mut targets = vec![IGNORE_INDEX; tokens.len()];
     let mut any = false;
@@ -312,11 +308,7 @@ mod tests {
         let (model, store) = tiny();
         let e1 = model.embed(&store, &[5, 6, 7, 8]);
         let e2 = model.embed(&store, &[5, 6, 7, 9]);
-        let diff: f32 = e1
-            .iter()
-            .zip(e2.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f32 = e1.iter().zip(e2.iter()).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-4, "future token must influence representation");
     }
 }

@@ -76,7 +76,10 @@ impl GptConfig {
     pub fn kv_head_count(&self) -> usize {
         match self.kv_heads {
             Some(k) => {
-                assert!(k >= 1 && self.heads.is_multiple_of(k), "heads must divide into kv groups");
+                assert!(
+                    k >= 1 && self.heads.is_multiple_of(k),
+                    "heads must divide into kv groups"
+                );
                 k
             }
             None => self.heads,

@@ -146,19 +146,13 @@ mod tests {
         for arch in [ArchKind::NeoX, ArchKind::Llama] {
             let c = GptConfig::paper_1_7b(arch, 52_000);
             let p = total_params(&c) as f64;
-            assert!(
-                (1.5e9..2.0e9).contains(&p),
-                "{arch}: {p:.3e} not ≈ 1.7B"
-            );
+            assert!((1.5e9..2.0e9).contains(&p), "{arch}: {p:.3e} not ≈ 1.7B");
         }
         // 6.7B rows
         for arch in [ArchKind::NeoX, ArchKind::Llama] {
             let c = GptConfig::paper_6_7b(arch, 52_000);
             let p = total_params(&c) as f64;
-            assert!(
-                (6.2e9..7.2e9).contains(&p),
-                "{arch}: {p:.3e} not ≈ 6.7B"
-            );
+            assert!((6.2e9..7.2e9).contains(&p), "{arch}: {p:.3e} not ≈ 6.7B");
         }
     }
 

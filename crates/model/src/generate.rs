@@ -1,4 +1,11 @@
 //! Autoregressive sampling from a trained GPT.
+//!
+//! [`generate`] decodes on the KV-cached inference path (O(T) work per
+//! token); [`generate_uncached`] keeps the original re-run-the-window
+//! reference implementation for comparison benchmarks. The sampling
+//! primitives ([`argmax`], [`sample_softmax`], [`sample_top_k`],
+//! [`sample_logits`]) are public so serving code can drive per-request
+//! sampling state over raw logits rows.
 
 use crate::gpt::GptModel;
 use matgpt_tensor::{ParamStore, Tape};
@@ -28,9 +35,39 @@ impl Default for SampleOptions {
     }
 }
 
-/// Generate a continuation of `prompt`. Re-runs the full forward pass per
-/// token (no KV cache) — fine at the scales this workspace trains.
+/// Generate a continuation of `prompt` on the KV-cached decode path:
+/// one prefill over the prompt, then one cached forward per new token.
 pub fn generate<R: Rng>(
+    model: &GptModel,
+    store: &ParamStore,
+    prompt: &[u32],
+    opts: &SampleOptions,
+    rng: &mut R,
+) -> Vec<u32> {
+    assert!(!prompt.is_empty(), "prompt must be non-empty");
+    let mut tokens = prompt.to_vec();
+    let v = model.cfg.vocab_size;
+    let mut cache = model.new_cache();
+    // Prefill the prompt window. Prompts longer than max_seq keep only
+    // the trailing window, like the uncached path does.
+    let ctx_start = tokens.len().saturating_sub(model.cfg.max_seq);
+    let logits = model.forward_cached(store, &tokens[ctx_start..], &mut cache);
+    let mut row = logits[(cache.len() - 1) * v..].to_vec();
+    for _ in 0..opts.max_new_tokens {
+        let next = sample_logits(&row, opts.temperature, opts.top_k, rng) as u32;
+        tokens.push(next);
+        if Some(next) == opts.stop_token {
+            break;
+        }
+        row = model.decode_step(store, next, &mut cache);
+    }
+    tokens
+}
+
+/// The original cache-free reference: re-runs a full forward over the
+/// trailing window for every generated token. Kept for benchmarking the
+/// cached path against (see `ext_serve_bench`).
+pub fn generate_uncached<R: Rng>(
     model: &GptModel,
     store: &ParamStore,
     prompt: &[u32],
@@ -47,22 +84,29 @@ pub fn generate<R: Rng>(
         let logits = model.logits(&mut tape, store, ctx, 1, ctx.len());
         let lv = tape.value(logits);
         let row = &lv.data()[(ctx.len() - 1) * v..ctx.len() * v];
-        let next = if opts.temperature <= 0.0 {
-            argmax(row)
-        } else if opts.top_k > 0 {
-            sample_top_k(row, opts.temperature, opts.top_k, rng)
-        } else {
-            sample_softmax(row, opts.temperature, rng)
-        };
-        tokens.push(next as u32);
-        if Some(next as u32) == opts.stop_token {
+        let next = sample_logits(row, opts.temperature, opts.top_k, rng) as u32;
+        tokens.push(next);
+        if Some(next) == opts.stop_token {
             break;
         }
     }
     tokens
 }
 
-fn argmax(row: &[f32]) -> usize {
+/// Pick the next token from a logits row under the given temperature and
+/// top-k settings (`temperature <= 0` is greedy).
+pub fn sample_logits<R: Rng>(row: &[f32], temperature: f32, top_k: usize, rng: &mut R) -> usize {
+    if temperature <= 0.0 {
+        argmax(row)
+    } else if top_k > 0 {
+        sample_top_k(row, temperature, top_k, rng)
+    } else {
+        sample_softmax(row, temperature, rng)
+    }
+}
+
+/// Index of the largest logit.
+pub fn argmax(row: &[f32]) -> usize {
     row.iter()
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
@@ -70,7 +114,8 @@ fn argmax(row: &[f32]) -> usize {
         .unwrap_or(0)
 }
 
-fn sample_softmax<R: Rng>(row: &[f32], temperature: f32, rng: &mut R) -> usize {
+/// Sample from the tempered softmax of a logits row.
+pub fn sample_softmax<R: Rng>(row: &[f32], temperature: f32, rng: &mut R) -> usize {
     let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let weights: Vec<f32> = row
         .iter()
@@ -88,7 +133,7 @@ fn sample_softmax<R: Rng>(row: &[f32], temperature: f32, rng: &mut R) -> usize {
 }
 
 /// Sample from the `k` highest logits only.
-fn sample_top_k<R: Rng>(row: &[f32], temperature: f32, k: usize, rng: &mut R) -> usize {
+pub fn sample_top_k<R: Rng>(row: &[f32], temperature: f32, k: usize, rng: &mut R) -> usize {
     let mut order: Vec<usize> = (0..row.len()).collect();
     order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
     order.truncate(k.max(1));
@@ -102,19 +147,25 @@ mod tests {
     use crate::config::{ArchKind, GptConfig};
     use matgpt_tensor::init;
 
-    #[test]
-    fn generate_produces_requested_tokens_and_respects_stop() {
+    fn build(arch: ArchKind, seed: u64) -> (GptModel, ParamStore) {
         let mut store = ParamStore::new();
-        let mut rng = init::rng(0);
+        let mut rng = init::rng(seed);
         let cfg = GptConfig {
             vocab_size: 30,
             hidden: 16,
             layers: 1,
             heads: 2,
             max_seq: 16,
-            ..GptConfig::tiny(ArchKind::NeoX, 30)
+            ..GptConfig::tiny(arch, 30)
         };
         let model = GptModel::new(cfg, &mut store, &mut rng);
+        (model, store)
+    }
+
+    #[test]
+    fn generate_produces_requested_tokens_and_respects_stop() {
+        let (model, store) = build(ArchKind::NeoX, 0);
+        let mut rng = init::rng(0);
         let out = generate(
             &model,
             &store,
@@ -133,17 +184,7 @@ mod tests {
 
     #[test]
     fn greedy_is_deterministic() {
-        let mut store = ParamStore::new();
-        let mut rng = init::rng(1);
-        let cfg = GptConfig {
-            vocab_size: 30,
-            hidden: 16,
-            layers: 1,
-            heads: 2,
-            max_seq: 16,
-            ..GptConfig::tiny(ArchKind::Llama, 30)
-        };
-        let model = GptModel::new(cfg, &mut store, &mut rng);
+        let (model, store) = build(ArchKind::Llama, 1);
         let opts = SampleOptions {
             temperature: 0.0,
             top_k: 0,
@@ -153,6 +194,25 @@ mod tests {
         let a = generate(&model, &store, &[5, 6], &opts, &mut init::rng(7));
         let b = generate(&model, &store, &[5, 6], &opts, &mut init::rng(8));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_and_uncached_agree_under_greedy_decoding() {
+        // With temperature 0 no RNG is consumed, so the only difference
+        // between the two paths is KV caching — outputs must be equal
+        // while the sequence fits in max_seq.
+        for arch in [ArchKind::NeoX, ArchKind::Llama] {
+            let (model, store) = build(arch, 2);
+            let opts = SampleOptions {
+                temperature: 0.0,
+                top_k: 0,
+                max_new_tokens: 8,
+                stop_token: None,
+            };
+            let cached = generate(&model, &store, &[3, 1, 4], &opts, &mut init::rng(0));
+            let uncached = generate_uncached(&model, &store, &[3, 1, 4], &opts, &mut init::rng(0));
+            assert_eq!(cached, uncached, "{arch}");
+        }
     }
 
     #[test]

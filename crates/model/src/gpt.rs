@@ -9,37 +9,38 @@ use crate::config::{ArchKind, GptConfig};
 use matgpt_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
 use rand::Rng;
 
-/// Per-layer parameter handles.
-struct LayerIds {
-    ln1_g: ParamId,
-    ln1_b: Option<ParamId>,
-    wq: ParamId,
-    bq: Option<ParamId>,
-    wk: ParamId,
-    bk: Option<ParamId>,
-    wv: ParamId,
-    bv: Option<ParamId>,
-    wo: ParamId,
-    bo: Option<ParamId>,
-    ln2_g: ParamId,
-    ln2_b: Option<ParamId>,
-    w1: ParamId,
-    b1: Option<ParamId>,
-    w2: ParamId,
-    b2: Option<ParamId>,
+/// Per-layer parameter handles. Fields are crate-visible so the
+/// tape-free inference path (`crate::infer`) can read the same weights.
+pub(crate) struct LayerIds {
+    pub(crate) ln1_g: ParamId,
+    pub(crate) ln1_b: Option<ParamId>,
+    pub(crate) wq: ParamId,
+    pub(crate) bq: Option<ParamId>,
+    pub(crate) wk: ParamId,
+    pub(crate) bk: Option<ParamId>,
+    pub(crate) wv: ParamId,
+    pub(crate) bv: Option<ParamId>,
+    pub(crate) wo: ParamId,
+    pub(crate) bo: Option<ParamId>,
+    pub(crate) ln2_g: ParamId,
+    pub(crate) ln2_b: Option<ParamId>,
+    pub(crate) w1: ParamId,
+    pub(crate) b1: Option<ParamId>,
+    pub(crate) w2: ParamId,
+    pub(crate) b2: Option<ParamId>,
     /// SwiGLU up-projection (LLaMA only).
-    w3: Option<ParamId>,
+    pub(crate) w3: Option<ParamId>,
 }
 
 /// A GPT model: configuration plus parameter handles into a store.
 pub struct GptModel {
     /// The architecture configuration.
     pub cfg: GptConfig,
-    tok_emb: ParamId,
-    layers: Vec<LayerIds>,
-    lnf_g: ParamId,
-    lnf_b: Option<ParamId>,
-    lm_head: ParamId,
+    pub(crate) tok_emb: ParamId,
+    pub(crate) layers: Vec<LayerIds>,
+    pub(crate) lnf_g: ParamId,
+    pub(crate) lnf_b: Option<ParamId>,
+    pub(crate) lm_head: ParamId,
 }
 
 impl GptModel {
@@ -92,7 +93,23 @@ impl GptModel {
                 ArchKind::NeoX => None,
             };
             layers.push(LayerIds {
-                ln1_g, ln1_b, wq, bq, wk, bk, wv, bv, wo, bo, ln2_g, ln2_b, w1, b1, w2, b2, w3,
+                ln1_g,
+                ln1_b,
+                wq,
+                bq,
+                wk,
+                bk,
+                wv,
+                bv,
+                wo,
+                bo,
+                ln2_g,
+                ln2_b,
+                w1,
+                b1,
+                w2,
+                b2,
+                w3,
             });
         }
         let lnf_g = store.add("lnf.g", Tensor::full(&[h], 1.0));
@@ -350,7 +367,10 @@ mod tests {
             let loss = model.loss(&mut tape, &store, &tokens, &targets, 1, 16);
             let l = tape.value(loss).item();
             let uniform = (50f32).ln();
-            assert!((l - uniform).abs() < 0.5, "{arch}: loss {l} vs ln(V) {uniform}");
+            assert!(
+                (l - uniform).abs() < 0.5,
+                "{arch}: loss {l} vs ln(V) {uniform}"
+            );
         }
     }
 
@@ -420,7 +440,10 @@ mod tests {
         let model = GptModel::new(cfg.clone(), &mut store, &mut rng);
         assert_eq!(store.num_scalars(), crate::count::total_params(&cfg));
         // fewer params than full multi-head attention
-        let full = crate::count::total_params(&GptConfig { kv_heads: None, ..cfg.clone() });
+        let full = crate::count::total_params(&GptConfig {
+            kv_heads: None,
+            ..cfg.clone()
+        });
         assert!(crate::count::total_params(&cfg) < full);
         // forward works and trains
         let tokens: Vec<u32> = (0..8).map(|i| i % 40).collect();
@@ -436,8 +459,14 @@ mod tests {
     #[test]
     fn gqa_shrinks_kv_cache() {
         let full = GptConfig::paper_6_7b(ArchKind::Llama, 52_000);
-        let gqa = GptConfig { kv_heads: Some(8), ..full.clone() };
-        assert_eq!(gqa.kv_cache_bytes_per_token() * 4, full.kv_cache_bytes_per_token());
+        let gqa = GptConfig {
+            kv_heads: Some(8),
+            ..full.clone()
+        };
+        assert_eq!(
+            gqa.kv_cache_bytes_per_token() * 4,
+            full.kv_cache_bytes_per_token()
+        );
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! Tape-free KV-cached inference for [`GptModel`].
+//!
+//! The training path records every op on an autograd tape and re-runs
+//! the whole window for each generated token — O(T²) work per token.
+//! This module evaluates the same network directly on flat buffers with
+//! a per-layer [`KvCache`], so decoding one token costs one pass over
+//! the weights plus one O(T) streaming-attention scan.
+//!
+//! Semantics relative to the tape path:
+//!
+//! * positions are **absolute**: token `n` is rotated at angle `n`
+//!   regardless of window truncation. While the sequence fits in
+//!   `max_seq` this is bit-for-bit the training convention (positions
+//!   `0..T`), and [`GptModel::forward_cached`] matches
+//!   [`GptModel::logits`] to float tolerance — see the parity tests.
+//! * when the sequence outgrows `max_seq`, the cache drops its oldest
+//!   rows (sliding window). The tape path instead re-encodes the window
+//!   from position 0, so outputs diverge past `max_seq` — the cached
+//!   path is the standard serving behaviour (Mistral-style windowed
+//!   attention), the tape path is a training-time convenience.
+
+use crate::config::ArchKind;
+use crate::gpt::GptModel;
+use matgpt_tensor::kernels::activation as act;
+use matgpt_tensor::kernels::infer::{cached_attention, rotary_rows};
+use matgpt_tensor::kernels::matmul::matmul;
+use matgpt_tensor::kernels::norm;
+use matgpt_tensor::{ParamId, ParamStore};
+
+/// One layer's cached keys and values, token-major `[T, Hkv*D]` so an
+/// append is a plain extend and a truncation a front drain.
+#[derive(Clone, Debug, Default)]
+struct LayerKv {
+    k: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Per-layer key/value cache for one sequence.
+///
+/// Grows by [`GptModel::forward_cached`]; holds at most `max_seq`
+/// positions per layer, discarding the oldest beyond that (windowed
+/// truncation). Tracks the absolute position of the next token so
+/// rotary angles stay consistent across truncation.
+#[derive(Clone, Debug)]
+pub struct KvCache {
+    layers: Vec<LayerKv>,
+    /// Row width of each layer buffer: `kv_heads * head_dim`.
+    kv_dim: usize,
+    /// Window capacity in tokens.
+    max_seq: usize,
+    /// Absolute position the next appended token will occupy.
+    next_pos: usize,
+}
+
+impl KvCache {
+    /// An empty cache shaped for `model`.
+    pub fn new(model: &GptModel) -> Self {
+        let cfg = &model.cfg;
+        Self {
+            layers: vec![LayerKv::default(); cfg.layers],
+            kv_dim: cfg.kv_head_count() * cfg.head_dim(),
+            max_seq: cfg.max_seq,
+            next_pos: 0,
+        }
+    }
+
+    /// Number of positions currently cached (≤ `max_seq`).
+    pub fn len(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.k.len() / self.kv_dim)
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.next_pos == 0
+    }
+
+    /// Total tokens ever fed through this cache (monotone, unaffected
+    /// by truncation).
+    pub fn positions_seen(&self) -> usize {
+        self.next_pos
+    }
+
+    /// Heap bytes held by the cached keys and values.
+    pub fn cache_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| (l.k.len() + l.v.len()) * std::mem::size_of::<f32>())
+            .sum()
+    }
+
+    /// Drop rows from the front of every layer until at most `max_seq`
+    /// positions remain.
+    fn truncate_to_window(&mut self) {
+        let len = self.len();
+        if len > self.max_seq {
+            let drop_rows = (len - self.max_seq) * self.kv_dim;
+            for layer in &mut self.layers {
+                layer.k.drain(..drop_rows);
+                layer.v.drain(..drop_rows);
+            }
+        }
+    }
+}
+
+/// Scratch-buffer forward pass: everything below works on flat `f32`
+/// rows, reading weights straight out of the [`ParamStore`].
+struct Ctx<'a> {
+    store: &'a ParamStore,
+}
+
+impl<'a> Ctx<'a> {
+    fn w(&self, id: ParamId) -> &'a [f32] {
+        self.store.value(id).data()
+    }
+
+    /// `y = x @ w (+ b)`, x `[m, k]`, w `[k, n]`.
+    fn linear(
+        &self,
+        x: &[f32],
+        w: ParamId,
+        b: Option<ParamId>,
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<f32> {
+        let mut y = vec![0.0f32; m * n];
+        matmul(x, self.w(w), &mut y, m, k, n);
+        if let Some(b) = b {
+            let bias = self.w(b);
+            for row in y.chunks_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bias) {
+                    *o += bv;
+                }
+            }
+        }
+        y
+    }
+}
+
+impl GptModel {
+    /// An empty KV cache shaped for this model.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::new(self)
+    }
+
+    /// Feed `tokens` through the model on top of `cache`, returning the
+    /// logits `[tokens.len(), vocab]` for every new position and
+    /// advancing the cache. Works for both regimes: a multi-token call
+    /// is a prefill, a 1-token call is a decode step.
+    pub fn forward_cached(
+        &self,
+        store: &ParamStore,
+        tokens: &[u32],
+        cache: &mut KvCache,
+    ) -> Vec<f32> {
+        assert!(
+            !tokens.is_empty(),
+            "forward_cached needs at least one token"
+        );
+        assert!(
+            tokens.len() <= self.cfg.max_seq,
+            "chunk of {} tokens exceeds max_seq {}; split the prefill",
+            tokens.len(),
+            self.cfg.max_seq
+        );
+        assert_eq!(
+            cache.layers.len(),
+            self.cfg.layers,
+            "cache shaped for another model"
+        );
+        let cfg = &self.cfg;
+        let h = cfg.hidden;
+        let n = tokens.len();
+        let heads = cfg.heads;
+        let kv_heads = cfg.kv_head_count();
+        let d = cfg.head_dim();
+        let kv_dim = kv_heads * d;
+        let ctx = Ctx { store };
+
+        let positions: Vec<usize> = (cache.next_pos..cache.next_pos + n).collect();
+        cache.next_pos += n;
+
+        // token embeddings -> x [n, h]
+        let emb = ctx.w(self.tok_emb);
+        let mut x = vec![0.0f32; n * h];
+        for (row, &tok) in x.chunks_mut(h).zip(tokens) {
+            let tok = tok as usize;
+            assert!(tok < cfg.vocab_size, "token id {tok} out of vocab");
+            row.copy_from_slice(&emb[tok * h..(tok + 1) * h]);
+        }
+
+        let mut scratch = vec![0.0f32; n * h];
+        for (layer, kv) in self.layers.iter().zip(&mut cache.layers) {
+            // --- attention block
+            self.norm_rows(&ctx, &x, &mut scratch, n, layer.ln1_g, layer.ln1_b);
+            let mut q = ctx.linear(&scratch, layer.wq, layer.bq, n, h, h);
+            let mut k = ctx.linear(&scratch, layer.wk, layer.bk, n, h, kv_dim);
+            let v = ctx.linear(&scratch, layer.wv, layer.bv, n, h, kv_dim);
+            rotary_rows(&mut q, &positions, heads, d, cfg.rope_base);
+            rotary_rows(&mut k, &positions, kv_heads, d, cfg.rope_base);
+            kv.k.extend_from_slice(&k);
+            kv.v.extend_from_slice(&v);
+            let t_total = kv.k.len() / kv_dim;
+            let mut att = vec![0.0f32; n * heads * d];
+            cached_attention(&q, &kv.k, &kv.v, &mut att, n, t_total, heads, kv_heads, d);
+            let proj = ctx.linear(&att, layer.wo, layer.bo, n, h, h);
+            for (o, &p) in x.iter_mut().zip(&proj) {
+                *o += p;
+            }
+            // --- mlp block
+            self.norm_rows(&ctx, &x, &mut scratch, n, layer.ln2_g, layer.ln2_b);
+            let m = cfg.mlp_hidden();
+            let mlp = match cfg.arch {
+                ArchKind::NeoX => {
+                    let mut a = ctx.linear(&scratch, layer.w1, layer.b1, n, h, m);
+                    for v in a.iter_mut() {
+                        *v = act::gelu(*v);
+                    }
+                    ctx.linear(&a, layer.w2, layer.b2, n, m, h)
+                }
+                ArchKind::Llama => {
+                    let mut gate = ctx.linear(&scratch, layer.w1, None, n, h, m);
+                    let up = ctx.linear(&scratch, layer.w3.expect("llama w3"), None, n, h, m);
+                    for (g, &u) in gate.iter_mut().zip(&up) {
+                        *g = act::silu(*g) * u;
+                    }
+                    ctx.linear(&gate, layer.w2, None, n, m, h)
+                }
+            };
+            for (o, &p) in x.iter_mut().zip(&mlp) {
+                *o += p;
+            }
+        }
+        cache.truncate_to_window();
+
+        self.norm_rows(&ctx, &x, &mut scratch, n, self.lnf_g, self.lnf_b);
+        let mut logits = vec![0.0f32; n * cfg.vocab_size];
+        matmul(
+            &scratch,
+            ctx.w(self.lm_head),
+            &mut logits,
+            n,
+            h,
+            cfg.vocab_size,
+        );
+        logits
+    }
+
+    /// Decode one token on top of `cache`, returning its `[vocab]`
+    /// logits row.
+    pub fn decode_step(&self, store: &ParamStore, token: u32, cache: &mut KvCache) -> Vec<f32> {
+        self.forward_cached(store, &[token], cache)
+    }
+
+    /// Architecture-appropriate normalisation of `[n, hidden]` rows into
+    /// `out`.
+    fn norm_rows(
+        &self,
+        ctx: &Ctx,
+        x: &[f32],
+        out: &mut [f32],
+        n: usize,
+        g: ParamId,
+        b: Option<ParamId>,
+    ) {
+        let h = self.cfg.hidden;
+        match self.cfg.arch {
+            ArchKind::NeoX => {
+                let beta = ctx.w(b.expect("NeoX LayerNorm beta"));
+                norm::layernorm_fwd(x, ctx.w(g), beta, out, n, h, self.cfg.norm_eps);
+            }
+            ArchKind::Llama => {
+                norm::rmsnorm_fwd(x, ctx.w(g), out, n, h, self.cfg.norm_eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GptConfig;
+    use matgpt_tensor::{init, Tape};
+
+    fn build(arch: ArchKind, kv_heads: Option<usize>, seed: u64) -> (GptModel, ParamStore) {
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(seed);
+        let cfg = GptConfig {
+            vocab_size: 40,
+            hidden: 32,
+            layers: 2,
+            heads: 4,
+            kv_heads,
+            max_seq: 24,
+            ..GptConfig::tiny(arch, 40)
+        };
+        let model = GptModel::new(cfg, &mut store, &mut rng);
+        (model, store)
+    }
+
+    fn full_logits(model: &GptModel, store: &ParamStore, tokens: &[u32]) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let l = model.logits(&mut tape, store, tokens, 1, tokens.len());
+        tape.value(l).data().to_vec()
+    }
+
+    #[test]
+    fn prefill_matches_tape_forward() {
+        for (arch, kv) in [
+            (ArchKind::NeoX, None),
+            (ArchKind::Llama, None),
+            (ArchKind::Llama, Some(2)),
+        ] {
+            let (model, store) = build(arch, kv, 3);
+            let tokens: Vec<u32> = (0..10).map(|i| (i * 7) % 40).collect();
+            let mut cache = model.new_cache();
+            let cached = model.forward_cached(&store, &tokens, &mut cache);
+            let full = full_logits(&model, &store, &tokens);
+            assert_eq!(cached.len(), full.len());
+            for (a, b) in cached.iter().zip(&full) {
+                assert!((a - b).abs() < 1e-4, "{arch:?}/{kv:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_decode_matches_full_forward() {
+        let (model, store) = build(ArchKind::Llama, Some(2), 5);
+        let tokens: Vec<u32> = (0..12).map(|i| (i * 11 + 3) % 40).collect();
+        let mut cache = model.new_cache();
+        // prefill the first 6, then one token at a time
+        let mut last = model.forward_cached(&store, &tokens[..6], &mut cache);
+        for &t in &tokens[6..] {
+            last = model.decode_step(&store, t, &mut cache);
+        }
+        let full = full_logits(&model, &store, &tokens);
+        let v = model.cfg.vocab_size;
+        let full_last = &full[(tokens.len() - 1) * v..];
+        for (a, b) in last.iter().zip(full_last) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+        assert_eq!(cache.len(), tokens.len());
+        assert_eq!(cache.positions_seen(), tokens.len());
+    }
+
+    #[test]
+    fn window_truncation_bounds_cache_and_keeps_decoding() {
+        let (model, store) = build(ArchKind::NeoX, None, 9);
+        let max = model.cfg.max_seq;
+        let mut cache = model.new_cache();
+        for i in 0..(max + 10) as u32 {
+            let logits = model.decode_step(&store, i % 40, &mut cache);
+            assert!(logits.iter().all(|x| x.is_finite()));
+        }
+        assert_eq!(cache.len(), max);
+        assert_eq!(cache.positions_seen(), max + 10);
+        let bytes = cache.cache_bytes();
+        let kv_dim = model.cfg.kv_head_count() * model.cfg.head_dim();
+        assert_eq!(bytes, 2 * model.cfg.layers * max * kv_dim * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_seq")]
+    fn oversized_prefill_chunk_panics() {
+        let (model, store) = build(ArchKind::Llama, None, 1);
+        let tokens = vec![0u32; model.cfg.max_seq + 1];
+        let mut cache = model.new_cache();
+        let _ = model.forward_cached(&store, &tokens, &mut cache);
+    }
+}

@@ -14,15 +14,19 @@
 //!   tiny/small variants;
 //! * [`count`] — exact parameter and FLOP accounting shared with the
 //!   Frontier simulator (Fig. 2, Fig. 10, Table II);
-//! * [`generate`] — autoregressive sampling.
+//! * [`generate`] — autoregressive sampling;
+//! * [`infer`] — the tape-free KV-cached inference path that
+//!   `matgpt-serve` builds its continuous-batching engine on.
 
 pub mod bert;
 pub mod config;
 pub mod count;
 pub mod generate;
 pub mod gpt;
+pub mod infer;
 
 pub use bert::{mask_tokens, BertModel};
 pub use config::{ArchKind, BertConfig, GptConfig};
-pub use generate::{generate, SampleOptions};
+pub use generate::{generate, generate_uncached, sample_logits, SampleOptions};
 pub use gpt::GptModel;
+pub use infer::KvCache;

@@ -149,7 +149,15 @@ impl Optimizer for Adam {
         store.for_each_param(|i, value, grad| {
             let n = value.numel();
             let mut dir = vec![0.0f32; n];
-            Adam::direction(&cfg, &mut ms[i], &mut vs[i], grad.data(), value.data(), t, &mut dir);
+            Adam::direction(
+                &cfg,
+                &mut ms[i],
+                &mut vs[i],
+                grad.data(),
+                value.data(),
+                t,
+                &mut dir,
+            );
             for (w, d) in value.data_mut().iter_mut().zip(dir.iter()) {
                 *w -= lr * d;
             }
@@ -216,7 +224,15 @@ impl Optimizer for Lamb {
         store.for_each_param(|i, value, grad| {
             let n = value.numel();
             let mut dir = vec![0.0f32; n];
-            Adam::direction(&cfg, &mut ms[i], &mut vs[i], grad.data(), value.data(), t, &mut dir);
+            Adam::direction(
+                &cfg,
+                &mut ms[i],
+                &mut vs[i],
+                grad.data(),
+                value.data(),
+                t,
+                &mut dir,
+            );
             let w_norm = value.norm();
             let u_norm = dir.iter().map(|x| x * x).sum::<f32>().sqrt();
             let trust = Lamb::trust_ratio(w_norm, u_norm, max_trust);

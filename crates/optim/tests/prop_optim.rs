@@ -1,6 +1,8 @@
 //! Property-based tests for the optimizers and schedules.
 
-use matgpt_optim::{Adam, AdamConfig, ConstantSchedule, CosineSchedule, Lamb, LrSchedule, Optimizer, Sgd};
+use matgpt_optim::{
+    Adam, AdamConfig, ConstantSchedule, CosineSchedule, Lamb, LrSchedule, Optimizer, Sgd,
+};
 use matgpt_tensor::{ParamStore, Tensor};
 use proptest::prelude::*;
 

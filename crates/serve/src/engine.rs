@@ -1,0 +1,171 @@
+//! The [`Engine`] facade: owns the scheduler thread and hands out
+//! [`ResponseHandle`]s.
+
+use crate::metrics::{MetricsInner, MetricsSnapshot};
+use crate::request::{GenRequest, ResponseHandle, Submission};
+use crate::scheduler::{self, SchedulerConfig};
+use crossbeam::channel::{self, Sender};
+use matgpt_model::{GptModel, SampleOptions};
+use matgpt_tensor::ParamStore;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine construction parameters.
+pub type EngineConfig = SchedulerConfig;
+
+/// A continuous-batching inference engine over one model.
+///
+/// `submit` is thread-safe and non-blocking: requests queue into the
+/// scheduler thread, which batches prefill and decode across everything
+/// in flight. Dropping the engine (or calling [`Engine::shutdown`])
+/// lets in-flight requests finish, then joins the scheduler.
+pub struct Engine {
+    tx: Option<Sender<Submission>>,
+    worker: Option<JoinHandle<()>>,
+    metrics: Arc<MetricsInner>,
+    next_id: AtomicU64,
+}
+
+impl Engine {
+    /// Spawn the scheduler thread over `model` + `store`.
+    pub fn new(model: GptModel, store: ParamStore, cfg: EngineConfig) -> Self {
+        let (tx, rx) = channel::unbounded();
+        let metrics = Arc::new(MetricsInner::default());
+        let metrics_for_worker = Arc::clone(&metrics);
+        let worker = std::thread::Builder::new()
+            .name("matgpt-serve-scheduler".into())
+            .spawn(move || scheduler::run(model, store, cfg, rx, metrics_for_worker))
+            .expect("spawn scheduler thread");
+        Self {
+            tx: Some(tx),
+            worker: Some(worker),
+            metrics,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submit a prompt with the given sampling options (no deadline,
+    /// request id reused as the sampling seed for reproducibility).
+    pub fn submit(&self, prompt: &[u32], opts: SampleOptions) -> ResponseHandle {
+        let mut req = GenRequest::new(prompt.to_vec());
+        req.opts = opts;
+        req.seed = self.next_id.load(Ordering::Relaxed);
+        self.submit_request(req)
+    }
+
+    /// Submit a fully specified request.
+    pub fn submit_request(&self, req: GenRequest) -> ResponseHandle {
+        assert!(!req.prompt.is_empty(), "prompt must be non-empty");
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::unbounded();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let submitted = Instant::now();
+        let absolute_deadline = req.deadline.map(|d| submitted + d);
+        let sub = Submission {
+            id,
+            req,
+            submitted,
+            absolute_deadline,
+            cancel: Arc::clone(&cancel),
+            tx,
+        };
+        let sent = self.tx.as_ref().expect("engine running").send(sub);
+        assert!(sent.is_ok(), "scheduler thread is gone");
+        ResponseHandle { id, rx, cancel }
+    }
+
+    /// A consistent snapshot of the serving metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Drain in-flight work and join the scheduler thread.
+    pub fn shutdown(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::FinishReason;
+    use matgpt_model::config::{ArchKind, GptConfig};
+    use matgpt_tensor::init;
+
+    fn tiny_engine(cfg: EngineConfig) -> Engine {
+        let mut store = ParamStore::new();
+        let mut rng = init::rng(0);
+        let mcfg = GptConfig {
+            vocab_size: 30,
+            hidden: 16,
+            layers: 1,
+            heads: 2,
+            max_seq: 32,
+            ..GptConfig::tiny(ArchKind::Llama, 30)
+        };
+        let model = GptModel::new(mcfg, &mut store, &mut rng);
+        Engine::new(model, store, cfg)
+    }
+
+    #[test]
+    fn submit_wait_roundtrip() {
+        let engine = tiny_engine(EngineConfig::default());
+        let opts = SampleOptions {
+            temperature: 0.0,
+            top_k: 0,
+            max_new_tokens: 4,
+            stop_token: None,
+        };
+        let h = engine.submit(&[1, 2, 3], opts);
+        let r = h.wait().expect("response");
+        assert_eq!(r.generated, 4);
+        assert_eq!(r.tokens.len(), 7);
+        assert_eq!(&r.tokens[..3], &[1, 2, 3]);
+        assert_eq!(r.finish, FinishReason::Length);
+        assert!(r.ttft <= r.total);
+        let m = engine.metrics();
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.generated_tokens, 4);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn cancelled_request_retires_with_cancelled_reason() {
+        let engine = tiny_engine(EngineConfig::default());
+        let mut req = GenRequest::new(vec![4, 5]);
+        req.opts.max_new_tokens = 10_000;
+        req.opts.temperature = 0.0;
+        let h = engine.submit_request(req);
+        h.cancel();
+        let r = h
+            .wait_timeout(std::time::Duration::from_secs(30))
+            .expect("cancelled response arrives");
+        assert_eq!(r.finish, FinishReason::Cancelled);
+        assert!(r.generated < 10_000);
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let engine = tiny_engine(EngineConfig::default());
+        let mut req = GenRequest::new(vec![7]);
+        req.opts.max_new_tokens = 10_000;
+        req.deadline = Some(std::time::Duration::ZERO);
+        let r = engine.submit_request(req).wait().expect("response");
+        assert_eq!(r.finish, FinishReason::DeadlineExceeded);
+    }
+}

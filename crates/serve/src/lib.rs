@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # matgpt-serve
+//!
+//! Continuous-batching inference engine over the `matgpt-model`
+//! KV-cached decode path.
+//!
+//! * [`Engine`] — facade: spawn over a model, [`Engine::submit`]
+//!   returns a [`ResponseHandle`] immediately, one scheduler thread
+//!   batches everything in flight;
+//! * [`scheduler`] — iteration-level continuous batching: FIFO
+//!   token-budget admission, batched prefill, one decoded token per
+//!   active request per iteration, deadline/cancel enforcement;
+//! * [`request`] — [`GenRequest`] / [`Response`] / [`FinishReason`] and
+//!   the client-side handle;
+//! * [`metrics`] — queue depth, TTFT and per-token latency percentiles,
+//!   decode throughput; snapshots serialise with `serde_json`.
+//!
+//! ```no_run
+//! use matgpt_serve::{Engine, EngineConfig};
+//! # let (model, store): (matgpt_model::GptModel, matgpt_tensor::ParamStore) = todo!();
+//! let engine = Engine::new(model, store, EngineConfig::default());
+//! let handle = engine.submit(&[1, 2, 3], Default::default());
+//! let response = handle.wait().unwrap();
+//! println!("{} tokens, {:?}", response.generated, response.finish);
+//! println!("{}", engine.metrics().to_json());
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+
+pub use engine::{Engine, EngineConfig};
+pub use metrics::{MetricsSnapshot, Percentiles};
+pub use request::{FinishReason, GenRequest, Response, ResponseHandle};
+pub use scheduler::SchedulerConfig;

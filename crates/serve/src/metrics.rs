@@ -1,0 +1,144 @@
+//! Serving metrics: queue depth, time-to-first-token, per-token decode
+//! latency percentiles, and decode throughput.
+//!
+//! Counters are updated by the scheduler thread; [`MetricsSnapshot`] is
+//! a consistent copy that serialises with `serde_json` for scraping.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Shared mutable metrics state (engine-internal).
+#[derive(Default)]
+pub(crate) struct MetricsInner {
+    pub queue_depth: AtomicUsize,
+    pub active: AtomicUsize,
+    pub completed: AtomicU64,
+    pub generated_tokens: AtomicU64,
+    /// Seconds the scheduler spent inside decode/prefill iterations.
+    busy_ns: AtomicU64,
+    ttft_ms: Mutex<Vec<f64>>,
+    token_latency_ms: Mutex<Vec<f64>>,
+}
+
+impl MetricsInner {
+    pub fn record_ttft(&self, d: Duration) {
+        self.ttft_ms.lock().push(d.as_secs_f64() * 1e3);
+    }
+
+    pub fn record_token_latency(&self, d: Duration) {
+        self.token_latency_ms.lock().push(d.as_secs_f64() * 1e3);
+    }
+
+    pub fn record_busy(&self, d: Duration) {
+        self.busy_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let generated = self.generated_tokens.load(Ordering::Relaxed);
+        let busy_s = self.busy_ns.load(Ordering::Relaxed) as f64 * 1e-9;
+        MetricsSnapshot {
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            generated_tokens: generated,
+            ttft_ms: Percentiles::of(&self.ttft_ms.lock()),
+            token_latency_ms: Percentiles::of(&self.token_latency_ms.lock()),
+            tokens_per_sec: if busy_s > 0.0 {
+                generated as f64 / busy_s
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// p50/p95/p99 of a latency population, in milliseconds.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Number of samples the percentiles summarise.
+    pub count: usize,
+}
+
+impl Percentiles {
+    fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let at = |q: f64| {
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx]
+        };
+        Self {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+            count: sorted.len(),
+        }
+    }
+}
+
+/// A consistent, serialisable copy of the engine's metrics.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests admitted but not yet scheduled into the batch.
+    pub queue_depth: usize,
+    /// Requests currently decoding.
+    pub active: usize,
+    /// Requests retired (any finish reason).
+    pub completed: u64,
+    /// Total tokens generated across all requests.
+    pub generated_tokens: u64,
+    /// Time-to-first-token percentiles.
+    pub ttft_ms: Percentiles,
+    /// Per-token decode latency percentiles.
+    pub token_latency_ms: Percentiles,
+    /// Generated tokens per second of scheduler busy time.
+    pub tokens_per_sec: f64,
+}
+
+impl MetricsSnapshot {
+    /// Serialise to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("metrics serialise")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_population() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        let p = Percentiles::of(&v);
+        assert_eq!(p.count, 100);
+        assert!((p.p50 - 50.0).abs() <= 1.0);
+        assert!((p.p95 - 95.0).abs() <= 1.0);
+        assert!((p.p99 - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn snapshot_serialises_to_json() {
+        let inner = MetricsInner::default();
+        inner.generated_tokens.store(7, Ordering::Relaxed);
+        inner.record_ttft(Duration::from_millis(12));
+        inner.record_token_latency(Duration::from_millis(3));
+        inner.record_busy(Duration::from_millis(70));
+        let snap = inner.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"generated_tokens\":7"), "{json}");
+        assert!(json.contains("tokens_per_sec"), "{json}");
+        assert!(snap.tokens_per_sec > 0.0);
+    }
+}

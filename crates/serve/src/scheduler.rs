@@ -1,0 +1,287 @@
+//! Continuous-batching scheduler.
+//!
+//! One scheduler thread owns the model and drives an iteration-level
+//! loop: every iteration it (1) drains newly submitted requests into a
+//! FIFO queue, (2) admits from the queue head while the batch slot and
+//! KV-token budgets allow — strict head-of-line order, so admission is
+//! FIFO — running a batched prefill over the newly admitted prompts,
+//! (3) advances every active request by one decoded token in parallel
+//! (rayon over the batch; the per-request forwards are the heavy part),
+//! and (4) retires requests that hit their stop token, length budget,
+//! deadline, or a client cancel, freeing their budget so the next
+//! queued request joins on the very next iteration.
+
+use crate::metrics::MetricsInner;
+use crate::request::{FinishReason, Response, Submission};
+use crossbeam::channel::{Receiver, TryRecvError};
+use matgpt_model::infer::KvCache;
+use matgpt_model::{generate::sample_logits, GptModel};
+use matgpt_tensor::ParamStore;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Admission and batching limits.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Maximum requests decoding concurrently.
+    pub max_batch: usize,
+    /// Token budget for admission control: the sum over active requests
+    /// of `min(prompt, max_seq) + max_new_tokens` (each request's worst-
+    /// case KV footprint) stays at or below this. A request larger than
+    /// the whole budget is still admitted when the batch is empty, so
+    /// oversized requests cannot starve.
+    pub token_budget: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            token_budget: 4096,
+        }
+    }
+}
+
+/// A request that has been admitted into the decode batch.
+struct Active {
+    sub: Submission,
+    cache: KvCache,
+    tokens: Vec<u32>,
+    generated: usize,
+    rng: ChaCha8Rng,
+    /// Logits row the next token will be sampled from.
+    last_row: Vec<f32>,
+    ttft: Option<Duration>,
+    last_token_at: Instant,
+    reserved: usize,
+    done: Option<FinishReason>,
+}
+
+impl Active {
+    /// Prefill the prompt (trailing `max_seq` window) and stage the
+    /// first logits row.
+    fn prefill(model: &GptModel, store: &ParamStore, sub: Submission, reserved: usize) -> Self {
+        let tokens = sub.req.prompt.clone();
+        let mut cache = model.new_cache();
+        let ctx_start = tokens.len().saturating_sub(model.cfg.max_seq);
+        let logits = model.forward_cached(store, &tokens[ctx_start..], &mut cache);
+        let v = model.cfg.vocab_size;
+        let last_row = logits[(cache.len() - 1) * v..].to_vec();
+        let rng = ChaCha8Rng::seed_from_u64(sub.req.seed);
+        Self {
+            sub,
+            cache,
+            tokens,
+            generated: 0,
+            rng,
+            last_row,
+            ttft: None,
+            last_token_at: Instant::now(),
+            reserved,
+            done: None,
+        }
+    }
+
+    /// Advance by one token: sample from the staged logits, decide
+    /// whether to finish, otherwise run one cached decode step.
+    fn step(&mut self, model: &GptModel, store: &ParamStore, metrics: &MetricsInner) {
+        debug_assert!(self.done.is_none(), "stepping a finished request");
+        let now = Instant::now();
+        if self.sub.cancelled() {
+            self.done = Some(FinishReason::Cancelled);
+            return;
+        }
+        if self.sub.expired(now) {
+            self.done = Some(FinishReason::DeadlineExceeded);
+            return;
+        }
+        let opts = &self.sub.req.opts;
+        if self.generated >= opts.max_new_tokens {
+            self.done = Some(FinishReason::Length);
+            return;
+        }
+        let next =
+            sample_logits(&self.last_row, opts.temperature, opts.top_k, &mut self.rng) as u32;
+        self.tokens.push(next);
+        self.generated += 1;
+        metrics.generated_tokens.fetch_add(1, Ordering::Relaxed);
+        if self.ttft.is_none() {
+            let ttft = self.sub.submitted.elapsed();
+            self.ttft = Some(ttft);
+            metrics.record_ttft(ttft);
+        } else {
+            metrics.record_token_latency(now - self.last_token_at);
+        }
+        self.last_token_at = now;
+        if Some(next) == opts.stop_token {
+            self.done = Some(FinishReason::Stop);
+        } else if self.generated >= opts.max_new_tokens {
+            self.done = Some(FinishReason::Length);
+        } else {
+            self.last_row = model.decode_step(store, next, &mut self.cache);
+        }
+    }
+
+    fn into_response(self) -> (Submission, Response) {
+        let total = self.sub.submitted.elapsed();
+        let resp = Response {
+            id: self.sub.id,
+            tokens: self.tokens,
+            generated: self.generated,
+            finish: self.done.unwrap_or(FinishReason::Length),
+            ttft: self.ttft.unwrap_or(total),
+            total,
+        };
+        (self.sub, resp)
+    }
+}
+
+/// Worst-case KV token footprint used for admission control.
+fn token_cost(sub: &Submission, max_seq: usize) -> usize {
+    sub.req.prompt.len().min(max_seq) + sub.req.opts.max_new_tokens
+}
+
+/// Retire a request that never entered the batch.
+fn retire_unstarted(sub: Submission, reason: FinishReason, metrics: &MetricsInner) {
+    let total = sub.submitted.elapsed();
+    let resp = Response {
+        id: sub.id,
+        tokens: sub.req.prompt.clone(),
+        generated: 0,
+        finish: reason,
+        ttft: total,
+        total,
+    };
+    metrics.completed.fetch_add(1, Ordering::Relaxed);
+    let _ = sub.tx.send(resp);
+}
+
+/// The scheduler loop. Runs until every sender is gone and all queued
+/// and active work has drained.
+pub(crate) fn run(
+    model: GptModel,
+    store: ParamStore,
+    cfg: SchedulerConfig,
+    rx: Receiver<Submission>,
+    metrics: Arc<MetricsInner>,
+) {
+    let mut queue: VecDeque<Submission> = VecDeque::new();
+    let mut active: Vec<Active> = Vec::new();
+    let mut used_budget = 0usize;
+    let mut disconnected = false;
+
+    loop {
+        // ---- intake: block when idle, drain opportunistically otherwise
+        if active.is_empty() && queue.is_empty() {
+            if disconnected {
+                break;
+            }
+            match rx.recv() {
+                Ok(sub) => queue.push_back(sub),
+                Err(_) => {
+                    disconnected = true;
+                    continue;
+                }
+            }
+        }
+        loop {
+            match rx.try_recv() {
+                Ok(sub) => queue.push_back(sub),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        let iter_start = Instant::now();
+
+        // ---- sweep the queue for requests already cancelled or expired
+        let now = Instant::now();
+        let mut i = 0;
+        while i < queue.len() {
+            let (cancelled, expired) = (queue[i].cancelled(), queue[i].expired(now));
+            if cancelled || expired {
+                let sub = queue.remove(i).expect("index in bounds");
+                let reason = if cancelled {
+                    FinishReason::Cancelled
+                } else {
+                    FinishReason::DeadlineExceeded
+                };
+                retire_unstarted(sub, reason, &metrics);
+            } else {
+                i += 1;
+            }
+        }
+
+        // ---- admission: strict FIFO from the queue head
+        let mut admitted: Vec<(Submission, usize)> = Vec::new();
+        while let Some(front) = queue.front() {
+            if active.len() + admitted.len() >= cfg.max_batch {
+                break;
+            }
+            let cost = token_cost(front, model.cfg.max_seq);
+            let batch_empty = active.is_empty() && admitted.is_empty();
+            if !batch_empty && used_budget + cost > cfg.token_budget {
+                break;
+            }
+            let sub = queue.pop_front().expect("front exists");
+            used_budget += cost;
+            admitted.push((sub, cost));
+        }
+        if !admitted.is_empty() {
+            // batched prefill: all newly admitted prompts forward together
+            let (model_ref, store_ref) = (&model, &store);
+            let mut fresh: Vec<Active> = admitted
+                .into_par_iter()
+                .map(|(sub, cost)| Active::prefill(model_ref, store_ref, sub, cost))
+                .collect_vec();
+            active.append(&mut fresh);
+        }
+
+        metrics.queue_depth.store(queue.len(), Ordering::Relaxed);
+        metrics.active.store(active.len(), Ordering::Relaxed);
+
+        if active.is_empty() {
+            continue;
+        }
+
+        // ---- one decode iteration across the whole batch
+        {
+            let (model_ref, store_ref, metrics_ref) = (&model, &store, &*metrics);
+            active
+                .par_iter_mut()
+                .for_each(|a| a.step(model_ref, store_ref, metrics_ref));
+        }
+
+        // ---- retire finished requests, freeing their budget
+        let mut retired = Vec::new();
+        let mut j = 0;
+        while j < active.len() {
+            if active[j].done.is_some() {
+                let a = active.swap_remove(j);
+                used_budget -= a.reserved;
+                retired.push(a);
+            } else {
+                j += 1;
+            }
+        }
+        // update gauges before answering, so a client that snapshots
+        // metrics right after its response sees them already settled
+        metrics.active.store(active.len(), Ordering::Relaxed);
+        metrics
+            .completed
+            .fetch_add(retired.len() as u64, Ordering::Relaxed);
+        metrics.record_busy(iter_start.elapsed());
+        for a in retired {
+            let (sub, resp) = a.into_response();
+            let _ = sub.tx.send(resp);
+        }
+    }
+}

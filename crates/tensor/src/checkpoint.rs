@@ -127,10 +127,7 @@ pub fn restore_into(dst: &mut ParamStore, src: &ParamStore) -> usize {
     let src_ids: Vec<_> = src.ids().collect();
     for id in dst.ids().collect::<Vec<_>>() {
         let name = dst.name(id).to_string();
-        if let Some(&sid) = src_ids
-            .iter()
-            .find(|&&sid| src.name(sid) == name)
-        {
+        if let Some(&sid) = src_ids.iter().find(|&&sid| src.name(sid) == name) {
             if src.value(sid).shape() == dst.value(id).shape() {
                 let data = src.value(sid).data().to_vec();
                 dst.value_mut(id).data_mut().copy_from_slice(&data);
@@ -210,11 +207,8 @@ mod tests {
         let store = sample_store();
         let bytes = save(&store);
         // header 12 + per-param (4 + name + 4 + 8*rank) + 4*scalars
-        let expected = 12
-            + (4 + 2 + 4 + 16)
-            + (4 + 2 + 4 + 8)
-            + (4 + 6 + 4)
-            + 4 * store.num_scalars();
+        let expected =
+            12 + (4 + 2 + 4 + 16) + (4 + 2 + 4 + 8) + (4 + 6 + 4) + 4 * store.num_scalars();
         assert_eq!(bytes.len(), expected);
     }
 }

@@ -61,7 +61,11 @@ mod tests {
     fn randn_moments_are_plausible() {
         let t = randn(&[10_000], 1.0, &mut rng(7));
         let mean: f32 = t.data().iter().sum::<f32>() / t.numel() as f32;
-        let var: f32 = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.numel() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");

@@ -97,12 +97,24 @@ mod tests {
     #[test]
     fn gradients_match_finite_differences() {
         for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.2, 1.0, 2.5] {
-            assert!((gelu_grad(x) - numeric_grad(gelu, x)).abs() < 1e-2, "gelu at {x}");
-            assert!((silu_grad(x) - numeric_grad(silu, x)).abs() < 1e-2, "silu at {x}");
-            assert!((tanh_grad(x) - numeric_grad(tanh, x)).abs() < 1e-2, "tanh at {x}");
+            assert!(
+                (gelu_grad(x) - numeric_grad(gelu, x)).abs() < 1e-2,
+                "gelu at {x}"
+            );
+            assert!(
+                (silu_grad(x) - numeric_grad(silu, x)).abs() < 1e-2,
+                "silu at {x}"
+            );
+            assert!(
+                (tanh_grad(x) - numeric_grad(tanh, x)).abs() < 1e-2,
+                "tanh at {x}"
+            );
         }
         for &x in &[-2.0f32, 0.5, 3.0] {
-            assert!((relu_grad(x) - numeric_grad(relu, x)).abs() < 1e-2, "relu at {x}");
+            assert!(
+                (relu_grad(x) - numeric_grad(relu, x)).abs() < 1e-2,
+                "relu at {x}"
+            );
         }
     }
 

@@ -255,7 +255,9 @@ mod tests {
         // cheap deterministic pseudo-random values
         (0..n)
             .map(|i| {
-                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed);
                 ((x >> 33) as f32 / u32::MAX as f32 - 0.5) * 2.0
             })
             .collect()
@@ -331,7 +333,11 @@ mod tests {
                 let mut qm = q0.clone();
                 qm[i] -= h;
                 let num = (f(&qp, &k0, &v0) - f(&qm, &k0, &v0)) / (2.0 * h);
-                assert!((num - dq[i]).abs() < 3e-2, "{imp:?} dq[{i}] {num} vs {}", dq[i]);
+                assert!(
+                    (num - dq[i]).abs() < 3e-2,
+                    "{imp:?} dq[{i}] {num} vs {}",
+                    dq[i]
+                );
             }
             for i in 0..k0.len() {
                 let mut kp = k0.clone();
@@ -339,7 +345,11 @@ mod tests {
                 let mut km = k0.clone();
                 km[i] -= h;
                 let num = (f(&q0, &kp, &v0) - f(&q0, &km, &v0)) / (2.0 * h);
-                assert!((num - dk[i]).abs() < 3e-2, "{imp:?} dk[{i}] {num} vs {}", dk[i]);
+                assert!(
+                    (num - dk[i]).abs() < 3e-2,
+                    "{imp:?} dk[{i}] {num} vs {}",
+                    dk[i]
+                );
             }
             for i in 0..v0.len() {
                 let mut vp = v0.clone();
@@ -347,7 +357,11 @@ mod tests {
                 let mut vm = v0.clone();
                 vm[i] -= h;
                 let num = (f(&q0, &k0, &vp) - f(&q0, &k0, &vm)) / (2.0 * h);
-                assert!((num - dv[i]).abs() < 3e-2, "{imp:?} dv[{i}] {num} vs {}", dv[i]);
+                assert!(
+                    (num - dv[i]).abs() < 3e-2,
+                    "{imp:?} dv[{i}] {num} vs {}",
+                    dv[i]
+                );
             }
         }
     }

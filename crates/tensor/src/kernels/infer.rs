@@ -1,0 +1,273 @@
+//! Inference-only kernels: KV-cached causal attention and rotary
+//! embeddings at explicit absolute positions.
+//!
+//! The training path (tape.rs) lays attention inputs out head-major
+//! (`[BH, T, D]`) because the whole sequence is present at once. The
+//! inference path instead keeps everything **token-major**:
+//!
+//! * queries for the new tokens: `[Tn, H*D]` — exactly the projection
+//!   output, no head split/merge copies;
+//! * key/value caches: `[Ttot, Hkv*D]` — appending one decoded token is
+//!   a plain `extend_from_slice`, and windowed truncation is a front
+//!   drain.
+//!
+//! Grouped-query attention falls out of the indexing: query head `h`
+//! reads cache head `h / (H / Hkv)`.
+
+use super::softmax::OnlineSoftmax;
+use rayon::prelude::*;
+
+/// Apply rotary position embeddings in place to token-major rows
+/// `x = [rows.len(), heads*d]`, where row `i` sits at absolute position
+/// `positions[i]`. Uses the same half-split convention as the training
+/// tape (`theta = pos / base^(2i/d)`), so a cache built here matches a
+/// full forward that numbered positions `0..T`.
+pub fn rotary_rows(x: &mut [f32], positions: &[usize], heads: usize, d: usize, base: f32) {
+    let half = d / 2;
+    debug_assert_eq!(x.len(), positions.len() * heads * d, "rotary_rows layout");
+    for (row, &pos) in x.chunks_mut(heads * d).zip(positions) {
+        for h in 0..heads {
+            let head = &mut row[h * d..(h + 1) * d];
+            for i in 0..half {
+                let theta = pos as f32 / base.powf(2.0 * i as f32 / d as f32);
+                let (sin, cos) = theta.sin_cos();
+                let x1 = head[i];
+                let x2 = head[i + half];
+                head[i] = x1 * cos - x2 * sin;
+                head[i + half] = x2 * cos + x1 * sin;
+            }
+        }
+    }
+}
+
+/// KV-cached causal attention over token-major buffers.
+///
+/// * `q`: `[n_new, heads*d]` rotated queries for the trailing `n_new`
+///   tokens of the cached sequence;
+/// * `k_cache` / `v_cache`: `[t_total, kv_heads*d]` including the rows
+///   for the new tokens (append before calling);
+/// * `out`: `[n_new, heads*d]`.
+///
+/// Query `i` (cache row `t_total - n_new + i`) attends to cache rows
+/// `0..=t_total - n_new + i` — causal over the window. Streaming online
+/// softmax keeps auxiliary memory O(1) per head, decode cost O(T) per
+/// token.
+#[allow(clippy::too_many_arguments)]
+pub fn cached_attention(
+    q: &[f32],
+    k_cache: &[f32],
+    v_cache: &[f32],
+    out: &mut [f32],
+    n_new: usize,
+    t_total: usize,
+    heads: usize,
+    kv_heads: usize,
+    d: usize,
+) {
+    debug_assert_eq!(q.len(), n_new * heads * d, "q layout");
+    debug_assert_eq!(k_cache.len(), t_total * kv_heads * d, "k cache layout");
+    debug_assert_eq!(v_cache.len(), t_total * kv_heads * d, "v cache layout");
+    debug_assert!(n_new <= t_total, "more new tokens than cache rows");
+    let group = heads / kv_heads;
+    let scale = 1.0 / (d as f32).sqrt();
+    let kv_stride = kv_heads * d;
+    let first = t_total - n_new;
+    out.par_chunks_mut(heads * d)
+        .enumerate()
+        .for_each(|(i, orow)| {
+            let qrow = &q[i * heads * d..(i + 1) * heads * d];
+            let limit = first + i; // inclusive causal horizon
+            for h in 0..heads {
+                let hkv = h / group;
+                let qh = &qrow[h * d..(h + 1) * d];
+                let acc = &mut orow[h * d..(h + 1) * d];
+                let mut os = OnlineSoftmax::default();
+                for j in 0..=limit {
+                    let kj = &k_cache[j * kv_stride + hkv * d..j * kv_stride + (hkv + 1) * d];
+                    let s = qh.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                    let vj = &v_cache[j * kv_stride + hkv * d..j * kv_stride + (hkv + 1) * d];
+                    os.push(s, vj, acc);
+                }
+                os.finish(acc);
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::attention::{causal_attention_fwd, AttentionImpl};
+
+    fn rand_buf(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+                ((x >> 33) as f32 / u32::MAX as f32 - 0.5) * 2.0
+            })
+            .collect()
+    }
+
+    /// Reshape `[T, H*D]` token-major into `[H, T, D]` head-major.
+    fn to_head_major(x: &[f32], t: usize, h: usize, d: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; t * h * d];
+        for ti in 0..t {
+            for hi in 0..h {
+                let src = ti * h * d + hi * d;
+                let dst = (hi * t + ti) * d;
+                out[dst..dst + d].copy_from_slice(&x[src..src + d]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cached_matches_full_attention_for_whole_sequence() {
+        let (t, h, d) = (9, 4, 6);
+        let q = rand_buf(t * h * d, 1);
+        let k = rand_buf(t * h * d, 2);
+        let v = rand_buf(t * h * d, 3);
+        // full pass: every token is "new"
+        let mut out = vec![0.0f32; t * h * d];
+        cached_attention(&q, &k, &v, &mut out, t, t, h, h, d);
+        // reference: head-major training kernel
+        let (ref_out, _) = causal_attention_fwd(
+            &to_head_major(&q, t, h, d),
+            &to_head_major(&k, t, h, d),
+            &to_head_major(&v, t, h, d),
+            h,
+            t,
+            d,
+            AttentionImpl::Flash,
+        );
+        let ref_tm = {
+            // back to token-major
+            let mut buf = vec![0.0f32; t * h * d];
+            for hi in 0..h {
+                for ti in 0..t {
+                    let src = (hi * t + ti) * d;
+                    let dst = ti * h * d + hi * d;
+                    buf[dst..dst + d].copy_from_slice(&ref_out[src..src + d]);
+                }
+            }
+            buf
+        };
+        for (a, b) in out.iter().zip(&ref_tm) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn incremental_decode_matches_one_shot() {
+        let (t, h, d) = (8, 2, 4);
+        let q = rand_buf(t * h * d, 7);
+        let k = rand_buf(t * h * d, 8);
+        let v = rand_buf(t * h * d, 9);
+        let mut full = vec![0.0f32; t * h * d];
+        cached_attention(&q, &k, &v, &mut full, t, t, h, h, d);
+        // prefill 5, then decode 3 one at a time
+        let mut inc = vec![0.0f32; t * h * d];
+        cached_attention(
+            &q[..5 * h * d],
+            &k[..5 * h * d],
+            &v[..5 * h * d],
+            &mut inc[..5 * h * d],
+            5,
+            5,
+            h,
+            h,
+            d,
+        );
+        for step in 5..t {
+            let tt = step + 1;
+            let (lo, hi) = (step * h * d, (step + 1) * h * d);
+            let mut row = vec![0.0f32; h * d];
+            cached_attention(
+                &q[lo..hi],
+                &k[..tt * h * d],
+                &v[..tt * h * d],
+                &mut row,
+                1,
+                tt,
+                h,
+                h,
+                d,
+            );
+            inc[lo..hi].copy_from_slice(&row);
+        }
+        for (a, b) in full.iter().zip(&inc) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gqa_head_sharing_equals_explicit_expansion() {
+        let (t, h, hkv, d) = (6, 4, 2, 4);
+        let q = rand_buf(t * h * d, 11);
+        let k = rand_buf(t * hkv * d, 12);
+        let v = rand_buf(t * hkv * d, 13);
+        let mut gqa = vec![0.0f32; t * h * d];
+        cached_attention(&q, &k, &v, &mut gqa, t, t, h, hkv, d);
+        // expand kv heads to full width and run MHA
+        let group = h / hkv;
+        let mut ke = vec![0.0f32; t * h * d];
+        let mut ve = vec![0.0f32; t * h * d];
+        for ti in 0..t {
+            for hi in 0..h {
+                let src = ti * hkv * d + (hi / group) * d;
+                let dst = ti * h * d + hi * d;
+                ke[dst..dst + d].copy_from_slice(&k[src..src + d]);
+                ve[dst..dst + d].copy_from_slice(&v[src..src + d]);
+            }
+        }
+        let mut mha = vec![0.0f32; t * h * d];
+        cached_attention(&q, &ke, &ve, &mut mha, t, t, h, h, d);
+        for (a, b) in gqa.iter().zip(&mha) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rotary_rows_matches_training_convention() {
+        // tape's rotary numbers positions 0..T inside a [BH, T, D] block;
+        // rotary_rows with positions = 0..T must produce the same values.
+        let (t, h, d) = (5, 3, 8);
+        let base = 10_000.0;
+        let x = rand_buf(t * h * d, 21);
+        let mut tm = x.clone();
+        let positions: Vec<usize> = (0..t).collect();
+        rotary_rows(&mut tm, &positions, h, d, base);
+        // reference via the tape on head-major layout
+        let mut tape = crate::tape::Tape::new();
+        let hm = to_head_major(&x, t, h, d);
+        let v = tape.input(crate::tensor::Tensor::from_vec(&[h, t, d], hm));
+        let r = tape.rotary(v, t, d, base);
+        let ref_hm = tape.value(r).data().to_vec();
+        for ti in 0..t {
+            for hi in 0..h {
+                for di in 0..d {
+                    let a = tm[ti * h * d + hi * d + di];
+                    let b = ref_hm[(hi * t + ti) * d + di];
+                    assert!((a - b).abs() < 1e-6, "t={ti} h={hi} d={di}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotary_offset_continues_the_sequence() {
+        let (h, d) = (2, 4);
+        let base = 10_000.0;
+        let x = rand_buf(3 * h * d, 31);
+        // rotate all three rows at positions 0,1,2 in one call...
+        let mut all = x.clone();
+        rotary_rows(&mut all, &[0, 1, 2], h, d, base);
+        // ...or rotate the last row alone at offset 2
+        let mut last = x[2 * h * d..].to_vec();
+        rotary_rows(&mut last, &[2], h, d, base);
+        for (a, b) in all[2 * h * d..].iter().zip(&last) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -155,8 +155,12 @@ mod tests {
     #[test]
     fn matmul_matches_naive_large_parallel() {
         let (m, k, n) = (70, 33, 71); // crosses PAR_THRESHOLD
-        let a: Vec<f32> = (0..m * k).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.1).collect();
-        let b: Vec<f32> = (0..k * n).map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.1).collect();
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.1)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.1)
+            .collect();
         let mut c = vec![0.0; m * n];
         matmul(&a, &b, &mut c, m, k, n);
         let r = naive(&a, &b, m, k, n);

@@ -1,7 +1,9 @@
-//! Raw numeric kernels: matmul, activations, norms, softmax, attention.
+//! Raw numeric kernels: matmul, activations, norms, softmax, attention,
+//! and the KV-cached inference path.
 
 pub mod activation;
 pub mod attention;
+pub mod infer;
 pub mod matmul;
 pub mod norm;
 pub mod softmax;

@@ -168,7 +168,9 @@ mod tests {
         let x0: Vec<f32> = (0..rows * d).map(|i| (i as f32 * 0.77).sin()).collect();
         let gamma: Vec<f32> = (0..d).map(|i| 1.0 + 0.1 * i as f32).collect();
         let beta: Vec<f32> = (0..d).map(|i| 0.05 * i as f32).collect();
-        let w: Vec<f32> = (0..rows * d).map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.2).collect();
+        let w: Vec<f32> = (0..rows * d)
+            .map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.2)
+            .collect();
 
         let f_ln = |x: &[f32]| {
             let mut y = vec![0.0; rows * d];
@@ -187,7 +189,9 @@ mod tests {
         let mut dx = vec![0.0; rows * d];
         let mut dg = vec![0.0; d];
         let mut db = vec![0.0; d];
-        layernorm_bwd(&x0, &gamma, &w, &means, &rstds, &mut dx, &mut dg, &mut db, rows, d);
+        layernorm_bwd(
+            &x0, &gamma, &w, &means, &rstds, &mut dx, &mut dg, &mut db, rows, d,
+        );
         for i in 0..rows * d {
             let mut xp = x0.clone();
             xp[i] += 1e-2;
@@ -207,7 +211,11 @@ mod tests {
             let mut xm = x0.clone();
             xm[i] -= 1e-2;
             let num = (f_rms(&xp) - f_rms(&xm)) / 2e-2;
-            assert!((num - dx[i]).abs() < 2e-2, "rms dx[{i}]: {num} vs {}", dx[i]);
+            assert!(
+                (num - dx[i]).abs() < 2e-2,
+                "rms dx[{i}]: {num} vs {}",
+                dx[i]
+            );
         }
     }
 }

@@ -33,14 +33,14 @@
 
 pub mod checkpoint;
 pub mod init;
-pub mod precision;
 pub mod kernels;
 pub mod param;
+pub mod precision;
 pub mod tape;
 pub mod tensor;
 
 pub use kernels::attention::AttentionImpl;
-pub use precision::Precision;
 pub use param::{ParamId, ParamStore};
+pub use precision::Precision;
 pub use tape::{Tape, Var, IGNORE_INDEX};
 pub use tensor::Tensor;

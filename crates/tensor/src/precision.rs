@@ -90,7 +90,10 @@ pub fn round_store(store: &mut ParamStore, precision: Precision) {
 /// Snapshot all parameter values (the fp32 "master weights" of a
 /// mixed-precision step).
 pub fn snapshot_values(store: &ParamStore) -> Vec<Vec<f32>> {
-    store.ids().map(|id| store.value(id).data().to_vec()).collect()
+    store
+        .ids()
+        .map(|id| store.value(id).data().to_vec())
+        .collect()
 }
 
 /// Restore parameter values from a snapshot taken with

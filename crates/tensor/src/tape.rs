@@ -325,7 +325,11 @@ impl Tape {
             eps,
         );
         let out = Tensor::from_vec(tx.shape(), y);
-        self.push(Op::LayerNorm { x, gamma, beta }, out, Saved::Norm(means, rstds))
+        self.push(
+            Op::LayerNorm { x, gamma, beta },
+            out,
+            Saved::Norm(means, rstds),
+        )
     }
 
     /// RMSNorm over the last dimension with a gain parameter.
@@ -457,7 +461,15 @@ impl Tape {
 
     /// Fused causal multi-head attention over `[BH, T, D]` inputs.
     /// The kernel used is controlled by [`Tape::attention_impl`].
-    pub fn causal_attention(&mut self, q: Var, k: Var, v: Var, bh: usize, t: usize, d: usize) -> Var {
+    pub fn causal_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        bh: usize,
+        t: usize,
+        d: usize,
+    ) -> Var {
         self.attention(q, k, v, bh, t, d, true)
     }
 
@@ -476,7 +488,16 @@ impl Tape {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn attention(&mut self, q: Var, k: Var, v: Var, bh: usize, t: usize, d: usize, causal: bool) -> Var {
+    fn attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        bh: usize,
+        t: usize,
+        d: usize,
+        causal: bool,
+    ) -> Var {
         let imp = self.attention_impl.unwrap_or(AttentionImpl::Flash);
         let (out, saved) = attention_fwd(
             self.value(q).data(),
@@ -490,7 +511,15 @@ impl Tape {
         );
         let out = Tensor::from_vec(&[bh, t, d], out);
         self.push(
-            Op::Attention { q, k, v, bh, t, d, causal },
+            Op::Attention {
+                q,
+                k,
+                v,
+                bh,
+                t,
+                d,
+                causal,
+            },
             out,
             Saved::Attn(saved),
         )
@@ -709,11 +738,7 @@ fn rotary_apply(data: &mut [f32], t: usize, d: usize, base: f32, inverse: bool) 
 }
 
 /// Ensure a gradient buffer exists for `id` and return it.
-fn grad_buf<'a>(
-    grads: &'a mut [Option<Tensor>],
-    nodes: &[Node],
-    id: usize,
-) -> &'a mut Tensor {
+fn grad_buf<'a>(grads: &'a mut [Option<Tensor>], nodes: &[Node], id: usize) -> &'a mut Tensor {
     if grads[id].is_none() {
         grads[id] = Some(Tensor::zeros(nodes[id].value.shape()));
     }
@@ -809,7 +834,16 @@ fn backward_op(nodes: &[Node], grads: &mut [Option<Tensor>], id: usize, g: &Tens
             let mut dgamma = vec![0.0f32; d];
             let mut dbeta = vec![0.0f32; d];
             norm::layernorm_bwd(
-                &xval, &gval, g.data(), &means, &rstds, &mut dx, &mut dgamma, &mut dbeta, rows, d,
+                &xval,
+                &gval,
+                g.data(),
+                &means,
+                &rstds,
+                &mut dx,
+                &mut dgamma,
+                &mut dbeta,
+                rows,
+                d,
             );
             add_into(grad_buf(grads, nodes, x.0), &dx);
             add_into(grad_buf(grads, nodes, gamma.0), &dgamma);
@@ -915,7 +949,15 @@ fn backward_op(nodes: &[Node], grads: &mut [Option<Tensor>], id: usize, g: &Tens
             rotary_apply(&mut dg, t, d, base, true);
             add_into(grad_buf(grads, nodes, x.0), &dg);
         }
-        Op::Attention { q, k, v, bh, t, d, causal } => {
+        Op::Attention {
+            q,
+            k,
+            v,
+            bh,
+            t,
+            d,
+            causal,
+        } => {
             let (q, k, v, bh, t, d, causal) = (*q, *k, *v, *bh, *t, *d, *causal);
             let saved = match &nodes[id].saved {
                 Saved::Attn(s) => s.clone(),
@@ -929,7 +971,10 @@ fn backward_op(nodes: &[Node], grads: &mut [Option<Tensor>], id: usize, g: &Tens
             let mut dk = vec![0.0f32; kv.len()];
             let mut dv = vec![0.0f32; vv.len()];
             attention_bwd(
-                &qv, &kv, &vv, &ov,
+                &qv,
+                &kv,
+                &vv,
+                &ov,
                 g.data(),
                 &saved,
                 &mut dq,
@@ -1054,13 +1099,7 @@ fn backward_op(nodes: &[Node], grads: &mut [Option<Tensor>], id: usize, g: &Tens
     }
 }
 
-fn unary_bwd(
-    nodes: &[Node],
-    grads: &mut [Option<Tensor>],
-    x: Var,
-    g: &Tensor,
-    df: fn(f32) -> f32,
-) {
+fn unary_bwd(nodes: &[Node], grads: &mut [Option<Tensor>], x: Var, g: &Tensor, df: fn(f32) -> f32) {
     let xval = nodes[x.0].value.data().to_vec();
     let gx = grad_buf(grads, nodes, x.0);
     for ((o, &gv), &xv) in gx.data_mut().iter_mut().zip(g.data()).zip(xval.iter()) {

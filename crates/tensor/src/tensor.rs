@@ -95,14 +95,25 @@ impl Tensor {
 
     /// The single value of a scalar (or one-element) tensor.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on tensor with {} elements", self.numel());
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with {} elements",
+            self.numel()
+        );
         self.data[0]
     }
 
     /// Reinterpret with a new shape of equal element count (no copy).
     pub fn reshaped(mut self, shape: &[usize]) -> Self {
         let numel: usize = shape.iter().product();
-        assert_eq!(numel, self.data.len(), "reshape {:?} -> {:?}", self.shape, shape);
+        assert_eq!(
+            numel,
+            self.data.len(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
         self
     }

@@ -10,7 +10,10 @@ fn small_f32() -> impl Strategy<Value = f32> {
     (-4.0f32..4.0).prop_map(|x| (x * 100.0).round() / 100.0)
 }
 
-fn tensor_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+fn tensor_strategy(
+    max_rows: usize,
+    max_cols: usize,
+) -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
     (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
         proptest::collection::vec(small_f32(), r * c).prop_map(move |v| (r, c, v))
     })

@@ -8,11 +8,7 @@ use matgpt_tensor::{init, ParamStore, Tape, Tensor, Var};
 
 /// Finite-difference check: perturb every scalar of every param, compare
 /// with the analytic gradient.
-fn grad_check(
-    store: &mut ParamStore,
-    build: &dyn Fn(&mut Tape, &ParamStore) -> Var,
-    tol: f32,
-) {
+fn grad_check(store: &mut ParamStore, build: &dyn Fn(&mut Tape, &ParamStore) -> Var, tol: f32) {
     // analytic
     store.zero_grads();
     let mut tape = Tape::new();

@@ -64,12 +64,7 @@ impl UnigramTokenizer {
             }
             for start in 0..w.len() {
                 let mut s = String::new();
-                for (end, &ch) in w
-                    .iter()
-                    .enumerate()
-                    .skip(start)
-                    .take(MAX_PIECE_CHARS)
-                {
+                for (end, &ch) in w.iter().enumerate().skip(start).take(MAX_PIECE_CHARS) {
                     s.push(ch);
                     if end > start {
                         *sub_counts.entry(s.clone()).or_insert(0) += c;
@@ -78,14 +73,10 @@ impl UnigramTokenizer {
             }
         }
         char_set.sort_unstable();
-        let mut candidates: Vec<(String, f64)> = char_set
-            .iter()
-            .map(|&c| (c.to_string(), 1.0))
-            .collect();
-        let mut subs: Vec<(String, usize)> = sub_counts
-            .into_iter()
-            .filter(|(_, c)| *c >= 2)
-            .collect();
+        let mut candidates: Vec<(String, f64)> =
+            char_set.iter().map(|&c| (c.to_string(), 1.0)).collect();
+        let mut subs: Vec<(String, usize)> =
+            sub_counts.into_iter().filter(|(_, c)| *c >= 2).collect();
         subs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         // generous seed: 4x the final budget
         subs.truncate(target_pieces.saturating_mul(4));
@@ -93,10 +84,7 @@ impl UnigramTokenizer {
 
         let mut pieces: Vec<String> = candidates.iter().map(|(s, _)| s.clone()).collect();
         let total: f64 = candidates.iter().map(|(_, c)| c).sum();
-        let mut scores: Vec<f64> = candidates
-            .iter()
-            .map(|(_, c)| (c / total).ln())
-            .collect();
+        let mut scores: Vec<f64> = candidates.iter().map(|(_, c)| (c / total).ln()).collect();
 
         // --- EM + prune loop
         loop {
@@ -126,8 +114,7 @@ impl UnigramTokenizer {
                 .filter(|&i| pieces[i].chars().count() > 1)
                 .collect();
             order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
-            let drop: std::collections::HashSet<usize> =
-                order.into_iter().take(n_drop).collect();
+            let drop: std::collections::HashSet<usize> = order.into_iter().take(n_drop).collect();
             if drop.is_empty() {
                 break;
             }

@@ -35,7 +35,12 @@ fn main() {
     let bytes = checkpoint::save(&trained.store);
     let path = std::env::temp_dir().join("matgpt_quickstart.ckpt");
     std::fs::write(&path, &bytes).expect("write checkpoint");
-    println!("saved {} parameters ({} KiB) to {}", trained.store.len(), bytes.len() / 1024, path.display());
+    println!(
+        "saved {} parameters ({} KiB) to {}",
+        trained.store.len(),
+        bytes.len() / 1024,
+        path.display()
+    );
 
     // reload into a freshly initialised model of the same shape
     let loaded = checkpoint::load(&std::fs::read(&path).expect("read")).expect("decode");

@@ -6,9 +6,7 @@
 //! cargo run --release --example frontier_scaling
 //! ```
 
-use matgpt_frontier_sim::{
-    simulate_step, training_run, PowerModel, Strategy, TrainSetup,
-};
+use matgpt_frontier_sim::{simulate_step, training_run, PowerModel, Strategy, TrainSetup};
 use matgpt_model::{ArchKind, GptConfig};
 
 fn main() {

@@ -35,10 +35,13 @@ fn main() {
         .iter()
         .map(|mat| mat.formula.clone())
         .collect();
-    println!("embedding {} formulas with {} …", formulas.len(), embedder.name);
+    println!(
+        "embedding {} formulas with {} …",
+        formulas.len(),
+        embedder.name
+    );
     let vectors = embed_all(&embedder, &formulas);
-    let embeddings: HashMap<String, Vec<f32>> =
-        formulas.iter().cloned().zip(vectors).collect();
+    let embeddings: HashMap<String, Vec<f32>> = formulas.iter().cloned().zip(vectors).collect();
 
     // band-gap regression: structure-only vs +GPT fusion
     let cfg = GnnTrainConfig {

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo health gate: formatting, lints, and the tier-1 build/test cycle.
+# Run from the repo root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: release build + root test suite =="
+cargo build --release
+cargo test -q
+
+echo "All checks passed."

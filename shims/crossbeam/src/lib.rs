@@ -1,0 +1,275 @@
+#![warn(missing_docs)]
+
+//! Offline shim for `crossbeam`: the `channel` module subset this
+//! workspace uses.
+//!
+//! Unlike `std::sync::mpsc`, crossbeam channels are multi-producer
+//! *multi-consumer* and their `Receiver` is `Clone + Sync`; the serving
+//! engine relies on that, so the shim implements channels directly over
+//! a mutex-guarded deque with condition variables rather than wrapping
+//! `std::sync::mpsc`.
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        readable: Condvar,
+        writable: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// The channel is closed (no receivers); returns the rejected value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Why a `try_recv` returned nothing.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message waiting right now.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Why a `recv` returned nothing.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a `recv_timeout` returned nothing.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message.
+        Timeout,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Create a bounded channel; `send` blocks when `cap` items queue up.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a value, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.queue.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match state.cap {
+                    Some(cap) if state.items.len() >= cap => {
+                        state = self.0.writable.wait(state).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.0.readable.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().unwrap().items.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue, blocking until a message arrives or all senders leave.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.0.writable.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.readable.wait(state).unwrap();
+            }
+        }
+
+        /// Dequeue without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.0.queue.lock().unwrap();
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.0.writable.notify_one();
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Dequeue, blocking at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.0.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.0.writable.notify_one();
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (s, timed_out) = self.0.readable.wait_timeout(state, deadline - now).unwrap();
+                state = s;
+                if timed_out.timed_out() && state.items.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Blocking iterator that ends when all senders disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.recv().ok())
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().unwrap().items.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.queue.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.queue.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.0.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.queue.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.0.writable.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn fifo_order_and_disconnect() {
+            let (tx, rx) = unbounded();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<i32> = rx.iter().collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                tx.send(7).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(7));
+            handle.join().unwrap();
+        }
+
+        #[test]
+        fn multi_consumer_drains_everything_once() {
+            let (tx, rx) = unbounded();
+            let n = 1000;
+            for i in 0..n {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let rx2 = rx.clone();
+            let h = std::thread::spawn(move || rx2.iter().count());
+            let a = rx.iter().count();
+            let b = h.join().unwrap();
+            assert_eq!(a + b, n);
+        }
+    }
+}

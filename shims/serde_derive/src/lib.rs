@@ -1,0 +1,460 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Derives the shim `serde`'s value-tree `Serialize`/`Deserialize`
+//! traits. Instead of syn/quote (unavailable offline), the item is
+//! parsed directly from the `proc_macro` token trees and the impl is
+//! generated as source text. Supported shapes — the ones this
+//! workspace actually derives on — are non-generic named-field
+//! structs, tuple/unit structs, and enums with unit, newtype, tuple,
+//! or struct variants. The only field attribute honored is
+//! `#[serde(skip)]`: skipped on serialize, `Default::default()` on
+//! deserialize.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Clone)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive the value-tree `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive the value-tree `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => {
+            let msg = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            return format!("compile_error!(\"serde shim derive: {msg}\");")
+                .parse()
+                .unwrap();
+        }
+    };
+    gen(&parsed)
+        .parse()
+        .expect("serde shim derive generated invalid Rust")
+}
+
+// ------------------------------------------------------------- parsing
+
+/// Consume a run of `#[...]` outer attributes, returning each
+/// attribute's bracketed token text.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut attrs = Vec::new();
+    while *i + 1 < toks.len() {
+        match (&toks[*i], &toks[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                attrs.push(g.stream().to_string());
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+fn is_serde_skip(attr: &str) -> bool {
+    let t = attr.trim_start();
+    t.starts_with("serde") && t.contains("skip")
+}
+
+/// Consume `pub`, `pub(crate)`, `pub(super)`, etc.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advance past a type (or discriminant expression), stopping at a
+/// comma outside all `<...>` nesting. Parens/brackets/braces arrive as
+/// single `Group` tokens, so only angle brackets need depth tracking.
+fn skip_to_field_end(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        let skip = attrs.iter().any(|a| is_serde_skip(a));
+        skip_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_to_field_end(&toks, &mut i);
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Count the elements of a tuple-struct/tuple-variant field list.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut arity = 0;
+    while i < toks.len() {
+        take_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_to_field_end(&toks, &mut i);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        take_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                i += 1;
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // skip an optional `= discriminant` up to the separating comma
+        skip_to_field_end(&toks, &mut i);
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    take_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "generic type `{name}` is not supported by the shim"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let shape = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(tuple_arity(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Input::Struct { name, shape })
+        }
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ------------------------------------------------------------- codegen
+
+const S: &str = "::serde::Serialize::to_value";
+const D: &str = "::serde::Deserialize::from_value";
+
+/// `{ "a": to_value(a_expr), ... }` → a `Value::Object` expression.
+/// `expr_of` maps a field name to the expression holding that field.
+fn named_to_object(fields: &[Field], expr_of: &dyn Fn(&str) -> String) -> String {
+    let mut out = String::from("::serde::Value::Object(<[_]>::into_vec(::std::boxed::Box::new([");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "(::std::string::String::from(\"{}\"), {S}(&{})),",
+            f.name,
+            expr_of(&f.name)
+        ));
+    }
+    out.push_str("])))");
+    out
+}
+
+/// Build `Ctor { a: ..., b: ... }` from an object lookup expression.
+/// `src` is an expression of type `&Value` holding the object.
+fn named_from_object(ctor: &str, type_name: &str, fields: &[Field], src: &str) -> String {
+    let mut out = format!("{ctor} {{");
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: ::std::default::Default::default(),", f.name));
+        } else {
+            out.push_str(&format!(
+                "{name}: match ::serde::Value::get({src}, \"{name}\") {{ \
+                   ::std::option::Option::Some(fv) => {D}(fv)?, \
+                   ::std::option::Option::None => {D}(&::serde::Value::Null).map_err(|_| \
+                     ::serde::DeError(::std::string::String::from(\
+                       \"missing field `{name}` in {type_name}\")))?, \
+                 }},",
+                name = f.name,
+            ));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => named_to_object(fields, &|f| format!("self.{f}")),
+                Shape::Tuple(1) => format!("{S}(&self.0)"),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n).map(|i| format!("{S}(&self.{i})")).collect();
+                    format!(
+                        "::serde::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([{}])))",
+                        items.join(",")
+                    )
+                }
+                Shape::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            format!("{S}(f0)")
+                        } else {
+                            let items: Vec<String> =
+                                binds.iter().map(|b| format!("{S}({b})")).collect();
+                            format!(
+                                "::serde::Value::Array(<[_]>::into_vec(::std::boxed::Box::new([{}])))",
+                                items.join(",")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(\
+                               <[_]>::into_vec(::std::boxed::Box::new([\
+                                 (::std::string::String::from(\"{vn}\"), {payload})]))),",
+                            binds = binds.join(","),
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let payload = named_to_object(fields, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(\
+                               <[_]>::into_vec(::std::boxed::Box::new([\
+                                 (::std::string::String::from(\"{vn}\"), {payload})]))),",
+                            binds = binds.join(","),
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let build = named_from_object(name, name, fields, "v");
+                    format!(
+                        "if !::std::matches!(v, ::serde::Value::Object(_)) {{ \
+                           return ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"struct {name}\", v)); \
+                         }} \
+                         ::std::result::Result::Ok({build})"
+                    )
+                }
+                Shape::Tuple(1) => format!("::std::result::Result::Ok({name}({D}(v)?))"),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> =
+                        (0..*n).map(|i| format!("{D}(&items[{i}])?")).collect();
+                    format!(
+                        "let items = ::serde::Value::as_array(v).ok_or_else(|| \
+                           ::serde::DeError::expected(\"tuple struct {name}\", v))?; \
+                         if items.len() != {n} {{ \
+                           return ::std::result::Result::Err(::serde::DeError(\
+                             ::std::string::String::from(\
+                               \"wrong arity for tuple struct {name}\"))); \
+                         }} \
+                         ::std::result::Result::Ok({name}({items}))",
+                        items = items.join(",")
+                    )
+                }
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({D}(payload)?)),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> =
+                            (0..*n).map(|i| format!("{D}(&items[{i}])?")).collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ \
+                               let items = ::serde::Value::as_array(payload).ok_or_else(|| \
+                                 ::serde::DeError::expected(\"variant {name}::{vn}\", payload))?; \
+                               if items.len() != {n} {{ \
+                                 return ::std::result::Result::Err(::serde::DeError(\
+                                   ::std::string::String::from(\
+                                     \"wrong arity for variant {name}::{vn}\"))); \
+                               }} \
+                               ::std::result::Result::Ok({name}::{vn}({items})) \
+                             }},",
+                            items = items.join(",")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let build = named_from_object(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "payload",
+                        );
+                        data_arms
+                            .push_str(&format!("\"{vn}\" => ::std::result::Result::Ok({build}),"));
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{ \
+                   ::serde::Value::Str(s) => match s.as_str() {{ \
+                     {unit_arms} \
+                     other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                       \"unknown variant `{{other}}` for enum {name}\"))), \
+                   }}, \
+                   ::serde::Value::Object(entries) if entries.len() == 1 => {{ \
+                     let (tag, payload) = &entries[0]; \
+                     let _ = payload; \
+                     match tag.as_str() {{ \
+                       {data_arms} \
+                       other => ::std::result::Result::Err(::serde::DeError(::std::format!(\
+                         \"unknown variant `{{other}}` for enum {name}\"))), \
+                     }} \
+                   }}, \
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", v)), \
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}

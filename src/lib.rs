@@ -6,7 +6,8 @@
 //! BPE/unigram tokenizers, GPT-NeoX and LLaMA architectures with real
 //! CPU training, a calibrated Frontier (MI250X) performance/power
 //! simulator, the zero/few-shot evaluation harness, embedding analysis,
-//! and the GNN + LLM-embedding band-gap regression.
+//! the GNN + LLM-embedding band-gap regression, and a continuous-batching
+//! serving engine on a KV-cached decode path.
 //!
 //! This facade crate re-exports every workspace crate under one roof; the
 //! runnable entry points live in `examples/` and in the `matgpt-bench`
@@ -20,5 +21,6 @@ pub use matgpt_frontier_sim as frontier_sim;
 pub use matgpt_gnn as gnn;
 pub use matgpt_model as model;
 pub use matgpt_optim as optim;
+pub use matgpt_serve as serve;
 pub use matgpt_tensor as tensor;
 pub use matgpt_tokenizer as tokenizer;

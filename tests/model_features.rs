@@ -34,7 +34,11 @@ fn checkpoint_roundtrip_through_trained_gpt() {
     let bytes = checkpoint::save(&trained.store);
     let loaded = checkpoint::load(&bytes).expect("decode");
     let mut fresh_store = ParamStore::new();
-    let fresh = GptModel::new(trained.model.cfg.clone(), &mut fresh_store, &mut init::rng(12345));
+    let fresh = GptModel::new(
+        trained.model.cfg.clone(),
+        &mut fresh_store,
+        &mut init::rng(12345),
+    );
     let restored = checkpoint::restore_into(&mut fresh_store, &loaded);
     assert_eq!(restored, fresh_store.len(), "every tensor restored");
 

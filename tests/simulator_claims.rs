@@ -3,8 +3,8 @@
 //! Table IV, end to end.
 
 use matgpt::frontier_sim::{
-    device_trace, max_seq_len, one_b_grid, simulate_step, training_run, Constraints,
-    FlashVersion, KernelModel, Partitioning, PowerModel, Strategy, TrainSetup,
+    device_trace, max_seq_len, one_b_grid, simulate_step, training_run, Constraints, FlashVersion,
+    KernelModel, Partitioning, PowerModel, Strategy, TrainSetup,
 };
 use matgpt::model::{ArchKind, GptConfig};
 
@@ -20,7 +20,12 @@ fn cfg67() -> GptConfig {
 fn observation_1_head_dim_multiple_of_8() {
     // "It is computationally desirable to design the LLM architecture with
     // the dimension of attention head to be multiples of 8."
-    let cells = one_b_grid(52_000, 2048, &KernelModel::default(), &Constraints::default());
+    let cells = one_b_grid(
+        52_000,
+        2048,
+        &KernelModel::default(),
+        &Constraints::default(),
+    );
     let mod8_mean: f64 = cells
         .iter()
         .filter(|c| c.head_mod8)
@@ -40,7 +45,11 @@ fn observation_1_head_dim_multiple_of_8() {
     // "the achievable computational performance ... is over 43% of the
     // theoretical peak" with flash
     let best_v2 = cells.iter().map(|c| c.tflops_v2).fold(0.0, f64::max);
-    assert!(best_v2 / 191.5 > 0.43, "flash peak fraction {}", best_v2 / 191.5);
+    assert!(
+        best_v2 / 191.5 > 0.43,
+        "flash peak fraction {}",
+        best_v2 / 191.5
+    );
 }
 
 #[test]
@@ -63,8 +72,14 @@ fn observation_2_minimal_model_parallelism_wins() {
 #[test]
 fn flash_attention_memory_and_throughput_claims() {
     let part = Partitioning::data_parallel(1);
-    assert_eq!(max_seq_len(&cfg17(), 1, FlashVersion::None, &part, 64.0), 8192);
-    assert_eq!(max_seq_len(&cfg17(), 1, FlashVersion::V2, &part, 64.0), 32_768);
+    assert_eq!(
+        max_seq_len(&cfg17(), 1, FlashVersion::None, &part, 64.0),
+        8192
+    );
+    assert_eq!(
+        max_seq_len(&cfg17(), 1, FlashVersion::V2, &part, 64.0),
+        32_768
+    );
     let km = KernelModel::default();
     let base = km.achieved_tflops(&cfg17(), 16, 2048, FlashVersion::None);
     let v1 = km.achieved_tflops(&cfg17(), 16, 2048, FlashVersion::V1);
@@ -83,7 +98,12 @@ fn table4_energy_structure() {
     let r67 = simulate_step(&s67);
     let t17 = training_run(&s17, &r17, &pm, 15e9);
     let t67 = training_run(&s67, &r67, &pm, 15e9);
-    assert!(t67.hours > 3.0 * t17.hours, "{} vs {}", t67.hours, t17.hours);
+    assert!(
+        t67.hours > 3.0 * t17.hours,
+        "{} vs {}",
+        t67.hours,
+        t17.hours
+    );
     assert!(t67.energy_mwh > t17.energy_mwh);
     assert!(t17.efficiency > t67.efficiency);
 }
@@ -95,7 +115,10 @@ fn power_trace_shows_compute_comm_oscillation() {
     let pm = PowerModel::default();
     let trace = device_trace(&setup, &report, &pm, 2, report.step_s / 100.0);
     let max = trace.iter().map(|s| s.power_w).fold(0.0, f64::max);
-    let min = trace.iter().map(|s| s.power_w).fold(f64::INFINITY, f64::min);
+    let min = trace
+        .iter()
+        .map(|s| s.power_w)
+        .fold(f64::INFINITY, f64::min);
     assert!(max - min > 100.0, "oscillation {max}-{min}");
     // utilisation is NOT a good indicator (paper) — it pins high throughout
     let min_util = trace
@@ -126,7 +149,11 @@ fn fig11_call_count_hierarchy() {
 fn six_point_seven_b_needs_model_parallelism() {
     let solo = simulate_step(&TrainSetup::new(cfg67(), 1, Strategy::DataParallel));
     assert!(!solo.fits_memory);
-    for strat in [Strategy::Zero1, Strategy::TensorParallel(2), Strategy::PipelineParallel(2)] {
+    for strat in [
+        Strategy::Zero1,
+        Strategy::TensorParallel(2),
+        Strategy::PipelineParallel(2),
+    ] {
         let r = simulate_step(&TrainSetup::new(cfg67(), 8, strat));
         assert!(r.fits_memory, "{}", strat.label());
     }
