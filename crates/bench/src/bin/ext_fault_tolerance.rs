@@ -1,0 +1,11 @@
+//! Extension: failure injection and checkpoint-restart on the simulated
+//! 256-GCD Frontier allocation — the goodput-vs-checkpoint-interval
+//! curve whose optimum Young's and Daly's formulas predict.
+
+use matgpt_bench::experiments::ext_fault_tolerance_report;
+use matgpt_bench::smoke_requested;
+
+fn main() {
+    let replications = if smoke_requested() { 8 } else { 48 };
+    ext_fault_tolerance_report(replications);
+}

@@ -92,7 +92,7 @@ fn main() {
         .map(|i| {
             let plen = 32 + 16 * i;
             let p: Vec<u32> = (0..plen as u32).map(|t| (t * 7 + i as u32) % 251).collect();
-            engine.submit(&p, opts)
+            engine.submit(&p, opts).expect("admitted")
         })
         .collect();
     let responses: Vec<_> = handles.into_iter().filter_map(|h| h.wait()).collect();

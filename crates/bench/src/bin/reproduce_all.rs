@@ -46,6 +46,7 @@ fn main() {
         "ablation_seq_sweep",
         "ablation_tp_mapping",
         "ext_inference_sim",
+        "ext_fault_tolerance",
     ] {
         run_sibling(bin);
     }

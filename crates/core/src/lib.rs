@@ -20,6 +20,9 @@ pub mod releases;
 pub use pipeline::{
     experiment_matrix, pretrain_bert, train_suite, MatGptSuite, SuiteScale, TrainedBert,
 };
-pub use pretrain::{pretrain, pretrain_with_tokenizer, train_tokenizer, LossCurves, Pretrained};
+pub use pretrain::{
+    pretrain, pretrain_resume, pretrain_with_checkpoints, pretrain_with_tokenizer, train_tokenizer,
+    LossCurves, Pretrained, ResumeError, Trainer,
+};
 pub use recipes::{OptChoice, PaperRecipe, PretrainConfig, SizeRole, TABLE_III};
 pub use releases::{counts_by_year, Branch, Release, RELEASES};

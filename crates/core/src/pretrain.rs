@@ -1,10 +1,20 @@
 //! The pre-training driver: a controlled, end-to-end run producing the
 //! train/validation loss curves of Fig. 13 at CPU scale.
+//!
+//! Training is structured around a resumable [`Trainer`] so runs can
+//! checkpoint periodically and restart after a failure with
+//! **bit-identical** results — the discipline the paper's Frontier runs
+//! (and GPT-NeoX-20B before them) rely on to survive node failures.
+//! [`pretrain`] drives an uninterrupted run; [`Trainer::checkpoint`]
+//! emits a v2 MGPT checkpoint carrying weights, optimizer moments, the
+//! LR-schedule step, and the data-loader RNG cursor; [`pretrain_resume`]
+//! picks such a run back up and finishes it.
 
 use crate::recipes::{OptChoice, PretrainConfig, SizeRole};
 use matgpt_corpus::TokenDataset;
 use matgpt_model::{GptConfig, GptModel};
-use matgpt_optim::{Adam, AdamConfig, CosineSchedule, Lamb, LrSchedule, Optimizer};
+use matgpt_optim::{Adam, AdamConfig, CosineSchedule, Lamb, LrSchedule, Optimizer, OptimizerState};
+use matgpt_tensor::checkpoint::{self, CheckpointError};
 use matgpt_tensor::{init, ParamStore, Tape};
 use matgpt_tokenizer::{BpeTokenizer, Tokenizer, TokenizerKind, UnigramTokenizer};
 use serde::{Deserialize, Serialize};
@@ -71,49 +81,199 @@ pub fn pretrain_with_tokenizer(
     cfg: &PretrainConfig,
     tokenizer: Box<dyn Tokenizer>,
 ) -> Pretrained {
-    let vocab = tokenizer.vocab_size();
-    let model_cfg = match cfg.size {
-        SizeRole::Base => GptConfig::tiny(cfg.arch, vocab),
-        SizeRole::Large => GptConfig::small(cfg.arch, vocab),
-    };
-    // the context window is 4x the training length so few-shot prompts
-    // (Fig. 15) fit; rotary positions extrapolate beyond trained offsets
-    let model_cfg = GptConfig {
-        max_seq: (cfg.seq * 4).max(model_cfg.max_seq),
-        ..model_cfg
-    };
-    let mut rng = init::rng(cfg.seed);
-    let mut store = ParamStore::new();
-    let model = GptModel::new(model_cfg, &mut store, &mut rng);
+    let mut trainer = Trainer::with_tokenizer(documents, cfg, tokenizer);
+    trainer.run_to_end();
+    trainer.finish()
+}
 
-    let mut dataset = TokenDataset::new(documents, tokenizer.as_ref(), 0.08, cfg.seed ^ 0xda7a);
-    let mut opt: Box<dyn Optimizer> = match cfg.optimizer {
-        OptChoice::Adam => Box::new(Adam::new(AdamConfig::paper_adam())),
-        OptChoice::Lamb => Box::new(Lamb::new(AdamConfig::paper_lamb())),
-    };
-    let schedule = CosineSchedule::paper(cfg.lr, cfg.steps);
+/// As [`pretrain`], but writing a checkpoint every `every` steps (and
+/// one at the final step). Returns the finished bundle plus the
+/// `(steps_completed, bytes)` checkpoints, newest last — the periodic-
+/// checkpointing loop a fault-tolerant launcher drives.
+pub fn pretrain_with_checkpoints(
+    documents: &[String],
+    cfg: &PretrainConfig,
+    every: usize,
+) -> (Pretrained, Vec<(usize, Vec<u8>)>) {
+    let every = every.max(1);
+    let mut trainer = Trainer::new(documents, cfg);
+    let mut checkpoints = Vec::new();
+    while !trainer.is_done() {
+        trainer.step_once();
+        if trainer.steps_completed().is_multiple_of(every) || trainer.is_done() {
+            checkpoints.push((trainer.steps_completed(), trainer.checkpoint()));
+        }
+    }
+    (trainer.finish(), checkpoints)
+}
 
-    let mut train_curve = Vec::new();
-    let mut val_curve = Vec::new();
-    let eval_every = (cfg.steps / 10).max(1);
-    let mixed = cfg.precision != matgpt_tensor::Precision::F32;
-    for step in 0..cfg.steps {
-        let batch = dataset.sample_batch(cfg.batch_seqs, cfg.seq);
-        store.zero_grads();
+/// Resume a run from a [`Trainer::checkpoint`] image and finish it. The
+/// resulting [`LossCurves`] are bit-identical to what the uninterrupted
+/// run would have produced.
+pub fn pretrain_resume(
+    documents: &[String],
+    cfg: &PretrainConfig,
+    checkpoint_bytes: &[u8],
+) -> Result<Pretrained, ResumeError> {
+    let mut trainer = Trainer::resume(documents, cfg, checkpoint_bytes)?;
+    trainer.run_to_end();
+    Ok(trainer.finish())
+}
+
+/// Why a checkpoint could not be turned back into a [`Trainer`].
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The container failed to decode (truncated, corrupt, wrong magic).
+    Checkpoint(CheckpointError),
+    /// A required training-state section is absent (e.g. a bare v1
+    /// weights-only checkpoint).
+    MissingSection(&'static str),
+    /// A section was present but undecodable.
+    Corrupt(&'static str),
+    /// The checkpoint was written by a differently-configured run.
+    ConfigMismatch {
+        /// Label of the config the caller is resuming with.
+        expected: String,
+        /// Label recorded in the checkpoint.
+        found: String,
+    },
+    /// The parameter table does not cover the freshly built model.
+    ParamMismatch {
+        /// Parameters restored by name+shape matching.
+        restored: usize,
+        /// Parameters the model defines.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Checkpoint(e) => write!(f, "checkpoint undecodable: {e}"),
+            ResumeError::MissingSection(s) => write!(f, "checkpoint lacks section `{s}`"),
+            ResumeError::Corrupt(s) => write!(f, "checkpoint section `{s}` is corrupt"),
+            ResumeError::ConfigMismatch { expected, found } => {
+                write!(f, "checkpoint is for `{found}`, not `{expected}`")
+            }
+            ResumeError::ParamMismatch { restored, expected } => {
+                write!(f, "only {restored}/{expected} parameters restored")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+// Section names inside the v2 checkpoint container.
+const SEC_LABEL: &str = "label";
+const SEC_OPT: &str = "opt_state";
+const SEC_STEP: &str = "lr_step";
+const SEC_CURSOR: &str = "data_cursor";
+const SEC_CURVES: &str = "curves";
+
+/// A resumable pre-training run: the model, optimizer, data loader and
+/// recorded curves, advanced one optimizer step at a time.
+///
+/// The training loop is exactly the one [`pretrain`] always ran; the
+/// struct form exists so the loop can be interrupted between any two
+/// steps, serialised with [`Trainer::checkpoint`], and continued later
+/// with [`Trainer::resume`] — producing bit-identical curves either way.
+pub struct Trainer {
+    cfg: PretrainConfig,
+    model: GptModel,
+    store: ParamStore,
+    dataset: TokenDataset,
+    tokenizer: Box<dyn Tokenizer>,
+    opt: Box<dyn Optimizer>,
+    schedule: CosineSchedule,
+    step: usize,
+    train_curve: Vec<(usize, f32)>,
+    val_curve: Vec<(usize, f32)>,
+}
+
+impl Trainer {
+    /// Build a fresh run, training a tokenizer on `documents` first.
+    pub fn new(documents: &[String], cfg: &PretrainConfig) -> Self {
+        let tokenizer = train_tokenizer(cfg.tokenizer, cfg.vocab, documents);
+        Self::with_tokenizer(documents, cfg, tokenizer)
+    }
+
+    /// Build a fresh run around a caller-provided tokenizer.
+    pub fn with_tokenizer(
+        documents: &[String],
+        cfg: &PretrainConfig,
+        tokenizer: Box<dyn Tokenizer>,
+    ) -> Self {
+        let vocab = tokenizer.vocab_size();
+        let model_cfg = match cfg.size {
+            SizeRole::Base => GptConfig::tiny(cfg.arch, vocab),
+            SizeRole::Large => GptConfig::small(cfg.arch, vocab),
+        };
+        // the context window is 4x the training length so few-shot prompts
+        // (Fig. 15) fit; rotary positions extrapolate beyond trained offsets
+        let model_cfg = GptConfig {
+            max_seq: (cfg.seq * 4).max(model_cfg.max_seq),
+            ..model_cfg
+        };
+        let mut rng = init::rng(cfg.seed);
+        let mut store = ParamStore::new();
+        let model = GptModel::new(model_cfg, &mut store, &mut rng);
+        let dataset = TokenDataset::new(documents, tokenizer.as_ref(), 0.08, cfg.seed ^ 0xda7a);
+        let opt: Box<dyn Optimizer> = match cfg.optimizer {
+            OptChoice::Adam => Box::new(Adam::new(AdamConfig::paper_adam())),
+            OptChoice::Lamb => Box::new(Lamb::new(AdamConfig::paper_lamb())),
+        };
+        let schedule = CosineSchedule::paper(cfg.lr, cfg.steps);
+        Self {
+            cfg: cfg.clone(),
+            model,
+            store,
+            dataset,
+            tokenizer,
+            opt,
+            schedule,
+            step: 0,
+            train_curve: Vec::new(),
+            val_curve: Vec::new(),
+        }
+    }
+
+    /// Optimizer steps completed so far.
+    pub fn steps_completed(&self) -> usize {
+        self.step
+    }
+
+    /// Whether the configured step budget has been exhausted.
+    pub fn is_done(&self) -> bool {
+        self.step >= self.cfg.steps
+    }
+
+    /// Execute one optimizer step (no-op once done).
+    pub fn step_once(&mut self) {
+        if self.is_done() {
+            return;
+        }
+        let step = self.step;
+        let cfg = &self.cfg;
+        let eval_every = (cfg.steps / 10).max(1);
+        let mixed = cfg.precision != matgpt_tensor::Precision::F32;
+
+        let batch = self.dataset.sample_batch(cfg.batch_seqs, cfg.seq);
+        self.store.zero_grads();
         // mixed-precision emulation: compute forward/backward on weights
         // rounded to the 16-bit grid, but keep fp32 master weights for the
         // optimizer update — exactly the real recipe's structure
         let masters = if mixed {
-            let snap = matgpt_tensor::precision::snapshot_values(&store);
-            matgpt_tensor::precision::round_store(&mut store, cfg.precision);
+            let snap = matgpt_tensor::precision::snapshot_values(&self.store);
+            matgpt_tensor::precision::round_store(&mut self.store, cfg.precision);
             Some(snap)
         } else {
             None
         };
         let mut tape = Tape::new();
-        let loss = model.loss(
+        let loss = self.model.loss(
             &mut tape,
-            &store,
+            &self.store,
             &batch.inputs,
             &batch.targets,
             batch.batch,
@@ -121,31 +281,178 @@ pub fn pretrain_with_tokenizer(
         );
         let train_loss = tape.value(loss).item();
         tape.backward(loss);
-        tape.accumulate_param_grads(&mut store);
+        tape.accumulate_param_grads(&mut self.store);
         if let Some(snap) = masters {
-            matgpt_tensor::precision::restore_values(&mut store, &snap);
+            matgpt_tensor::precision::restore_values(&mut self.store, &snap);
         }
-        store.clip_grad_norm(1.0);
-        opt.step(&mut store, schedule.lr(step));
+        self.store.clip_grad_norm(1.0);
+        self.opt.step(&mut self.store, self.schedule.lr(step));
 
-        if step % eval_every == 0 || step + 1 == cfg.steps {
-            train_curve.push((step, train_loss));
-            val_curve.push((step, validation_loss(&model, &store, &dataset, cfg.seq)));
+        if step.is_multiple_of(eval_every) || step + 1 == cfg.steps {
+            self.train_curve.push((step, train_loss));
+            self.val_curve.push((
+                step,
+                validation_loss(&self.model, &self.store, &self.dataset, cfg.seq),
+            ));
+        }
+        self.step += 1;
+    }
+
+    /// Run the remaining steps.
+    pub fn run_to_end(&mut self) {
+        while !self.is_done() {
+            self.step_once();
         }
     }
 
-    let curves = LossCurves {
-        label: cfg.label(),
-        train: train_curve,
-        val: val_curve,
-    };
-    Pretrained {
-        model,
-        store,
-        tokenizer,
-        curves,
-        config: cfg.clone(),
+    /// Serialise the complete training state as a v2 MGPT checkpoint:
+    /// weights in the parameter table, plus sections for the config
+    /// label, optimizer moments, LR-schedule step, data-loader RNG
+    /// cursor and the curves recorded so far.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let sections = vec![
+            (SEC_LABEL.to_string(), self.cfg.label().into_bytes()),
+            (SEC_OPT.to_string(), self.opt.export_state().to_bytes()),
+            (
+                SEC_STEP.to_string(),
+                (self.step as u64).to_le_bytes().to_vec(),
+            ),
+            (
+                SEC_CURSOR.to_string(),
+                self.dataset.cursor().to_le_bytes().to_vec(),
+            ),
+            (
+                SEC_CURVES.to_string(),
+                encode_curves(&self.train_curve, &self.val_curve),
+            ),
+        ];
+        checkpoint::save_with_sections(&self.store, &sections).to_vec()
     }
+
+    /// Rebuild a mid-run trainer from a [`Trainer::checkpoint`] image,
+    /// retraining the tokenizer on `documents`.
+    pub fn resume(
+        documents: &[String],
+        cfg: &PretrainConfig,
+        bytes: &[u8],
+    ) -> Result<Self, ResumeError> {
+        let tokenizer = train_tokenizer(cfg.tokenizer, cfg.vocab, documents);
+        Self::resume_with_tokenizer(documents, cfg, tokenizer, bytes)
+    }
+
+    /// As [`Trainer::resume`] with a caller-provided tokenizer (which
+    /// must be the one the checkpointed run trained with).
+    pub fn resume_with_tokenizer(
+        documents: &[String],
+        cfg: &PretrainConfig,
+        tokenizer: Box<dyn Tokenizer>,
+        bytes: &[u8],
+    ) -> Result<Self, ResumeError> {
+        let ck = checkpoint::load_full(bytes).map_err(ResumeError::Checkpoint)?;
+        let label = ck
+            .section(SEC_LABEL)
+            .ok_or(ResumeError::MissingSection(SEC_LABEL))?;
+        let expected = cfg.label();
+        if label != expected.as_bytes() {
+            return Err(ResumeError::ConfigMismatch {
+                expected,
+                found: String::from_utf8_lossy(label).into_owned(),
+            });
+        }
+        let opt_state = OptimizerState::from_bytes(
+            ck.section(SEC_OPT)
+                .ok_or(ResumeError::MissingSection(SEC_OPT))?,
+        )
+        .ok_or(ResumeError::Corrupt(SEC_OPT))?;
+        let step = u64::from_le_bytes(
+            ck.section(SEC_STEP)
+                .ok_or(ResumeError::MissingSection(SEC_STEP))?
+                .try_into()
+                .map_err(|_| ResumeError::Corrupt(SEC_STEP))?,
+        ) as usize;
+        let cursor = u128::from_le_bytes(
+            ck.section(SEC_CURSOR)
+                .ok_or(ResumeError::MissingSection(SEC_CURSOR))?
+                .try_into()
+                .map_err(|_| ResumeError::Corrupt(SEC_CURSOR))?,
+        );
+        let (train_curve, val_curve) = decode_curves(
+            ck.section(SEC_CURVES)
+                .ok_or(ResumeError::MissingSection(SEC_CURVES))?,
+        )
+        .ok_or(ResumeError::Corrupt(SEC_CURVES))?;
+
+        let mut t = Self::with_tokenizer(documents, cfg, tokenizer);
+        let restored = checkpoint::restore_into(&mut t.store, &ck.store);
+        if restored != t.store.len() {
+            return Err(ResumeError::ParamMismatch {
+                restored,
+                expected: t.store.len(),
+            });
+        }
+        t.opt.import_state(opt_state);
+        t.step = step;
+        t.dataset.seek(cursor);
+        t.train_curve = train_curve;
+        t.val_curve = val_curve;
+        Ok(t)
+    }
+
+    /// Consume the trainer into the trained bundle.
+    pub fn finish(self) -> Pretrained {
+        let curves = LossCurves {
+            label: self.cfg.label(),
+            train: self.train_curve,
+            val: self.val_curve,
+        };
+        Pretrained {
+            model: self.model,
+            store: self.store,
+            tokenizer: self.tokenizer,
+            curves,
+            config: self.cfg,
+        }
+    }
+}
+
+/// Binary-encode curves: `n u32 | (step u64, loss-bits u32)…` twice.
+/// f32 values travel as raw bits so restart reproduces them exactly.
+fn encode_curves(train: &[(usize, f32)], val: &[(usize, f32)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 12 * (train.len() + val.len()));
+    for curve in [train, val] {
+        out.extend_from_slice(&(curve.len() as u32).to_le_bytes());
+        for &(step, loss) in curve {
+            out.extend_from_slice(&(step as u64).to_le_bytes());
+            out.extend_from_slice(&loss.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_curves(mut bytes: &[u8]) -> Option<(Vec<(usize, f32)>, Vec<(usize, f32)>)> {
+    fn take<const N: usize>(b: &mut &[u8]) -> Option<[u8; N]> {
+        if b.len() < N {
+            return None;
+        }
+        let (head, rest) = b.split_at(N);
+        *b = rest;
+        head.try_into().ok()
+    }
+    let mut curves = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let n = u32::from_le_bytes(take::<4>(&mut bytes)?) as usize;
+        let mut curve = Vec::with_capacity(n.min(bytes.len() / 12));
+        for _ in 0..n {
+            let step = u64::from_le_bytes(take::<8>(&mut bytes)?) as usize;
+            let loss = f32::from_bits(u32::from_le_bytes(take::<4>(&mut bytes)?));
+            curve.push((step, loss));
+        }
+        curves.push(curve);
+    }
+    let val = curves.pop()?;
+    let train = curves.pop()?;
+    Some((train, val))
 }
 
 /// Mean validation loss over (up to) 8 deterministic batches.
@@ -237,5 +544,62 @@ mod tests {
         let b = pretrain(&documents, &cfg);
         assert_eq!(a.curves.train, b.curves.train);
         assert_eq!(a.curves.val, b.curves.val);
+    }
+
+    #[test]
+    fn interrupted_resume_is_bit_identical() {
+        let documents = docs();
+        let mut cfg = quick(ArchKind::Llama, OptChoice::Adam);
+        cfg.steps = 12;
+        let baseline = pretrain(&documents, &cfg);
+
+        // run 5 steps, checkpoint, "crash", resume from bytes
+        let mut trainer = Trainer::new(&documents, &cfg);
+        for _ in 0..5 {
+            trainer.step_once();
+        }
+        let bytes = trainer.checkpoint();
+        drop(trainer);
+        let resumed = pretrain_resume(&documents, &cfg, &bytes).expect("resume");
+
+        // bit-identical: compare exact f32 values, curves and weights
+        assert_eq!(baseline.curves.train, resumed.curves.train);
+        assert_eq!(baseline.curves.val, resumed.curves.val);
+        for (a, b) in baseline.store.ids().zip(resumed.store.ids()) {
+            let (ta, tb) = (baseline.store.value(a), resumed.store.value(b));
+            let bits_a: Vec<u32> = ta.data().iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u32> = tb.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "weights diverged after resume");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_bad_inputs() {
+        let documents = docs();
+        let mut cfg = quick(ArchKind::Llama, OptChoice::Adam);
+        cfg.steps = 6;
+        let mut trainer = Trainer::new(&documents, &cfg);
+        trainer.step_once();
+        let bytes = trainer.checkpoint();
+
+        // garbage container
+        assert!(matches!(
+            pretrain_resume(&documents, &cfg, b"not a checkpoint"),
+            Err(ResumeError::Checkpoint(_))
+        ));
+        // truncated container
+        assert!(pretrain_resume(&documents, &cfg, &bytes[..bytes.len() / 2]).is_err());
+        // config mismatch
+        let other = quick(ArchKind::NeoX, OptChoice::Adam);
+        assert!(matches!(
+            pretrain_resume(&documents, &other, &bytes),
+            Err(ResumeError::ConfigMismatch { .. })
+        ));
+        // a weights-only checkpoint lacks training state
+        let weights_only = checkpoint::save(&trainer.store).to_vec();
+        assert!(matches!(
+            pretrain_resume(&documents, &cfg, &weights_only),
+            Err(ResumeError::MissingSection(_))
+        ));
     }
 }

@@ -173,6 +173,20 @@ impl TokenDataset {
         }
     }
 
+    /// The sampling-RNG stream cursor. Rebuilding the dataset with the
+    /// same documents/tokenizer/seed and seeking to this position via
+    /// [`TokenDataset::seek`] reproduces the exact batch sequence an
+    /// interrupted run would have seen — the data-loader half of
+    /// checkpoint-restart.
+    pub fn cursor(&self) -> u128 {
+        self.rng.get_word_pos()
+    }
+
+    /// Seek the sampling RNG to a cursor from [`TokenDataset::cursor`].
+    pub fn seek(&mut self, cursor: u128) {
+        self.rng.set_word_pos(cursor);
+    }
+
     /// Training tokens available.
     pub fn train_tokens(&self) -> usize {
         self.train.len()
@@ -310,6 +324,25 @@ mod tests {
         assert!(!a.is_empty());
         assert_eq!(a.len(), b.len());
         assert_eq!(a[0].inputs, b[0].inputs);
+    }
+
+    #[test]
+    fn cursor_seek_replays_the_batch_stream() {
+        let c = small_corpus();
+        let tok = BpeTokenizer::train(&c.documents, 512);
+        let mut warm = TokenDataset::new(&c.documents, &tok, 0.1, 7);
+        for _ in 0..5 {
+            warm.sample_batch(3, 16);
+        }
+        let cursor = warm.cursor();
+        let mut fresh = TokenDataset::new(&c.documents, &tok, 0.1, 7);
+        fresh.seek(cursor);
+        for _ in 0..4 {
+            let a = warm.sample_batch(3, 16);
+            let b = fresh.sample_batch(3, 16);
+            assert_eq!(a.inputs, b.inputs);
+            assert_eq!(a.targets, b.targets);
+        }
     }
 
     #[test]

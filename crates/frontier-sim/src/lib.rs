@@ -18,9 +18,11 @@
 //! * [`parallel`] — DP / ZeRO-1 / TP / PP step simulation (Figs. 7, 8, 11);
 //! * [`gridsearch`] — architecture search under Eqs. (1)–(5) (Fig. 4);
 //! * [`power`] — phase-dependent power/energy (Table IV);
+//! * [`faults`] — failure injection and checkpoint-restart goodput;
 //! * [`trace`] — OmniTrace/rocm-smi-style timelines (Figs. 9, 12).
 
 pub mod collectives;
+pub mod faults;
 pub mod gridsearch;
 pub mod inference;
 pub mod kernels;
@@ -32,6 +34,7 @@ pub mod power;
 pub mod trace;
 
 pub use collectives::{collective_time, Collective};
+pub use faults::{goodput_sweep, resilient_training_run, FaultModel, ResilientTrainingRun};
 pub use gridsearch::{one_b_grid, Constraints, GridCell};
 pub use inference::{simulate_inference, InferenceReport, InferenceSetup};
 pub use kernels::{FlashVersion, KernelModel};

@@ -31,6 +31,86 @@ pub trait Optimizer {
 
     /// Human-readable name for logs and experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Snapshot the internal state (moments, step counter) for
+    /// checkpointing. Importing the snapshot into a fresh optimizer of
+    /// the same kind makes its future updates bit-identical to never
+    /// having stopped.
+    fn export_state(&self) -> OptimizerState;
+
+    /// Restore a snapshot taken with [`Optimizer::export_state`].
+    fn import_state(&mut self, state: OptimizerState);
+}
+
+/// Serialisable optimizer internals: the step counter plus one or more
+/// per-parameter f32 slot groups (Adam/LAMB: `[m, v]`; SGD: `[buf]`).
+///
+/// The binary layout (little-endian, `step u64 | n_slots u32 | per
+/// slot: n_params u32 | per param: len u64 | f32…`) round-trips every
+/// f32 bit-exactly, which checkpoint-restart correctness depends on.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OptimizerState {
+    /// Steps taken so far (drives Adam bias correction).
+    pub step: u64,
+    /// Slot groups of per-parameter state vectors.
+    pub slots: Vec<Vec<Vec<f32>>>,
+}
+
+impl OptimizerState {
+    /// Serialise to the compact binary layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload: usize = self
+            .slots
+            .iter()
+            .flat_map(|s| s.iter().map(|p| 8 + p.len() * 4))
+            .sum();
+        let mut out = Vec::with_capacity(12 + self.slots.len() * 4 + payload);
+        out.extend_from_slice(&self.step.to_le_bytes());
+        out.extend_from_slice(&(self.slots.len() as u32).to_le_bytes());
+        for slot in &self.slots {
+            out.extend_from_slice(&(slot.len() as u32).to_le_bytes());
+            for param in slot {
+                out.extend_from_slice(&(param.len() as u64).to_le_bytes());
+                for v in param {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode the binary layout; `None` on truncated or inconsistent
+    /// input (never panics).
+    pub fn from_bytes(mut bytes: &[u8]) -> Option<Self> {
+        fn take<const N: usize>(b: &mut &[u8]) -> Option<[u8; N]> {
+            if b.len() < N {
+                return None;
+            }
+            let (head, rest) = b.split_at(N);
+            *b = rest;
+            head.try_into().ok()
+        }
+        let step = u64::from_le_bytes(take::<8>(&mut bytes)?);
+        let n_slots = u32::from_le_bytes(take::<4>(&mut bytes)?) as usize;
+        let mut slots = Vec::new();
+        for _ in 0..n_slots {
+            let n_params = u32::from_le_bytes(take::<4>(&mut bytes)?) as usize;
+            let mut slot = Vec::new();
+            for _ in 0..n_params {
+                let len = u64::from_le_bytes(take::<8>(&mut bytes)?) as usize;
+                if bytes.len() < len.checked_mul(4)? {
+                    return None;
+                }
+                let mut param = Vec::with_capacity(len);
+                for _ in 0..len {
+                    param.push(f32::from_le_bytes(take::<4>(&mut bytes)?));
+                }
+                slot.push(param);
+            }
+            slots.push(slot);
+        }
+        Some(Self { step, slots })
+    }
 }
 
 /// Configuration shared by the Adam-family optimizers.
@@ -167,6 +247,20 @@ impl Optimizer for Adam {
     fn name(&self) -> &'static str {
         "adam"
     }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            step: self.t,
+            slots: vec![self.m.clone(), self.v.clone()],
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) {
+        let mut slots = state.slots.into_iter();
+        self.m = slots.next().unwrap_or_default();
+        self.v = slots.next().unwrap_or_default();
+        self.t = state.step;
+    }
 }
 
 /// LAMB (You et al., 2020): Adam direction rescaled per layer by the trust
@@ -245,6 +339,20 @@ impl Optimizer for Lamb {
     fn name(&self) -> &'static str {
         "lamb"
     }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            step: self.t,
+            slots: vec![self.m.clone(), self.v.clone()],
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) {
+        let mut slots = state.slots.into_iter();
+        self.m = slots.next().unwrap_or_default();
+        self.v = slots.next().unwrap_or_default();
+        self.t = state.step;
+    }
 }
 
 /// Plain SGD with optional momentum.
@@ -293,6 +401,17 @@ impl Optimizer for Sgd {
 
     fn name(&self) -> &'static str {
         "sgd"
+    }
+
+    fn export_state(&self) -> OptimizerState {
+        OptimizerState {
+            step: 0,
+            slots: vec![self.bufs.clone()],
+        }
+    }
+
+    fn import_state(&mut self, state: OptimizerState) {
+        self.bufs = state.slots.into_iter().next().unwrap_or_default();
     }
 }
 
@@ -377,6 +496,54 @@ mod tests {
         assert_eq!(Lamb::trust_ratio(1.0, 0.0, 10.0), 1.0);
         assert_eq!(Lamb::trust_ratio(100.0, 1.0, 10.0), 10.0);
         assert!((Lamb::trust_ratio(2.0, 4.0, 10.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exported_state_resumes_bit_identically() {
+        // Run A: 20 straight steps. Run B: 8 steps, export/import through
+        // bytes into a fresh optimizer, 12 more. Trajectories must agree
+        // bit-for-bit — the checkpoint-restart contract.
+        let trajectory = |split: Option<usize>| {
+            let (mut store, p) = quadratic_store();
+            let mut opt: Box<dyn Optimizer> = Box::new(Adam::new(AdamConfig::paper_adam()));
+            for step in 0..20 {
+                if split == Some(step) {
+                    let bytes = opt.export_state().to_bytes();
+                    let restored = OptimizerState::from_bytes(&bytes).expect("decodes");
+                    assert_eq!(restored, opt.export_state());
+                    let mut fresh: Box<dyn Optimizer> =
+                        Box::new(Adam::new(AdamConfig::paper_adam()));
+                    fresh.import_state(restored);
+                    opt = fresh;
+                }
+                store.zero_grads();
+                let x = store.value(p).data().to_vec();
+                store.grad_mut(p).data_mut().copy_from_slice(&x);
+                opt.step(&mut store, 0.05);
+            }
+            store.value(p).data().to_vec()
+        };
+        let uninterrupted = trajectory(None);
+        let resumed = trajectory(Some(8));
+        assert_eq!(
+            uninterrupted
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            resumed.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn state_decoding_rejects_garbage() {
+        assert_eq!(OptimizerState::from_bytes(&[1, 2, 3]), None);
+        let mut bytes = OptimizerState {
+            step: 3,
+            slots: vec![vec![vec![1.0, 2.0]]],
+        }
+        .to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(OptimizerState::from_bytes(&bytes), None);
     }
 
     #[test]

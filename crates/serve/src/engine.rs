@@ -1,5 +1,10 @@
 //! The [`Engine`] facade: owns the scheduler thread and hands out
 //! [`ResponseHandle`]s.
+//!
+//! The public submit/wait/shutdown surface is panic-free: every fallible
+//! condition (engine shut down, queue full, empty prompt) is a typed
+//! [`EngineError`], and model-side panics are isolated per request by
+//! the scheduler (see [`crate::scheduler`]) rather than propagated.
 
 use crate::metrics::{MetricsInner, MetricsSnapshot};
 use crate::request::{GenRequest, ResponseHandle, Submission};
@@ -7,6 +12,7 @@ use crate::scheduler::{self, SchedulerConfig};
 use crossbeam::channel::{self, Sender};
 use matgpt_model::{GptModel, SampleOptions};
 use matgpt_tensor::ParamStore;
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -15,16 +21,49 @@ use std::time::Instant;
 /// Engine construction parameters.
 pub type EngineConfig = SchedulerConfig;
 
+/// Why a submission was rejected (typed, never a panic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// [`Engine::shutdown`] has run (or the scheduler is gone); the
+    /// engine accepts no further work.
+    ShutDown,
+    /// Admission control: `max_queue` requests are already in flight.
+    /// Back off and retry, or shed the request.
+    QueueFull {
+        /// The configured in-flight bound that was hit.
+        capacity: usize,
+    },
+    /// The prompt was empty; there is nothing to prefill.
+    EmptyPrompt,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ShutDown => write!(f, "engine is shut down"),
+            EngineError::QueueFull { capacity } => {
+                write!(f, "queue full: {capacity} requests already in flight")
+            }
+            EngineError::EmptyPrompt => write!(f, "prompt must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// A continuous-batching inference engine over one model.
 ///
 /// `submit` is thread-safe and non-blocking: requests queue into the
 /// scheduler thread, which batches prefill and decode across everything
-/// in flight. Dropping the engine (or calling [`Engine::shutdown`])
-/// lets in-flight requests finish, then joins the scheduler.
+/// in flight. [`Engine::shutdown`] (or dropping the engine) stops
+/// intake, lets in-flight requests finish, then joins the scheduler.
 pub struct Engine {
-    tx: Option<Sender<Submission>>,
-    worker: Option<JoinHandle<()>>,
+    /// `None` after shutdown — the panic-free replacement for the old
+    /// "engine running" invariant.
+    tx: Mutex<Option<Sender<Submission>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
     metrics: Arc<MetricsInner>,
+    cfg: EngineConfig,
     next_id: AtomicU64,
 }
 
@@ -37,29 +76,53 @@ impl Engine {
         let worker = std::thread::Builder::new()
             .name("matgpt-serve-scheduler".into())
             .spawn(move || scheduler::run(model, store, cfg, rx, metrics_for_worker))
+            // construction-time invariant, not a submit/wait/shutdown
+            // path: if the OS cannot spawn one thread, there is no
+            // engine to return
             .expect("spawn scheduler thread");
         Self {
-            tx: Some(tx),
-            worker: Some(worker),
+            tx: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
             metrics,
+            cfg,
             next_id: AtomicU64::new(0),
         }
     }
 
     /// Submit a prompt with the given sampling options (no deadline,
     /// request id reused as the sampling seed for reproducibility).
-    pub fn submit(&self, prompt: &[u32], opts: SampleOptions) -> ResponseHandle {
+    pub fn submit(
+        &self,
+        prompt: &[u32],
+        opts: SampleOptions,
+    ) -> Result<ResponseHandle, EngineError> {
         let mut req = GenRequest::new(prompt.to_vec());
         req.opts = opts;
         req.seed = self.next_id.load(Ordering::Relaxed);
         self.submit_request(req)
     }
 
-    /// Submit a fully specified request.
-    pub fn submit_request(&self, req: GenRequest) -> ResponseHandle {
-        assert!(!req.prompt.is_empty(), "prompt must be non-empty");
+    /// Submit a fully specified request. Rejects (never panics) when
+    /// the prompt is empty, the in-flight bound is hit, or the engine
+    /// is shut down.
+    pub fn submit_request(&self, req: GenRequest) -> Result<ResponseHandle, EngineError> {
+        if req.prompt.is_empty() {
+            return Err(EngineError::EmptyPrompt);
+        }
+        let tx_guard = self.tx.lock();
+        let tx = tx_guard.as_ref().ok_or(EngineError::ShutDown)?;
+        // admission control: atomically claim an in-flight slot; the
+        // scheduler releases it when the response is sent
+        let capacity = self.cfg.max_queue;
+        self.metrics
+            .backlog
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| {
+                (b < capacity).then_some(b + 1)
+            })
+            .map_err(|_| EngineError::QueueFull { capacity })?;
+
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = channel::unbounded();
+        let (resp_tx, rx) = channel::unbounded();
         let cancel = Arc::new(AtomicBool::new(false));
         let submitted = Instant::now();
         let absolute_deadline = req.deadline.map(|d| submitted + d);
@@ -69,11 +132,14 @@ impl Engine {
             submitted,
             absolute_deadline,
             cancel: Arc::clone(&cancel),
-            tx,
+            tx: resp_tx,
         };
-        let sent = self.tx.as_ref().expect("engine running").send(sub);
-        assert!(sent.is_ok(), "scheduler thread is gone");
-        ResponseHandle { id, rx, cancel }
+        if tx.send(sub).is_err() {
+            // scheduler thread is gone; give the slot back
+            self.metrics.backlog.fetch_sub(1, Ordering::AcqRel);
+            return Err(EngineError::ShutDown);
+        }
+        Ok(ResponseHandle { id, rx, cancel })
     }
 
     /// A consistent snapshot of the serving metrics.
@@ -81,14 +147,13 @@ impl Engine {
         self.metrics.snapshot()
     }
 
-    /// Drain in-flight work and join the scheduler thread.
-    pub fn shutdown(mut self) {
-        self.join();
-    }
-
-    fn join(&mut self) {
-        drop(self.tx.take());
-        if let Some(worker) = self.worker.take() {
+    /// Graceful shutdown: stop intake (subsequent submits get
+    /// [`EngineError::ShutDown`]), drain all queued and in-flight
+    /// requests, then join the scheduler thread. Idempotent.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().take());
+        let worker = self.worker.lock().take();
+        if let Some(worker) = worker {
             let _ = worker.join();
         }
     }
@@ -96,7 +161,7 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        self.join();
+        self.shutdown();
     }
 }
 
@@ -131,7 +196,7 @@ mod tests {
             max_new_tokens: 4,
             stop_token: None,
         };
-        let h = engine.submit(&[1, 2, 3], opts);
+        let h = engine.submit(&[1, 2, 3], opts).expect("admitted");
         let r = h.wait().expect("response");
         assert_eq!(r.generated, 4);
         assert_eq!(r.tokens.len(), 7);
@@ -150,7 +215,7 @@ mod tests {
         let mut req = GenRequest::new(vec![4, 5]);
         req.opts.max_new_tokens = 10_000;
         req.opts.temperature = 0.0;
-        let h = engine.submit_request(req);
+        let h = engine.submit_request(req).expect("admitted");
         h.cancel();
         let r = h
             .wait_timeout(std::time::Duration::from_secs(30))
@@ -165,7 +230,88 @@ mod tests {
         let mut req = GenRequest::new(vec![7]);
         req.opts.max_new_tokens = 10_000;
         req.deadline = Some(std::time::Duration::ZERO);
-        let r = engine.submit_request(req).wait().expect("response");
+        let r = engine
+            .submit_request(req)
+            .expect("admitted")
+            .wait()
+            .expect("response");
         assert_eq!(r.finish, FinishReason::DeadlineExceeded);
+    }
+
+    #[test]
+    fn empty_prompt_is_rejected_not_panicked() {
+        let engine = tiny_engine(EngineConfig::default());
+        assert_eq!(
+            engine.submit(&[], SampleOptions::default()).err(),
+            Some(EngineError::EmptyPrompt)
+        );
+    }
+
+    #[test]
+    fn submit_after_shutdown_returns_shut_down() {
+        let engine = tiny_engine(EngineConfig::default());
+        engine.shutdown();
+        engine.shutdown(); // idempotent
+        assert_eq!(
+            engine.submit(&[1], SampleOptions::default()).err(),
+            Some(EngineError::ShutDown)
+        );
+    }
+
+    #[test]
+    fn backpressure_rejects_beyond_max_queue() {
+        let cfg = EngineConfig {
+            max_queue: 2,
+            ..EngineConfig::default()
+        };
+        let engine = tiny_engine(cfg);
+        let mut handles = Vec::new();
+        let mut rejected = 0usize;
+        for i in 0..40 {
+            let mut req = GenRequest::new(vec![1 + (i % 8) as u32]);
+            req.opts.max_new_tokens = 3;
+            req.opts.temperature = 0.0;
+            match engine.submit_request(req) {
+                Ok(h) => handles.push(h),
+                Err(EngineError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(rejected > 0, "a 2-deep queue must reject a 40-burst");
+        // admitted requests all complete normally
+        for h in handles {
+            let r = h.wait().expect("response");
+            assert!(matches!(r.finish, FinishReason::Length));
+        }
+        assert_eq!(engine.metrics().backlog, 0, "slots all released");
+    }
+
+    #[test]
+    fn panicking_request_fails_alone_batch_survives() {
+        let engine = tiny_engine(EngineConfig::default());
+        let opts = SampleOptions {
+            temperature: 0.0,
+            top_k: 0,
+            max_new_tokens: 4,
+            stop_token: None,
+        };
+        // out-of-vocab token: the embedding lookup panics in prefill;
+        // isolation must convert that into FinishReason::Failed
+        let bad = engine.submit(&[29_999], opts).expect("admitted");
+        let good = engine.submit(&[1, 2], opts).expect("admitted");
+        let rb = bad.wait().expect("failed response still arrives");
+        assert_eq!(rb.finish, FinishReason::Failed);
+        let rg = good.wait().expect("response");
+        assert_eq!(rg.finish, FinishReason::Length);
+        assert_eq!(rg.generated, 4);
+        let m = engine.metrics();
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.backlog, 0);
+        // the engine keeps serving after the fault
+        let again = engine.submit(&[3], opts).expect("admitted");
+        assert_eq!(again.wait().expect("response").finish, FinishReason::Length);
     }
 }

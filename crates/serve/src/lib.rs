@@ -16,14 +16,22 @@
 //! * [`metrics`] — queue depth, TTFT and per-token latency percentiles,
 //!   decode throughput; snapshots serialise with `serde_json`.
 //!
+//! The public submit/wait/shutdown surface is **panic-free**: rejected
+//! submissions are typed [`EngineError`]s (shut down, queue full, empty
+//! prompt), admission is bounded by `max_queue` backpressure, and a
+//! model forward that panics fails only its own request
+//! ([`FinishReason::Failed`]) while the rest of the batch keeps
+//! decoding.
+//!
 //! ```no_run
 //! use matgpt_serve::{Engine, EngineConfig};
 //! # let (model, store): (matgpt_model::GptModel, matgpt_tensor::ParamStore) = todo!();
 //! let engine = Engine::new(model, store, EngineConfig::default());
-//! let handle = engine.submit(&[1, 2, 3], Default::default());
+//! let handle = engine.submit(&[1, 2, 3], Default::default()).expect("admitted");
 //! let response = handle.wait().unwrap();
 //! println!("{} tokens, {:?}", response.generated, response.finish);
 //! println!("{}", engine.metrics().to_json());
+//! engine.shutdown();
 //! ```
 
 pub mod engine;
@@ -31,7 +39,7 @@ pub mod metrics;
 pub mod request;
 pub mod scheduler;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, EngineError};
 pub use metrics::{MetricsSnapshot, Percentiles};
 pub use request::{FinishReason, GenRequest, Response, ResponseHandle};
 pub use scheduler::SchedulerConfig;

@@ -14,7 +14,12 @@ use std::time::Duration;
 pub(crate) struct MetricsInner {
     pub queue_depth: AtomicUsize,
     pub active: AtomicUsize,
+    /// Requests submitted but not yet answered — the admission-control
+    /// gauge `Engine::submit` bounds against `max_queue`.
+    pub backlog: AtomicUsize,
     pub completed: AtomicU64,
+    /// Requests retired with [`crate::FinishReason::Failed`].
+    pub failed: AtomicU64,
     pub generated_tokens: AtomicU64,
     /// Seconds the scheduler spent inside decode/prefill iterations.
     busy_ns: AtomicU64,
@@ -42,7 +47,9 @@ impl MetricsInner {
         MetricsSnapshot {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             active: self.active.load(Ordering::Relaxed),
+            backlog: self.backlog.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
             generated_tokens: generated,
             ttft_ms: Percentiles::of(&self.ttft_ms.lock()),
             token_latency_ms: Percentiles::of(&self.token_latency_ms.lock()),
@@ -74,7 +81,8 @@ impl Percentiles {
             return Self::default();
         }
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp: NaN-proof total order, no panic path
+        sorted.sort_by(f64::total_cmp);
         let at = |q: f64| {
             let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
             sorted[idx]
@@ -95,8 +103,13 @@ pub struct MetricsSnapshot {
     pub queue_depth: usize,
     /// Requests currently decoding.
     pub active: usize,
+    /// Requests in flight anywhere in the engine (submitted, not yet
+    /// answered).
+    pub backlog: usize,
     /// Requests retired (any finish reason).
     pub completed: u64,
+    /// Requests retired because an internal fault hit them.
+    pub failed: u64,
     /// Total tokens generated across all requests.
     pub generated_tokens: u64,
     /// Time-to-first-token percentiles.
@@ -108,9 +121,10 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Serialise to a JSON string.
+    /// Serialise to a JSON string (an empty object if serialisation
+    /// ever fails — scraping must not bring the engine down).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("metrics serialise")
+        serde_json::to_string(self).unwrap_or_else(|_| String::from("{}"))
     }
 }
 

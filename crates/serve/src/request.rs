@@ -45,6 +45,10 @@ pub enum FinishReason {
     DeadlineExceeded,
     /// The client cancelled via [`ResponseHandle::cancel`].
     Cancelled,
+    /// The engine hit an internal error (a panicked model forward) on
+    /// this request. Other requests in the batch are unaffected; any
+    /// tokens decoded before the fault are kept.
+    Failed,
 }
 
 /// A completed (or aborted) generation.

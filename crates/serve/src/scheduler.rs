@@ -10,6 +10,12 @@
 //! and (4) retires requests that hit their stop token, length budget,
 //! deadline, or a client cancel, freeing their budget so the next
 //! queued request joins on the very next iteration.
+//!
+//! Faults are isolated per request: a model forward that panics (in
+//! prefill or decode) is caught with `catch_unwind`, the afflicted
+//! request retires with [`FinishReason::Failed`] — its partially
+//! mutated state discarded with it, so no poisoned state survives —
+//! and the rest of the batch continues untouched.
 
 use crate::metrics::MetricsInner;
 use crate::request::{FinishReason, Response, Submission};
@@ -36,6 +42,11 @@ pub struct SchedulerConfig {
     /// the whole budget is still admitted when the batch is empty, so
     /// oversized requests cannot starve.
     pub token_budget: usize,
+    /// Maximum requests in flight (queued + decoding). Submissions
+    /// beyond this are rejected at submit time with
+    /// [`crate::EngineError::QueueFull`] — bounded-queue backpressure
+    /// instead of an unbounded channel absorbing any burst.
+    pub max_queue: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -43,6 +54,7 @@ impl Default for SchedulerConfig {
         Self {
             max_batch: 8,
             token_budget: 4096,
+            max_queue: 1024,
         }
     }
 }
@@ -64,16 +76,32 @@ struct Active {
 
 impl Active {
     /// Prefill the prompt (trailing `max_seq` window) and stage the
-    /// first logits row.
-    fn prefill(model: &GptModel, store: &ParamStore, sub: Submission, reserved: usize) -> Self {
+    /// first logits row. The model forward runs under `catch_unwind`:
+    /// on a panic the submission is handed back so the scheduler can
+    /// retire it as [`FinishReason::Failed`] without losing the batch.
+    fn try_prefill(
+        model: &GptModel,
+        store: &ParamStore,
+        sub: Submission,
+        reserved: usize,
+    ) -> Result<Self, Box<(Submission, usize)>> {
         let tokens = sub.req.prompt.clone();
-        let mut cache = model.new_cache();
         let ctx_start = tokens.len().saturating_sub(model.cfg.max_seq);
-        let logits = model.forward_cached(store, &tokens[ctx_start..], &mut cache);
-        let v = model.cfg.vocab_size;
-        let last_row = logits[(cache.len() - 1) * v..].to_vec();
+        // only the forward is unwind-scoped; `sub` stays outside so a
+        // Failed response can still be delivered
+        let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut cache = model.new_cache();
+            let logits = model.forward_cached(store, &tokens[ctx_start..], &mut cache);
+            let v = model.cfg.vocab_size;
+            let last_row = logits[(cache.len() - 1) * v..].to_vec();
+            (cache, last_row)
+        }));
+        let (cache, last_row) = match forward {
+            Ok(ok) => ok,
+            Err(_) => return Err(Box::new((sub, reserved))),
+        };
         let rng = ChaCha8Rng::seed_from_u64(sub.req.seed);
-        Self {
+        Ok(Self {
             sub,
             cache,
             tokens,
@@ -84,7 +112,7 @@ impl Active {
             last_token_at: Instant::now(),
             reserved,
             done: None,
-        }
+        })
     }
 
     /// Advance by one token: sample from the staged logits, decide
@@ -158,6 +186,10 @@ fn retire_unstarted(sub: Submission, reason: FinishReason, metrics: &MetricsInne
         total,
     };
     metrics.completed.fetch_add(1, Ordering::Relaxed);
+    if reason == FinishReason::Failed {
+        metrics.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    metrics.backlog.fetch_sub(1, Ordering::AcqRel);
     let _ = sub.tx.send(resp);
 }
 
@@ -208,7 +240,7 @@ pub(crate) fn run(
         while i < queue.len() {
             let (cancelled, expired) = (queue[i].cancelled(), queue[i].expired(now));
             if cancelled || expired {
-                let sub = queue.remove(i).expect("index in bounds");
+                let Some(sub) = queue.remove(i) else { break };
                 let reason = if cancelled {
                     FinishReason::Cancelled
                 } else {
@@ -231,18 +263,28 @@ pub(crate) fn run(
             if !batch_empty && used_budget + cost > cfg.token_budget {
                 break;
             }
-            let sub = queue.pop_front().expect("front exists");
+            let Some(sub) = queue.pop_front() else { break };
             used_budget += cost;
             admitted.push((sub, cost));
         }
         if !admitted.is_empty() {
             // batched prefill: all newly admitted prompts forward together
             let (model_ref, store_ref) = (&model, &store);
-            let mut fresh: Vec<Active> = admitted
+            let fresh: Vec<Result<Active, Box<(Submission, usize)>>> = admitted
                 .into_par_iter()
-                .map(|(sub, cost)| Active::prefill(model_ref, store_ref, sub, cost))
+                .map(|(sub, cost)| Active::try_prefill(model_ref, store_ref, sub, cost))
                 .collect_vec();
-            active.append(&mut fresh);
+            for prefilled in fresh {
+                match prefilled {
+                    Ok(a) => active.push(a),
+                    Err(bounced) => {
+                        let (sub, cost) = *bounced;
+                        // panicked prefill: free its budget, answer Failed
+                        used_budget -= cost;
+                        retire_unstarted(sub, FinishReason::Failed, &metrics);
+                    }
+                }
+            }
         }
 
         metrics.queue_depth.store(queue.len(), Ordering::Relaxed);
@@ -255,9 +297,20 @@ pub(crate) fn run(
         // ---- one decode iteration across the whole batch
         {
             let (model_ref, store_ref, metrics_ref) = (&model, &store, &*metrics);
-            active
-                .par_iter_mut()
-                .for_each(|a| a.step(model_ref, store_ref, metrics_ref));
+            active.par_iter_mut().for_each(|a| {
+                if a.done.is_some() {
+                    return;
+                }
+                // per-request unwind isolation: a panicked decode fails
+                // only its own request; its half-stepped state is
+                // discarded when it retires below
+                let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    a.step(model_ref, store_ref, metrics_ref)
+                }));
+                if stepped.is_err() {
+                    a.done = Some(FinishReason::Failed);
+                }
+            });
         }
 
         // ---- retire finished requests, freeing their budget
@@ -280,6 +333,10 @@ pub(crate) fn run(
             .fetch_add(retired.len() as u64, Ordering::Relaxed);
         metrics.record_busy(iter_start.elapsed());
         for a in retired {
+            if a.done == Some(FinishReason::Failed) {
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            metrics.backlog.fetch_sub(1, Ordering::AcqRel);
             let (sub, resp) = a.into_response();
             let _ = sub.tx.send(resp);
         }

@@ -1,23 +1,32 @@
 //! Checkpointing: serialise a [`ParamStore`] to a compact binary format
 //! and restore it bit-exactly.
 //!
-//! Format (little-endian):
+//! Format v2 (little-endian):
 //!
 //! ```text
 //! magic "MGPT" | version u32 | n_params u32 |
 //!   per param: name_len u32 | name bytes | rank u32 | dims u64… | f32 data…
+//! n_sections u32 |
+//!   per section: name_len u32 | name bytes | byte_len u64 | bytes…
 //! ```
 //!
-//! Gradients are not persisted — a checkpoint captures model weights, as
-//! training-framework checkpoints do (optimizer state lives with the
-//! optimizer).
+//! Version 2 appends a list of named opaque *sections* after the
+//! parameter table. Training code uses them to carry everything a
+//! bit-identical restart needs beyond the weights: optimizer moments,
+//! the LR-schedule step, the data-loader RNG cursor, and recorded loss
+//! curves (see `matgpt_core::pretrain::Trainer`). Version 1 checkpoints
+//! (no section table) remain readable; [`load`] and [`load_full`]
+//! accept both. Decoding is panic-free on arbitrary bytes: truncated or
+//! bit-flipped input yields a [`CheckpointError`], never a crash or an
+//! attacker-controlled allocation.
 
 use crate::param::ParamStore;
 use crate::tensor::Tensor;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"MGPT";
-const VERSION: u32 = 1;
+const V1: u32 = 1;
+const V2: u32 = 2;
 
 /// Errors from checkpoint decoding.
 #[derive(Debug, PartialEq, Eq)]
@@ -45,11 +54,36 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-/// Serialise all parameters (names, shapes, values) of `store`.
+/// A fully decoded v2 checkpoint: the weights plus any named sections.
+pub struct Checkpoint {
+    /// The decoded parameter table.
+    pub store: ParamStore,
+    /// Named opaque sections, in file order (empty for v1 inputs).
+    pub sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Checkpoint {
+    /// The bytes of the first section named `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+    }
+}
+
+/// Serialise all parameters (names, shapes, values) of `store` with no
+/// extra sections.
 pub fn save(store: &ParamStore) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + store.num_scalars() * 4);
+    save_with_sections(store, &[])
+}
+
+/// Serialise `store` plus named opaque `sections` (format v2).
+pub fn save_with_sections(store: &ParamStore, sections: &[(String, Vec<u8>)]) -> Bytes {
+    let extra: usize = sections.iter().map(|(n, b)| 12 + n.len() + b.len()).sum();
+    let mut buf = BytesMut::with_capacity(64 + store.num_scalars() * 4 + extra);
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(V2);
     buf.put_u32_le(store.len() as u32);
     for id in store.ids() {
         let name = store.name(id).as_bytes();
@@ -64,11 +98,38 @@ pub fn save(store: &ParamStore) -> Bytes {
             buf.put_f32_le(v);
         }
     }
+    buf.put_u32_le(sections.len() as u32);
+    for (name, bytes) in sections {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        buf.put_u64_le(bytes.len() as u64);
+        buf.put_slice(bytes);
+    }
     buf.freeze()
 }
 
-/// Decode a checkpoint into a fresh [`ParamStore`].
+/// Read a length-prefixed name, bounds-checked.
+fn read_name(buf: &mut &[u8]) -> Result<String, CheckpointError> {
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let name_len = buf.get_u32_le() as usize;
+    if buf.remaining() < name_len {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut name = vec![0u8; name_len];
+    buf.copy_to_slice(&mut name);
+    Ok(String::from_utf8_lossy(&name).into_owned())
+}
+
+/// Decode a checkpoint (v1 or v2) into a fresh [`ParamStore`],
+/// discarding any sections.
 pub fn load(bytes: &[u8]) -> Result<ParamStore, CheckpointError> {
+    load_full(bytes).map(|c| c.store)
+}
+
+/// Decode a checkpoint (v1 or v2) keeping the section table.
+pub fn load_full(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
     let mut buf = bytes;
     if buf.remaining() < 12 {
         return Err(CheckpointError::Truncated);
@@ -79,35 +140,38 @@ pub fn load(bytes: &[u8]) -> Result<ParamStore, CheckpointError> {
         return Err(CheckpointError::BadMagic);
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != V1 && version != V2 {
         return Err(CheckpointError::BadVersion(version));
     }
     let n = buf.get_u32_le() as usize;
     let mut store = ParamStore::new();
     for _ in 0..n {
-        if buf.remaining() < 4 {
-            return Err(CheckpointError::Truncated);
-        }
-        let name_len = buf.get_u32_le() as usize;
-        if buf.remaining() < name_len {
-            return Err(CheckpointError::Truncated);
-        }
-        let mut name = vec![0u8; name_len];
-        buf.copy_to_slice(&mut name);
-        let name = String::from_utf8_lossy(&name).into_owned();
+        let name = read_name(&mut buf)?;
         if buf.remaining() < 4 {
             return Err(CheckpointError::Truncated);
         }
         let rank = buf.get_u32_le() as usize;
-        if buf.remaining() < rank * 8 {
+        // bound before any shape-sized work: each dim is 8 bytes
+        if rank
+            .checked_mul(8)
+            .is_none_or(|need| buf.remaining() < need)
+        {
             return Err(CheckpointError::Truncated);
         }
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
             shape.push(buf.get_u64_le() as usize);
         }
-        let numel: usize = shape.iter().product();
-        if buf.remaining() < numel * 4 {
+        // corrupt dims can overflow the element count; use checked math
+        // so a bit flip yields an error instead of a panic or huge alloc
+        let numel = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or(CheckpointError::ShapeMismatch)?;
+        if numel
+            .checked_mul(4)
+            .is_none_or(|need| buf.remaining() < need)
+        {
             return Err(CheckpointError::Truncated);
         }
         let mut data = Vec::with_capacity(numel);
@@ -116,7 +180,27 @@ pub fn load(bytes: &[u8]) -> Result<ParamStore, CheckpointError> {
         }
         store.add(name, Tensor::from_vec(&shape, data));
     }
-    Ok(store)
+    let mut sections = Vec::new();
+    if version >= V2 {
+        if buf.remaining() < 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let n_sections = buf.get_u32_le() as usize;
+        for _ in 0..n_sections {
+            let name = read_name(&mut buf)?;
+            if buf.remaining() < 8 {
+                return Err(CheckpointError::Truncated);
+            }
+            let len = buf.get_u64_le();
+            if len > buf.remaining() as u64 {
+                return Err(CheckpointError::Truncated);
+            }
+            let mut data = vec![0u8; len as usize];
+            buf.copy_to_slice(&mut data);
+            sections.push((name, data));
+        }
+    }
+    Ok(Checkpoint { store, sections })
 }
 
 /// Copy values from `src` into `dst` by matching names and shapes.
@@ -166,6 +250,40 @@ mod tests {
     }
 
     #[test]
+    fn sections_roundtrip() {
+        let store = sample_store();
+        let sections = vec![
+            ("opt_state".to_string(), vec![1u8, 2, 3, 4, 5]),
+            ("cursor".to_string(), Vec::new()),
+        ];
+        let bytes = save_with_sections(&store, &sections);
+        let ck = load_full(&bytes).unwrap();
+        assert_eq!(ck.sections, sections);
+        assert_eq!(ck.section("opt_state"), Some(&[1u8, 2, 3, 4, 5][..]));
+        assert_eq!(ck.section("cursor"), Some(&[][..]));
+        assert_eq!(ck.section("missing"), None);
+        assert_eq!(ck.store.len(), store.len());
+    }
+
+    #[test]
+    fn v1_checkpoints_stay_readable() {
+        // hand-build a v1 image: header + one scalar param, no sections
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(V1);
+        buf.put_u32_le(1);
+        buf.put_u32_le(1); // name len
+        buf.put_slice(b"s");
+        buf.put_u32_le(0); // rank 0
+        buf.put_f32_le(2.5);
+        let ck = load_full(&buf.freeze()).unwrap();
+        assert_eq!(ck.store.len(), 1);
+        assert!(ck.sections.is_empty());
+        let id = ck.store.ids().next().unwrap();
+        assert_eq!(ck.store.value(id).data(), &[2.5]);
+    }
+
+    #[test]
     fn bad_magic_and_truncation_detected() {
         let store = sample_store();
         let bytes = save(&store);
@@ -207,8 +325,9 @@ mod tests {
         let store = sample_store();
         let bytes = save(&store);
         // header 12 + per-param (4 + name + 4 + 8*rank) + 4*scalars
+        // + trailing empty section table (4)
         let expected =
-            12 + (4 + 2 + 4 + 16) + (4 + 2 + 4 + 8) + (4 + 6 + 4) + 4 * store.num_scalars();
+            12 + (4 + 2 + 4 + 16) + (4 + 2 + 4 + 8) + (4 + 6 + 4) + 4 * store.num_scalars() + 4;
         assert_eq!(bytes.len(), expected);
     }
 }

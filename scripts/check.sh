@@ -14,4 +14,8 @@ echo "== tier-1: release build + root test suite =="
 cargo build --release
 cargo test -q
 
+echo "== fault-tolerance: checkpoint-restart + failure injection =="
+cargo test -q --test fault_tolerance
+cargo test -q -p matgpt-tensor --test checkpoint_corruption
+
 echo "All checks passed."

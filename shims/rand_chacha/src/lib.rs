@@ -47,6 +47,30 @@ fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d
 }
 
 impl<const R: usize> ChaChaRng<R> {
+    /// Number of 32-bit words produced so far — the stream cursor, as
+    /// upstream's `get_word_pos`. Together with the seed this fully
+    /// determines the remaining output, so it is what checkpoints store
+    /// to make an RNG resumable.
+    pub fn get_word_pos(&self) -> u128 {
+        // `counter` points at the *next* block; the buffer holds block
+        // `counter - 1` with `idx` words already served. A fresh RNG has
+        // counter 0 and idx == BLOCK_WORDS, which also yields 0 here.
+        (self.counter as u128) * BLOCK_WORDS as u128 + self.idx as u128 - BLOCK_WORDS as u128
+    }
+
+    /// Seek the stream to an absolute word position (upstream's
+    /// `set_word_pos`). Only positions on the same keyed stream make
+    /// sense: seed identically, then seek.
+    pub fn set_word_pos(&mut self, pos: u128) {
+        self.counter = (pos / BLOCK_WORDS as u128) as u64;
+        self.idx = BLOCK_WORDS; // force refill on next draw
+        let within = (pos % BLOCK_WORDS as u128) as usize;
+        if within != 0 {
+            self.refill(); // regenerates the block and bumps counter
+            self.idx = within;
+        }
+    }
+
     fn refill(&mut self) {
         // "expand 32-byte k" constants
         let mut state: [u32; BLOCK_WORDS] = [
@@ -150,5 +174,22 @@ mod tests {
         }
         let mut fork = rng.clone();
         assert_eq!(rng.next_u32(), fork.next_u32());
+    }
+
+    #[test]
+    fn word_pos_roundtrip_resumes_the_stream() {
+        // every offset within and across block boundaries
+        for consumed in [0usize, 1, 7, 15, 16, 17, 31, 32, 100] {
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            for _ in 0..consumed {
+                rng.next_u32();
+            }
+            assert_eq!(rng.get_word_pos(), consumed as u128);
+            let mut fresh = ChaCha8Rng::seed_from_u64(99);
+            fresh.set_word_pos(consumed as u128);
+            let a: Vec<u32> = (0..40).map(|_| rng.next_u32()).collect();
+            let b: Vec<u32> = (0..40).map(|_| fresh.next_u32()).collect();
+            assert_eq!(a, b, "diverged after {consumed} words");
+        }
     }
 }

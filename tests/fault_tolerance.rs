@@ -1,0 +1,140 @@
+//! Tier-1 integration tests for the fault-tolerance subsystem:
+//! checkpoint-restart pretraining that is bit-identical to an
+//! uninterrupted run (for both architectures, interrupted anywhere),
+//! and the failure-injection simulator's agreement with the Young/Daly
+//! optimal-checkpoint-interval prediction at 256-GCD scale.
+
+use matgpt::core::recipes::{OptChoice, PretrainConfig, SizeRole};
+use matgpt::core::{pretrain_resume, pretrain_with_checkpoints, Trainer};
+use matgpt::corpus::{build_corpus, CorpusConfig};
+use matgpt::frontier_sim::{
+    resilient_training_run, simulate_step, FaultModel, PowerModel, Strategy, TrainSetup,
+};
+use matgpt::model::{ArchKind, GptConfig};
+use matgpt::tokenizer::TokenizerKind;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn docs() -> &'static Vec<String> {
+    static DOCS: OnceLock<Vec<String>> = OnceLock::new();
+    DOCS.get_or_init(|| {
+        build_corpus(&CorpusConfig {
+            n_materials: 40,
+            total_docs: 120,
+            offtopic_fraction: 0.2,
+            seed: 17,
+        })
+        .documents
+    })
+}
+
+fn cfg(arch: ArchKind) -> PretrainConfig {
+    PretrainConfig {
+        steps: 10,
+        batch_seqs: 2,
+        ..PretrainConfig::scaled(
+            arch,
+            TokenizerKind::Hf,
+            300,
+            OptChoice::Adam,
+            SizeRole::Base,
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Interrupt a pretraining run at an arbitrary step, resume it from
+    /// the checkpoint bytes, and the final loss curves are **exactly**
+    /// (bit-for-bit) those of the uninterrupted run — weights, optimizer
+    /// moments, LR step and data-loader stream all restored. Holds for
+    /// both the NeoX and LLaMA configurations.
+    #[test]
+    fn interrupted_runs_resume_bit_identically(
+        arch in prop_oneof![Just(ArchKind::NeoX), Just(ArchKind::Llama)],
+        interrupt in 1usize..10,
+    ) {
+        let cfg = cfg(arch);
+        let documents = docs();
+
+        let mut uninterrupted = Trainer::new(documents, &cfg);
+        uninterrupted.run_to_end();
+        let baseline = uninterrupted.finish();
+
+        let mut trainer = Trainer::new(documents, &cfg);
+        for _ in 0..interrupt {
+            trainer.step_once();
+        }
+        let bytes = trainer.checkpoint();
+        drop(trainer); // the "failure": all in-memory state is gone
+        let resumed = pretrain_resume(documents, &cfg, &bytes).expect("resume");
+
+        // exact equality on f32 curves — no tolerance
+        prop_assert_eq!(&baseline.curves.train, &resumed.curves.train);
+        prop_assert_eq!(&baseline.curves.val, &resumed.curves.val);
+        prop_assert_eq!(&baseline.curves.label, &resumed.curves.label);
+    }
+}
+
+/// The periodic-checkpointing driver writes restartable images: resuming
+/// from *any* of them reproduces the uninterrupted run exactly.
+#[test]
+fn every_periodic_checkpoint_is_a_valid_restart_point() {
+    let cfg = cfg(ArchKind::Llama);
+    let documents = docs();
+    let (baseline, checkpoints) = pretrain_with_checkpoints(documents, &cfg, 3);
+    assert!(checkpoints.len() >= 3, "10 steps / every 3 -> >= 3 images");
+    for (at_step, bytes) in &checkpoints {
+        let resumed = pretrain_resume(documents, &cfg, bytes)
+            .unwrap_or_else(|e| panic!("resume from step {at_step}: {e}"));
+        assert_eq!(
+            baseline.curves.train, resumed.curves.train,
+            "resume from step {at_step} diverged"
+        );
+        assert_eq!(baseline.curves.val, resumed.curves.val);
+    }
+}
+
+/// At 256 GCDs under an accelerated failure model, checkpointing at the
+/// Young/Daly interval yields goodput at least as high as intervals 4x
+/// longer or 4x shorter — the optimality the formulas predict.
+#[test]
+fn young_daly_interval_beats_quarter_and_four_x() {
+    let mut setup = TrainSetup::new(
+        GptConfig::paper_1_7b(ArchKind::Llama, 52_000),
+        256,
+        Strategy::DataParallel,
+    );
+    setup.micro_batch = 8;
+    let report = simulate_step(&setup);
+    let power = PowerModel::default();
+    let faults = FaultModel {
+        node_mtbf_hours: 32.0, // job MTBF ~1 h at 32 nodes
+        ..FaultModel::default()
+    };
+    let tau = faults.young_interval_s(256);
+    let reps = 48;
+    let run = |interval: f64| {
+        resilient_training_run(&setup, &report, &power, &faults, 15e9, interval, reps)
+    };
+    let at_tau = run(tau);
+    let at_quarter = run(tau / 4.0);
+    let at_four_x = run(tau * 4.0);
+    assert!(
+        at_tau.goodput >= at_quarter.goodput,
+        "goodput at tau {} < at tau/4 {}",
+        at_tau.goodput,
+        at_quarter.goodput
+    );
+    assert!(
+        at_tau.goodput >= at_four_x.goodput,
+        "goodput at tau {} < at 4*tau {}",
+        at_tau.goodput,
+        at_four_x.goodput
+    );
+    // over-frequent checkpointing pays in write overhead, over-sparse in
+    // lost work — the two failure modes the optimum balances
+    assert!(at_quarter.checkpoint_hours > at_tau.checkpoint_hours);
+    assert!(at_four_x.lost_hours > at_tau.lost_hours);
+}

@@ -4,7 +4,7 @@
 //! generation.
 
 use matgpt::model::{generate, ArchKind, GptConfig, GptModel, SampleOptions};
-use matgpt::serve::{Engine, EngineConfig, FinishReason, GenRequest};
+use matgpt::serve::{Engine, EngineConfig, EngineError, FinishReason, GenRequest};
 use matgpt::tensor::{init, ParamStore, Tape};
 use proptest::prelude::*;
 
@@ -102,6 +102,7 @@ fn scheduler_is_fair_and_live_under_admission_pressure() {
         EngineConfig {
             max_batch: 2,
             token_budget: 64,
+            ..EngineConfig::default()
         },
     );
     let n = 8;
@@ -114,7 +115,7 @@ fn scheduler_is_fair_and_live_under_admission_pressure() {
     let handles: Vec<_> = (0..n)
         .map(|i| {
             let prompt: Vec<u32> = (0..8u32).map(|t| (t + i) % 40).collect();
-            engine.submit(&prompt, opts)
+            engine.submit(&prompt, opts).expect("admitted")
         })
         .collect();
     let mut responses = Vec::new();
@@ -172,7 +173,10 @@ fn engine_matches_single_request_generation_under_concurrency() {
         .collect();
 
     let engine = Engine::new(model, store, EngineConfig::default());
-    let handles: Vec<_> = prompts.iter().map(|p| engine.submit(p, opts)).collect();
+    let handles: Vec<_> = prompts
+        .iter()
+        .map(|p| engine.submit(p, opts).expect("admitted"))
+        .collect();
     for (i, h) in handles.into_iter().enumerate() {
         let r = h.wait().expect("response");
         assert_eq!(
@@ -207,6 +211,7 @@ fn deadlines_and_cancellation_do_not_stall_the_queue() {
         EngineConfig {
             max_batch: 1,
             token_budget: 4096,
+            ..EngineConfig::default()
         },
     );
     let opts = SampleOptions {
@@ -222,8 +227,8 @@ fn deadlines_and_cancellation_do_not_stall_the_queue() {
         ..opts
     };
     doomed.deadline = Some(std::time::Duration::ZERO);
-    let h_doomed = engine.submit_request(doomed);
-    let h_ok = engine.submit(&[5, 6], opts);
+    let h_doomed = engine.submit_request(doomed).expect("admitted");
+    let h_ok = engine.submit(&[5, 6], opts).expect("admitted");
     assert_eq!(
         h_doomed.wait().expect("doomed answered").finish,
         FinishReason::DeadlineExceeded
@@ -232,4 +237,66 @@ fn deadlines_and_cancellation_do_not_stall_the_queue() {
     assert_eq!(ok.finish, FinishReason::Length);
     assert_eq!(ok.generated, 8);
     engine.shutdown();
+}
+
+/// The panic-free contract end to end: a request whose forward panics
+/// (out-of-vocab token) retires alone with `Failed`, bounded-queue
+/// backpressure rejects with `QueueFull` instead of queueing without
+/// limit, empty prompts are typed errors, and after a graceful shutdown
+/// submission reports `ShutDown` — no path panics the caller.
+#[test]
+fn engine_is_panic_free_under_faults_overload_and_shutdown() {
+    let (model, store) = build(tiny_cfg(), 13);
+    let engine = Engine::new(
+        model,
+        store,
+        EngineConfig {
+            max_queue: 3,
+            ..EngineConfig::default()
+        },
+    );
+    let opts = SampleOptions {
+        temperature: 0.0,
+        top_k: 0,
+        max_new_tokens: 6,
+        stop_token: None,
+    };
+
+    assert_eq!(
+        engine.submit(&[], opts).err(),
+        Some(EngineError::EmptyPrompt)
+    );
+
+    // token 9999 is far out of vocab (40): prefill panics, isolation
+    // turns it into a Failed response while the healthy request and the
+    // engine itself keep going
+    let bad = engine.submit(&[9999], opts).expect("admitted");
+    let good = engine.submit(&[1, 2, 3], opts).expect("admitted");
+    assert_eq!(bad.wait().expect("answered").finish, FinishReason::Failed);
+    let ok = good.wait().expect("answered");
+    assert_eq!(ok.finish, FinishReason::Length);
+    assert_eq!(ok.generated, 6);
+    assert_eq!(engine.metrics().failed, 1);
+
+    // overload a 3-deep queue: at least one burst submission bounces
+    let mut handles = Vec::new();
+    let mut saw_queue_full = false;
+    for i in 0..64u32 {
+        match engine.submit(&[1 + i % 8], opts) {
+            Ok(h) => handles.push(h),
+            Err(EngineError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 3);
+                saw_queue_full = true;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(saw_queue_full, "64-burst must trip a 3-deep queue");
+    for h in handles {
+        assert_eq!(h.wait().expect("drained").finish, FinishReason::Length);
+    }
+    assert_eq!(engine.metrics().backlog, 0, "all slots released");
+
+    engine.shutdown();
+    assert_eq!(engine.submit(&[1], opts).err(), Some(EngineError::ShutDown));
 }
