@@ -1,0 +1,176 @@
+//! Extension: unified observability demo — records a small pretraining
+//! run, an 8-request serving run, and a simulated Frontier training
+//! step into **one** Chrome trace (`target/obs/trace.json`, openable in
+//! Perfetto / `chrome://tracing`) and **one** Prometheus exposition
+//! (`target/obs/metrics.prom`), then self-validates both artifacts:
+//! the trace must parse with events from all three sources (trainer,
+//! serve, frontier-sim) and the exposition must round-trip every
+//! expected metric family. Exits non-zero on any violation, so
+//! `scripts/check.sh` can use it as a gate.
+
+use matgpt_bench::print_table;
+use matgpt_core::{pretrain::Trainer, OptChoice, PretrainConfig, SizeRole};
+use matgpt_corpus::{build_corpus, CorpusConfig};
+use matgpt_frontier_sim::parallel::{simulate_step, Strategy, TrainSetup};
+use matgpt_frontier_sim::power::PowerModel;
+use matgpt_frontier_sim::trace as sim_trace;
+use matgpt_model::{ArchKind, GptConfig, GptModel, SampleOptions};
+use matgpt_obs::{chrome, pids, prom, Recorder, Registry};
+use matgpt_serve::{Engine, EngineConfig};
+use matgpt_tensor::{init, ParamStore};
+use matgpt_tokenizer::TokenizerKind;
+use std::path::Path;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("ext_observability: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let smoke = matgpt_bench::smoke_requested();
+    let rec = Recorder::global();
+    rec.enable(); // enable first: the epoch starts now, timestamps stay small
+
+    // ---- source 1: simulated Frontier step (Figs. 9/11/12 re-target)
+    let setup = TrainSetup::new(
+        GptConfig::paper_6_7b(ArchKind::Llama, 52_000),
+        256,
+        Strategy::Zero1,
+    );
+    let report = simulate_step(&setup);
+    sim_trace::record_chrome(
+        rec,
+        Registry::global(),
+        &setup,
+        &report,
+        &PowerModel::default(),
+        2,
+        report.step_s / 100.0,
+    );
+
+    // ---- source 2: a small measured pretraining run
+    let corpus = build_corpus(&CorpusConfig {
+        n_materials: 30,
+        total_docs: 80,
+        offtopic_fraction: 0.2,
+        seed: 11,
+    });
+    let steps = if smoke { 3 } else { 6 };
+    let train_cfg = PretrainConfig {
+        steps,
+        batch_seqs: 2,
+        ..PretrainConfig::scaled(
+            ArchKind::Llama,
+            TokenizerKind::Hf,
+            300,
+            OptChoice::Adam,
+            SizeRole::Base,
+        )
+    };
+    let mut trainer = Trainer::new(&corpus.documents, &train_cfg);
+    trainer.run_to_end();
+    let checkpoint_bytes = trainer.checkpoint().len();
+
+    // ---- source 3: a concurrent serving run
+    let mut store = ParamStore::new();
+    let mut rng = init::rng(0);
+    let serve_cfg = GptConfig {
+        max_seq: 128,
+        ..GptConfig::tiny(ArchKind::Llama, 128)
+    };
+    let model = GptModel::new(serve_cfg, &mut store, &mut rng);
+    let engine = Engine::new(model, store, EngineConfig::default());
+    let n_req = if smoke { 4 } else { 8 };
+    let opts = SampleOptions {
+        temperature: 0.0,
+        top_k: 0,
+        max_new_tokens: 6,
+        stop_token: None,
+    };
+    let handles: Vec<_> = (0..n_req)
+        .map(|i| {
+            let plen = 8 + 4 * i;
+            let p: Vec<u32> = (0..plen as u32).map(|t| (t * 5 + i as u32) % 127).collect();
+            engine.submit(&p, opts).expect("admitted")
+        })
+        .collect();
+    let answered = handles.into_iter().filter_map(|h| h.wait()).count();
+    if answered != n_req {
+        fail("not every serving request was answered");
+    }
+    engine.shutdown(); // joins the scheduler, flushing its spans
+
+    // ---- export
+    matgpt_obs::flush_thread();
+    let json = rec.to_chrome_json();
+    let text = prom::render_all(&[Registry::global(), engine.registry()]);
+    let out_dir = Path::new("target/obs");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        fail(&format!("create {}: {e}", out_dir.display()));
+    }
+    if let Err(e) = std::fs::write(out_dir.join("trace.json"), &json) {
+        fail(&format!("write trace.json: {e}"));
+    }
+    if let Err(e) = std::fs::write(out_dir.join("metrics.prom"), &text) {
+        fail(&format!("write metrics.prom: {e}"));
+    }
+
+    // ---- self-validate: the trace parses, is well-formed, and carries
+    // events from all three instrumented subsystems
+    let stats = match chrome::validate(&json) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("trace.json invalid: {e}")),
+    };
+    if stats.complete_events == 0 {
+        fail("trace.json holds no complete events");
+    }
+    for pid in [pids::TRAINER, pids::SERVE, pids::SIM] {
+        if stats.events_per_pid.get(&pid).copied().unwrap_or(0) == 0 {
+            fail(&format!("no events from source `{}`", pids::name(pid)));
+        }
+    }
+
+    // ---- and the exposition parses with every expected family present
+    let families = match prom::parse(&text) {
+        Ok(f) => f,
+        Err(e) => fail(&format!("metrics.prom invalid: {e}")),
+    };
+    for family in [
+        "trainer_loss",
+        "trainer_steps_total",
+        "trainer_tokens_per_sec",
+        "sim_rccl_calls_total",
+        "sim_step_seconds",
+        "serve_requests_completed_total",
+        "serve_ttft_ms",
+        "serve_token_latency_ms",
+    ] {
+        if !families.iter().any(|f| f.name == family) {
+            fail(&format!("metric family `{family}` missing from exposition"));
+        }
+    }
+
+    let per_pid = |pid: u64| stats.events_per_pid.get(&pid).copied().unwrap_or(0);
+    print_table(
+        "Unified trace (target/obs/trace.json)",
+        &["source", "complete events"],
+        &[
+            vec![
+                pids::name(pids::TRAINER),
+                per_pid(pids::TRAINER).to_string(),
+            ],
+            vec![pids::name(pids::SERVE), per_pid(pids::SERVE).to_string()],
+            vec![pids::name(pids::SIM), per_pid(pids::SIM).to_string()],
+        ],
+    );
+    println!(
+        "\ntracks: {}, metadata events: {}, metric families: {}, \
+         trainer checkpoint image: {} bytes",
+        stats.tracks,
+        stats.metadata_events,
+        families.len(),
+        checkpoint_bytes
+    );
+    println!("open target/obs/trace.json in Perfetto (ui.perfetto.dev) or chrome://tracing");
+    println!("ext_observability: OK");
+}

@@ -13,11 +13,13 @@
 use crate::recipes::{OptChoice, PretrainConfig, SizeRole};
 use matgpt_corpus::TokenDataset;
 use matgpt_model::{GptConfig, GptModel};
+use matgpt_obs::{pids, Counter, Gauge, Registry, Span};
 use matgpt_optim::{Adam, AdamConfig, CosineSchedule, Lamb, LrSchedule, Optimizer, OptimizerState};
 use matgpt_tensor::checkpoint::{self, CheckpointError};
 use matgpt_tensor::{init, ParamStore, Tape};
 use matgpt_tokenizer::{BpeTokenizer, Tokenizer, TokenizerKind, UnigramTokenizer};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Recorded loss curves of one experiment.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -171,6 +173,35 @@ const SEC_STEP: &str = "lr_step";
 const SEC_CURSOR: &str = "data_cursor";
 const SEC_CURVES: &str = "curves";
 
+/// Cached handles into the global metrics [`Registry`]: the trainer's
+/// exported gauges/counters, resolved once at construction so the step
+/// loop never takes the registry lock. Values go to the process-wide
+/// registry on purpose — concurrent trainers report last-write-wins
+/// gauges, which is the honest semantics for "current loss / LR".
+struct StepTelemetry {
+    loss: Gauge,
+    lr: Gauge,
+    tokens_per_sec: Gauge,
+    steps: Counter,
+    tokens: Counter,
+}
+
+impl StepTelemetry {
+    fn new() -> Self {
+        let reg = Registry::global();
+        Self {
+            loss: reg.gauge("trainer_loss", "training loss of the last step's batch"),
+            lr: reg.gauge("trainer_lr", "learning rate applied at the last step"),
+            tokens_per_sec: reg.gauge(
+                "trainer_tokens_per_sec",
+                "training throughput over the last step",
+            ),
+            steps: reg.counter("trainer_steps_total", "optimizer steps completed"),
+            tokens: reg.counter("trainer_tokens_total", "training tokens consumed"),
+        }
+    }
+}
+
 /// A resumable pre-training run: the model, optimizer, data loader and
 /// recorded curves, advanced one optimizer step at a time.
 ///
@@ -189,6 +220,7 @@ pub struct Trainer {
     step: usize,
     train_curve: Vec<(usize, f32)>,
     val_curve: Vec<(usize, f32)>,
+    telemetry: StepTelemetry,
 }
 
 impl Trainer {
@@ -235,6 +267,7 @@ impl Trainer {
             step: 0,
             train_curve: Vec::new(),
             val_curve: Vec::new(),
+            telemetry: StepTelemetry::new(),
         }
     }
 
@@ -248,17 +281,25 @@ impl Trainer {
         self.step >= self.cfg.steps
     }
 
-    /// Execute one optimizer step (no-op once done).
+    /// Execute one optimizer step (no-op once done). Each phase runs
+    /// under a trace span on [`pids::TRAINER`] and the step's headline
+    /// numbers land in the global metrics registry — both free while
+    /// the global recorder is disabled.
     pub fn step_once(&mut self) {
         if self.is_done() {
             return;
         }
+        let started = Instant::now();
+        let _step_span = Span::enter(pids::TRAINER, "train", "step");
         let step = self.step;
         let cfg = &self.cfg;
         let eval_every = (cfg.steps / 10).max(1);
         let mixed = cfg.precision != matgpt_tensor::Precision::F32;
 
-        let batch = self.dataset.sample_batch(cfg.batch_seqs, cfg.seq);
+        let batch = {
+            let _s = Span::enter(pids::TRAINER, "train", "data-load");
+            self.dataset.sample_batch(cfg.batch_seqs, cfg.seq)
+        };
         self.store.zero_grads();
         // mixed-precision emulation: compute forward/backward on weights
         // rounded to the 16-bit grid, but keep fp32 master weights for the
@@ -271,24 +312,35 @@ impl Trainer {
             None
         };
         let mut tape = Tape::new();
-        let loss = self.model.loss(
-            &mut tape,
-            &self.store,
-            &batch.inputs,
-            &batch.targets,
-            batch.batch,
-            batch.seq,
-        );
+        let loss = {
+            let _s = Span::enter(pids::TRAINER, "train", "forward");
+            self.model.loss(
+                &mut tape,
+                &self.store,
+                &batch.inputs,
+                &batch.targets,
+                batch.batch,
+                batch.seq,
+            )
+        };
         let train_loss = tape.value(loss).item();
-        tape.backward(loss);
-        tape.accumulate_param_grads(&mut self.store);
+        {
+            let _s = Span::enter(pids::TRAINER, "train", "backward");
+            tape.backward(loss);
+            tape.accumulate_param_grads(&mut self.store);
+        }
         if let Some(snap) = masters {
             matgpt_tensor::precision::restore_values(&mut self.store, &snap);
         }
-        self.store.clip_grad_norm(1.0);
-        self.opt.step(&mut self.store, self.schedule.lr(step));
+        let lr = self.schedule.lr(step);
+        {
+            let _s = Span::enter(pids::TRAINER, "train", "optimizer");
+            self.store.clip_grad_norm(1.0);
+            self.opt.step(&mut self.store, lr);
+        }
 
         if step.is_multiple_of(eval_every) || step + 1 == cfg.steps {
+            let _s = Span::enter(pids::TRAINER, "train", "eval");
             self.train_curve.push((step, train_loss));
             self.val_curve.push((
                 step,
@@ -296,6 +348,16 @@ impl Trainer {
             ));
         }
         self.step += 1;
+
+        let tokens = (cfg.batch_seqs * cfg.seq) as u64;
+        self.telemetry.loss.set(train_loss as f64);
+        self.telemetry.lr.set(lr as f64);
+        self.telemetry.steps.inc();
+        self.telemetry.tokens.add(tokens);
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            self.telemetry.tokens_per_sec.set(tokens as f64 / elapsed);
+        }
     }
 
     /// Run the remaining steps.
@@ -310,6 +372,7 @@ impl Trainer {
     /// label, optimizer moments, LR-schedule step, data-loader RNG
     /// cursor and the curves recorded so far.
     pub fn checkpoint(&self) -> Vec<u8> {
+        let _span = Span::enter(pids::TRAINER, "train", "checkpoint");
         let sections = vec![
             (SEC_LABEL.to_string(), self.cfg.label().into_bytes()),
             (SEC_OPT.to_string(), self.opt.export_state().to_bytes()),
@@ -571,6 +634,51 @@ mod tests {
             let bits_b: Vec<u32> = tb.data().iter().map(|v| v.to_bits()).collect();
             assert_eq!(bits_a, bits_b, "weights diverged after resume");
         }
+    }
+
+    #[test]
+    fn steps_emit_trainer_spans_and_metrics() {
+        let documents = docs();
+        let mut cfg = quick(ArchKind::Llama, OptChoice::Adam);
+        cfg.steps = 2;
+        let rec = matgpt_obs::Recorder::global();
+        rec.enable();
+        let mut trainer = Trainer::new(&documents, &cfg);
+        trainer.run_to_end();
+        let _ = trainer.checkpoint();
+        matgpt_obs::flush_thread();
+
+        let events = rec.snapshot();
+        let mine: Vec<_> = events.iter().filter(|e| e.pid == pids::TRAINER).collect();
+        for phase in [
+            "step",
+            "data-load",
+            "forward",
+            "backward",
+            "optimizer",
+            "checkpoint",
+        ] {
+            assert!(
+                mine.iter().any(|e| e.name == phase),
+                "missing trainer span `{phase}`"
+            );
+        }
+        assert!(mine.iter().filter(|e| e.name == "step").count() >= 2);
+
+        let names = Registry::global().names();
+        for metric in [
+            "trainer_loss",
+            "trainer_lr",
+            "trainer_tokens_per_sec",
+            "trainer_steps_total",
+            "trainer_tokens_total",
+        ] {
+            assert!(
+                names.iter().any(|(n, _)| n == metric),
+                "missing trainer metric `{metric}`"
+            );
+        }
+        assert!(Registry::global().counter("trainer_steps_total", "").get() >= 2);
     }
 
     #[test]

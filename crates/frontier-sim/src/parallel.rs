@@ -116,6 +116,20 @@ impl TrainSetup {
         }
     }
 
+    /// Transformer layers resident on one GCD: the busiest pipeline
+    /// stage under `PipelineParallel` (`div_ceil`, so a remainder layer
+    /// lands on — and is priced against — the critical stage), all
+    /// layers otherwise. The single source of truth shared by
+    /// [`simulate_step`] and [`crate::trace::step_timeline`]: both must
+    /// split compute over the same layer count or the trace timeline
+    /// drifts from the priced step.
+    pub fn stage_layers(&self) -> usize {
+        match self.strategy {
+            Strategy::PipelineParallel(p) => self.cfg.layers.div_ceil(p.max(1)),
+            _ => self.cfg.layers,
+        }
+    }
+
     /// The memory partitioning implied by the strategy.
     pub fn partitioning(&self) -> Partitioning {
         match self.strategy {
@@ -268,7 +282,7 @@ pub fn simulate_step(setup: &TrainSetup) -> StepReport {
             (c, n / t)
         }
         Strategy::PipelineParallel(p) => {
-            let layers_here = cfg.layers.div_ceil(p);
+            let layers_here = setup.stage_layers();
             let per_chunk = km.step_compute_time(
                 cfg,
                 setup.micro_batch,

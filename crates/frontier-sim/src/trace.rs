@@ -1,10 +1,18 @@
 //! Step timelines and device traces — the OmniTrace / rocm-smi substitute
 //! behind the paper's Figs. 9 and 12.
+//!
+//! Two consumers share these timelines: the figure harnesses render
+//! them as ASCII/series output, and [`record_chrome`] re-targets them
+//! onto the unified `matgpt-obs` Chrome-trace emitter so the simulated
+//! Fig. 9 step timeline, Fig. 12 power trace and Fig. 11 RCCL message
+//! statistics land in the same `trace.json` / Prometheus registry as
+//! *measured* trainer and serving telemetry — one viewer, one schema.
 
 use crate::kernels::FlashVersion;
-use crate::parallel::{StepReport, Strategy, TrainSetup};
+use crate::parallel::{StepReport, TrainSetup};
 use crate::power::PowerModel;
 use matgpt_model::count::layer_flops;
+use matgpt_obs::{pids, Recorder, Registry, TraceEvent as ObsEvent};
 use serde::{Deserialize, Serialize};
 
 /// What the device is doing during an interval.
@@ -44,10 +52,10 @@ impl TraceEvent {
 /// layer (with communication trailing the backward, as rocprof shows for
 /// ZeRO), then IO/optimizer.
 pub fn step_timeline(setup: &TrainSetup, report: &StepReport) -> Vec<TraceEvent> {
-    let layers = match setup.strategy {
-        Strategy::PipelineParallel(p) => setup.cfg.layers.div_ceil(p),
-        _ => setup.cfg.layers,
-    };
+    // Shared with `simulate_step`: under `PipelineParallel` both price
+    // the busiest `div_ceil` stage, so the timeline tiles the step
+    // exactly even when `layers % p != 0`.
+    let layers = setup.stage_layers();
     let fwd_total = report.compute_s / 3.0;
     let bwd_total = report.compute_s * 2.0 / 3.0;
     let fwd_layer = fwd_total / layers as f64;
@@ -196,10 +204,159 @@ pub fn device_trace(
     out
 }
 
+// ------------------------------------------------ matgpt-obs re-target
+
+/// Track ids within the simulator's trace process ([`pids::SIM`]).
+pub mod sim_tids {
+    /// Fig. 9 step timeline (per-layer forward/backward, comm, io).
+    pub const TIMELINE: u64 = 1;
+    /// Fig. 12 rocm-smi-style power/utilisation samples.
+    pub const POWER: u64 = 2;
+}
+
+impl PhaseKind {
+    /// Chrome-trace event name for this phase class.
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::Forward => "forward",
+            PhaseKind::Backward => "backward",
+            PhaseKind::Communication => "comm (exposed)",
+            PhaseKind::Io => "io/optimizer",
+        }
+    }
+}
+
+/// Map `n_steps` repetitions of the Fig. 9 step timeline onto
+/// Chrome-trace complete events on the [`sim_tids::TIMELINE`] track,
+/// starting at `t0_us` on the recorder timebase. Simulated seconds
+/// become trace microseconds one-for-one, so a 1 s simulated step reads
+/// as 1 s in the viewer.
+pub fn chrome_step_events(
+    setup: &TrainSetup,
+    report: &StepReport,
+    n_steps: usize,
+    t0_us: f64,
+) -> Vec<ObsEvent> {
+    let timeline = step_timeline(setup, report);
+    let step_us = report.step_s * 1e6;
+    let mut out = Vec::with_capacity(timeline.len() * n_steps);
+    for step in 0..n_steps {
+        let base = t0_us + step as f64 * step_us;
+        for e in &timeline {
+            let mut ev = ObsEvent::complete(
+                pids::SIM,
+                sim_tids::TIMELINE,
+                "sim.step",
+                e.kind.label(),
+                base + e.start_s * 1e6,
+                e.duration() * 1e6,
+            )
+            .arg("step", step as f64);
+            if let Some(layer) = e.layer {
+                ev = ev.arg("layer", layer as f64);
+            }
+            out.push(ev);
+        }
+    }
+    out
+}
+
+/// Map the Fig. 12 device trace onto the [`sim_tids::POWER`] track:
+/// each rocm-smi sample becomes one `dt`-wide complete event carrying
+/// `power_w` / `memory_pct` / `utilization_pct` args, so the power
+/// oscillation is scrubbing-visible next to the step timeline.
+pub fn chrome_power_events(
+    setup: &TrainSetup,
+    report: &StepReport,
+    power: &PowerModel,
+    n_steps: usize,
+    dt: f64,
+    t0_us: f64,
+) -> Vec<ObsEvent> {
+    device_trace(setup, report, power, n_steps, dt)
+        .iter()
+        .map(|s| {
+            ObsEvent::complete(
+                pids::SIM,
+                sim_tids::POWER,
+                "sim.power",
+                "sample",
+                t0_us + s.t_s * 1e6,
+                dt * 1e6,
+            )
+            .arg("power_w", s.power_w)
+            .arg("memory_pct", s.memory_pct)
+            .arg("utilization_pct", s.utilization_pct)
+        })
+        .collect()
+}
+
+/// Publish the Fig. 11 RCCL message statistics and headline step costs
+/// into a metrics registry: one `sim_rccl_calls_total` /
+/// `sim_rccl_wire_bytes_total` counter series per collective, plus
+/// step-time / throughput / memory gauges.
+pub fn record_rccl_metrics(registry: &Registry, report: &StepReport) {
+    for m in &report.msgs {
+        let labels: &[(&str, &str)] = &[("collective", m.collective.name())];
+        registry
+            .counter_with(
+                "sim_rccl_calls_total",
+                labels,
+                "simulated RCCL calls per step per GPU",
+            )
+            .add(m.calls as u64);
+        registry
+            .counter_with(
+                "sim_rccl_wire_bytes_total",
+                labels,
+                "simulated RCCL wire bytes per step per GPU",
+            )
+            .add(m.wire_total() as u64);
+    }
+    registry
+        .gauge("sim_step_seconds", "simulated end-to-end step seconds")
+        .set(report.step_s);
+    registry
+        .gauge("sim_tflops_per_gcd", "simulated achieved TFLOPS per GCD")
+        .set(report.tflops_per_gcd);
+    registry
+        .gauge(
+            "sim_comm_exposed_seconds",
+            "simulated exposed communication seconds per step",
+        )
+        .set(report.comm_exposed_s);
+}
+
+/// Record the whole simulated picture — Fig. 9 timeline, Fig. 12 power
+/// trace, Fig. 11 RCCL counters — onto a shared recorder/registry pair,
+/// alongside whatever measured trainer/serving telemetry they already
+/// hold. Events are placed at the recorder's current time so simulated
+/// tracks don't overlap earlier recorded spans.
+pub fn record_chrome(
+    recorder: &Recorder,
+    registry: &Registry,
+    setup: &TrainSetup,
+    report: &StepReport,
+    power: &PowerModel,
+    n_steps: usize,
+    dt: f64,
+) {
+    let t0 = recorder.now_us();
+    recorder.set_track_name(
+        pids::SIM,
+        sim_tids::TIMELINE,
+        format!("step timeline ({:?})", setup.strategy),
+    );
+    recorder.set_track_name(pids::SIM, sim_tids::POWER, "rocm-smi power");
+    recorder.extend(chrome_step_events(setup, report, n_steps, t0));
+    recorder.extend(chrome_power_events(setup, report, power, n_steps, dt, t0));
+    record_rccl_metrics(registry, report);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parallel::simulate_step;
+    use crate::parallel::{simulate_step, Strategy};
     use matgpt_model::{ArchKind, GptConfig};
 
     fn setup_67b() -> (TrainSetup, StepReport) {
@@ -302,5 +459,70 @@ mod tests {
         let trace = device_trace(&s, &r, &pm, 4, dt);
         let expect = (4.0 * r.step_s / dt) as usize;
         assert!((trace.len() as i64 - expect as i64).abs() <= 2);
+    }
+
+    #[test]
+    fn pipeline_remainder_layers_stay_consistent_with_pricing() {
+        // 33 layers over PP=2 doesn't divide evenly: the busiest stage
+        // holds div_ceil(33, 2) = 17 layers, and both `simulate_step`
+        // and the timeline must agree on that count or the trace stops
+        // tiling the priced step.
+        let mut cfg = GptConfig::paper_6_7b(ArchKind::NeoX, 52_000);
+        cfg.layers = 33;
+        let s = TrainSetup::new(cfg, 256, Strategy::PipelineParallel(2));
+        assert_eq!(s.stage_layers(), 17);
+        let r = simulate_step(&s);
+        let tl = step_timeline(&s, &r);
+        let fwd = tl.iter().filter(|e| e.kind == PhaseKind::Forward).count();
+        let bwd = tl.iter().filter(|e| e.kind == PhaseKind::Backward).count();
+        assert_eq!(fwd, 17, "timeline must split over the div_ceil stage");
+        assert_eq!(bwd, 17);
+        for w in tl.windows(2) {
+            assert!((w[0].end_s - w[1].start_s).abs() < 1e-9, "gap in timeline");
+        }
+        let total = tl.last().unwrap().end_s;
+        assert!(
+            (total - r.step_s).abs() / r.step_s < 1e-6,
+            "timeline {total} drifted from priced step {}",
+            r.step_s
+        );
+    }
+
+    #[test]
+    fn chrome_retarget_emits_valid_trace_and_rccl_counters() {
+        let (s, r) = setup_67b();
+        let pm = PowerModel::default();
+        let rec = Recorder::new();
+        rec.enable();
+        let reg = Registry::new();
+        record_chrome(&rec, &reg, &s, &r, &pm, 2, r.step_s / 40.0);
+
+        let events = rec.snapshot();
+        assert!(events.iter().all(|e| e.pid == pids::SIM));
+        let timeline = events
+            .iter()
+            .filter(|e| e.tid == sim_tids::TIMELINE)
+            .count();
+        let power = events.iter().filter(|e| e.tid == sim_tids::POWER).count();
+        assert_eq!(timeline, 2 * step_timeline(&s, &r).len());
+        assert!(power > 0);
+
+        let json = rec.to_chrome_json();
+        let stats = matgpt_obs::chrome::validate(&json).expect("sim trace must validate");
+        assert_eq!(stats.complete_events, events.len());
+        assert_eq!(stats.tracks, 2);
+
+        // ZeRO-1 issues all-gather + reduce-scatter traffic; the
+        // counters must carry it with per-collective labels.
+        let names = reg.names();
+        assert!(names
+            .iter()
+            .any(|(n, k)| n == "sim_rccl_calls_total" && *k == matgpt_obs::MetricKind::Counter));
+        assert!(names.iter().any(|(n, _)| n == "sim_step_seconds"));
+        let text = matgpt_obs::prom::render(&reg);
+        assert!(
+            text.contains("collective=\"AllGather\"")
+                || text.contains("collective=\"ReduceScatter\"")
+        );
     }
 }

@@ -1,0 +1,290 @@
+//! Chrome trace-event JSON export — the artefact `chrome://tracing` and
+//! Perfetto open, standing in for the paper's OmniTrace/rocprof
+//! timelines (Fig. 9) with one schema for measured *and* simulated
+//! events.
+//!
+//! The emitted document is the object form of the format:
+//!
+//! ```json
+//! {"displayTimeUnit":"ms","traceEvents":[
+//!   {"name":"process_name","ph":"M","pid":1,"tid":0,"ts":0,"args":{"name":"trainer"}},
+//!   {"name":"thread_name","ph":"M","pid":1,"tid":3,"ts":0,"args":{"name":"tid 3"}},
+//!   {"name":"forward","cat":"train","ph":"X","pid":1,"tid":3,"ts":12.5,"dur":830.0,"args":{}}
+//! ]}
+//! ```
+//!
+//! Only two phases are used: `ph:"X"` complete events (every recorded
+//! interval) and `ph:"M"` metadata naming every process and every
+//! `(pid, tid)` track that appears. [`validate`] re-parses a document
+//! and enforces exactly that schema; it is the check the exporter
+//! property tests and the `ext_observability` smoke gate run.
+
+use crate::trace::{pids, TraceEvent};
+use serde::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn metadata(kind: &str, pid: u64, tid: u64, name: &str) -> Value {
+    obj(vec![
+        ("name", Value::Str(kind.to_string())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::Num(pid as f64)),
+        ("tid", Value::Num(tid as f64)),
+        ("ts", Value::Num(0.0)),
+        ("args", obj(vec![("name", Value::Str(name.to_string()))])),
+    ])
+}
+
+/// Render events (plus optional `(pid, tid) → name` track labels) as a
+/// Chrome trace-event JSON document. Complete events are sorted by
+/// timestamp so `ts` is globally monotonic, and every process and track
+/// that appears gets a `ph:"M"` name record (unnamed tracks fall back
+/// to `"tid N"`).
+pub fn render(events: &[TraceEvent], track_names: &[((u64, u64), String)]) -> String {
+    let mut order: Vec<&TraceEvent> = events.iter().collect();
+    order.sort_by(|a, b| {
+        a.ts_us
+            .total_cmp(&b.ts_us)
+            .then(a.pid.cmp(&b.pid))
+            .then(a.tid.cmp(&b.tid))
+    });
+
+    let pids_seen: BTreeSet<u64> = order.iter().map(|e| e.pid).collect();
+    let tracks_seen: BTreeSet<(u64, u64)> = order.iter().map(|e| (e.pid, e.tid)).collect();
+    let names: BTreeMap<(u64, u64), &str> = track_names
+        .iter()
+        .map(|((p, t), n)| ((*p, *t), n.as_str()))
+        .collect();
+
+    let mut out: Vec<Value> = Vec::with_capacity(order.len() + pids_seen.len() + tracks_seen.len());
+    for &pid in &pids_seen {
+        out.push(metadata("process_name", pid, 0, &pids::name(pid)));
+    }
+    for &(pid, tid) in &tracks_seen {
+        let fallback = format!("tid {tid}");
+        let name = names.get(&(pid, tid)).copied().unwrap_or(&fallback);
+        out.push(metadata("thread_name", pid, tid, name));
+    }
+    for e in order {
+        let args = Value::Object(
+            e.args
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                .collect(),
+        );
+        out.push(obj(vec![
+            ("name", Value::Str(e.name.clone())),
+            ("cat", Value::Str(e.cat.clone())),
+            ("ph", Value::Str("X".into())),
+            ("pid", Value::Num(e.pid as f64)),
+            ("tid", Value::Num(e.tid as f64)),
+            ("ts", Value::Num(e.ts_us)),
+            ("dur", Value::Num(e.dur_us)),
+            ("args", args),
+        ]));
+    }
+    let doc = obj(vec![
+        ("displayTimeUnit", Value::Str("ms".into())),
+        ("traceEvents", Value::Array(out)),
+    ]);
+    serde_json::to_string(&doc).unwrap_or_else(|_| String::from("{\"traceEvents\":[]}"))
+}
+
+/// What [`validate`] measured about a well-formed trace.
+#[derive(Clone, Debug, Default)]
+pub struct ChromeStats {
+    /// Number of `ph:"X"` complete events.
+    pub complete_events: usize,
+    /// Number of `ph:"M"` metadata events.
+    pub metadata_events: usize,
+    /// Complete events per pid.
+    pub events_per_pid: BTreeMap<u64, usize>,
+    /// Distinct `(pid, tid)` tracks carrying complete events.
+    pub tracks: usize,
+}
+
+fn as_id(v: Option<&Value>, what: &str) -> Result<u64, String> {
+    let n = v
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{what} missing or non-numeric"))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(format!("{what} must be a non-negative integer, got {n}"));
+    }
+    Ok(n as u64)
+}
+
+/// Parse a Chrome trace-event JSON document and enforce the exporter's
+/// schema: a `traceEvents` array whose members are either `ph:"X"`
+/// complete events — non-empty name, integer pid/tid, finite `ts >= 0`
+/// and `dur >= 0`, globally monotonic `ts` — or `ph:"M"`
+/// process/thread name records, with every complete event's pid and
+/// `(pid, tid)` matched by a metadata record. Any violation is an
+/// `Err` naming the offending event.
+pub fn validate(json: &str) -> Result<ChromeStats, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or("missing `traceEvents` array")?;
+
+    let mut stats = ChromeStats::default();
+    let mut named_pids: BTreeSet<u64> = BTreeSet::new();
+    let mut named_tracks: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut x_tracks: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut last_ts = f64::NEG_INFINITY;
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        let pid = as_id(ev.get("pid"), "pid").map_err(|e| format!("event {i}: {e}"))?;
+        let tid = as_id(ev.get("tid"), "tid").map_err(|e| format!("event {i}: {e}"))?;
+        let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+        match ph {
+            "M" => {
+                let target = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: metadata without args.name"))?;
+                if target.is_empty() {
+                    return Err(format!("event {i}: empty metadata name"));
+                }
+                match name {
+                    "process_name" => {
+                        named_pids.insert(pid);
+                    }
+                    "thread_name" => {
+                        named_tracks.insert((pid, tid));
+                    }
+                    other => return Err(format!("event {i}: unknown metadata `{other}`")),
+                }
+                stats.metadata_events += 1;
+            }
+            "X" => {
+                if name.is_empty() {
+                    return Err(format!("event {i}: complete event without a name"));
+                }
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing `ts`"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: missing `dur`"))?;
+                if !ts.is_finite() || ts < 0.0 {
+                    return Err(format!(
+                        "event {i} (`{name}`): ts {ts} not finite/non-negative"
+                    ));
+                }
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!(
+                        "event {i} (`{name}`): dur {dur} not finite/non-negative"
+                    ));
+                }
+                if ts < last_ts {
+                    return Err(format!(
+                        "event {i} (`{name}`): ts {ts} breaks monotonic order (previous {last_ts})"
+                    ));
+                }
+                last_ts = ts;
+                x_tracks.insert((pid, tid));
+                *stats.events_per_pid.entry(pid).or_insert(0) += 1;
+                stats.complete_events += 1;
+            }
+            other => return Err(format!("event {i}: unsupported phase `{other}`")),
+        }
+    }
+
+    for &(pid, tid) in &x_tracks {
+        if !named_pids.contains(&pid) {
+            return Err(format!("pid {pid} has events but no process_name record"));
+        }
+        if !named_tracks.contains(&(pid, tid)) {
+            return Err(format!(
+                "track ({pid}, {tid}) has events but no thread_name record"
+            ));
+        }
+    }
+    stats.tracks = x_tracks.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pid: u64, tid: u64, name: &str, ts: f64, dur: f64) -> TraceEvent {
+        TraceEvent::complete(pid, tid, "test", name, ts, dur)
+    }
+
+    #[test]
+    fn render_then_validate_roundtrip() {
+        let events = vec![
+            ev(pids::TRAINER, 1, "step", 100.0, 50.0).arg("loss", 3.25),
+            ev(pids::SERVE, 7, "decode", 30.0, 10.0),
+            ev(pids::SIM, 2, "forward", 0.0, 12.0),
+        ];
+        let tracks = vec![((pids::SERVE, 7), "req 7".to_string())];
+        let json = render(&events, &tracks);
+        let stats = validate(&json).expect("valid");
+        assert_eq!(stats.complete_events, 3);
+        assert_eq!(stats.events_per_pid.len(), 3);
+        assert_eq!(stats.tracks, 3);
+        // 3 process names + 3 thread names
+        assert_eq!(stats.metadata_events, 6);
+        assert!(json.contains("\"req 7\""));
+    }
+
+    #[test]
+    fn export_sorts_out_of_order_events() {
+        let events = vec![ev(1, 1, "late", 500.0, 1.0), ev(1, 1, "early", 2.0, 1.0)];
+        let json = render(&events, &[]);
+        validate(&json).expect("sorted on export");
+        assert!(json.find("early").unwrap() < json.find("late").unwrap());
+    }
+
+    #[test]
+    fn empty_trace_is_valid_but_zero() {
+        let json = render(&[], &[]);
+        let stats = validate(&json).expect("empty is structurally valid");
+        assert_eq!(stats.complete_events, 0);
+    }
+
+    #[test]
+    fn validator_rejects_bad_documents() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        // non-monotonic ts
+        let bad = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":1,"tid":0,"ts":0,"args":{"name":"p"}},
+            {"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"t"}},
+            {"name":"a","cat":"c","ph":"X","pid":1,"tid":1,"ts":10,"dur":1,"args":{}},
+            {"name":"b","cat":"c","ph":"X","pid":1,"tid":1,"ts":5,"dur":1,"args":{}}
+        ]}"#;
+        assert!(validate(bad).unwrap_err().contains("monotonic"));
+        // negative duration
+        let neg = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":1,"tid":0,"ts":0,"args":{"name":"p"}},
+            {"name":"thread_name","ph":"M","pid":1,"tid":1,"ts":0,"args":{"name":"t"}},
+            {"name":"a","cat":"c","ph":"X","pid":1,"tid":1,"ts":1,"dur":-2,"args":{}}
+        ]}"#;
+        assert!(validate(neg).is_err());
+        // unmatched track: X event without thread_name metadata
+        let orphan = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":1,"tid":0,"ts":0,"args":{"name":"p"}},
+            {"name":"a","cat":"c","ph":"X","pid":1,"tid":9,"ts":1,"dur":2,"args":{}}
+        ]}"#;
+        assert!(validate(orphan).unwrap_err().contains("thread_name"));
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # matgpt-obs
+//!
+//! The unified observability layer behind the repo's rocprof / OmniTrace /
+//! rocm-smi substitutes: one tracing/metrics core that the trainer
+//! (`matgpt-core`), the serving engine (`matgpt-serve`) and the Frontier
+//! simulator (`matgpt-frontier-sim`) all feed, and two exporters that
+//! turn what they recorded into standard artefacts:
+//!
+//! * [`trace`] — RAII [`Span`] scopes with a thread-local span stack,
+//!   buffered into a lock-cheap global [`Recorder`]; manual
+//!   [`TraceEvent`]s for sources with their own clock (per-request
+//!   serving tracks, simulated timelines);
+//! * [`metrics`] — a typed [`Registry`] of [`Counter`]s, [`Gauge`]s,
+//!   fixed-bucket [`Histogram`]s (p50/p95/p99 by bucket interpolation)
+//!   and bounded [`Reservoir`]s (exact percentiles over a sliding
+//!   window);
+//! * [`chrome`] — Chrome trace-event JSON (`ph:"X"` complete events plus
+//!   `ph:"M"` process/thread names), openable in Perfetto or
+//!   `chrome://tracing`, with a [`chrome::validate`] checker;
+//! * [`prom`] — Prometheus text exposition with a round-trip
+//!   [`prom::parse`] checker.
+//!
+//! Everything is `std` + `serde` only — no clocks beyond
+//! `std::time::Instant`, no background threads, no I/O: callers decide
+//! where `trace.json` / `metrics.prom` land.
+//!
+//! ```
+//! use matgpt_obs::{Recorder, Registry, Span, pids};
+//!
+//! let rec = Recorder::new();
+//! rec.enable();
+//! {
+//!     let _outer = Span::enter_in(&rec, pids::TRAINER, "train", "step");
+//!     let _inner = Span::enter_in(&rec, pids::TRAINER, "train", "forward");
+//! } // spans record on drop
+//! matgpt_obs::flush_thread_to(&rec);
+//! let json = rec.to_chrome_json();
+//! assert!(matgpt_obs::chrome::validate(&json).unwrap().complete_events >= 2);
+//!
+//! let reg = Registry::new();
+//! reg.counter("steps_total", "optimizer steps").inc();
+//! let text = matgpt_obs::prom::render(&reg);
+//! assert!(matgpt_obs::prom::parse(&text).is_ok());
+//! ```
+
+pub mod chrome;
+pub mod metrics;
+pub mod prom;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricKind, Percentiles, Registry, Reservoir};
+pub use trace::{flush_thread, flush_thread_to, pids, thread_tid, Recorder, Span, TraceEvent};

@@ -1,0 +1,372 @@
+//! Prometheus text exposition (version 0.0.4) for a [`Registry`], plus
+//! a strict re-parser used by the round-trip property tests and the
+//! `ext_observability` smoke gate.
+//!
+//! The renderer emits one `# HELP`/`# TYPE` header per metric family
+//! (all series of a name grouped together, as the format requires),
+//! counters and gauges as single samples, and histograms as the
+//! standard `_bucket{le=…}` / `_sum` / `_count` triplet with cumulative
+//! bucket counts.
+
+use crate::metrics::{Handle, MetricKind, Registry};
+use std::fmt::Write as _;
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Render every metric in `registry` as Prometheus exposition text.
+pub fn render(registry: &Registry) -> String {
+    render_all(&[registry])
+}
+
+/// Render several registries into one exposition document (e.g. the
+/// global trainer registry plus a per-engine serving registry). Family
+/// headers are de-duplicated across registries; a name re-registered
+/// with a conflicting kind in a later registry is skipped rather than
+/// emitted as an invalid double-typed family.
+pub fn render_all(registries: &[&Registry]) -> String {
+    let mut out = String::new();
+    let mut declared: Vec<(String, MetricKind)> = Vec::new();
+    for registry in registries {
+        registry.with_entries(|entries| {
+            // families in first-seen order, each family's series together
+            let mut family_names: Vec<&str> = Vec::new();
+            for e in entries {
+                if !family_names.contains(&e.name.as_str()) {
+                    family_names.push(&e.name);
+                }
+            }
+            for family in family_names {
+                let members: Vec<_> = entries.iter().filter(|e| e.name == family).collect();
+                let kind = match &members[0].handle {
+                    Handle::Counter(_) => MetricKind::Counter,
+                    Handle::Gauge(_) => MetricKind::Gauge,
+                    Handle::Histogram(_) => MetricKind::Histogram,
+                };
+                match declared.iter().find(|(n, _)| n == family) {
+                    Some((_, k)) if *k != kind => continue, // conflicting re-declaration
+                    Some(_) => {}                           // same kind again: samples only
+                    None => {
+                        let help = members
+                            .iter()
+                            .map(|e| e.help.as_str())
+                            .find(|h| !h.is_empty())
+                            .unwrap_or("");
+                        if !help.is_empty() {
+                            let _ = writeln!(out, "# HELP {family} {}", help.replace('\n', " "));
+                        }
+                        let _ = writeln!(out, "# TYPE {family} {}", kind.prom_type());
+                        declared.push((family.to_string(), kind));
+                    }
+                }
+                for e in &members {
+                    match &e.handle {
+                        Handle::Counter(c) => {
+                            let _ = writeln!(
+                                out,
+                                "{family}{} {}",
+                                fmt_labels(&e.labels, None),
+                                c.get()
+                            );
+                        }
+                        Handle::Gauge(g) => {
+                            let _ = writeln!(
+                                out,
+                                "{family}{} {}",
+                                fmt_labels(&e.labels, None),
+                                fmt_value(g.get())
+                            );
+                        }
+                        Handle::Histogram(h) => {
+                            for (bound, cum) in h.cumulative_buckets() {
+                                let le = fmt_value(bound);
+                                let _ = writeln!(
+                                    out,
+                                    "{family}_bucket{} {cum}",
+                                    fmt_labels(&e.labels, Some(("le", &le)))
+                                );
+                            }
+                            let _ = writeln!(
+                                out,
+                                "{family}_sum{} {}",
+                                fmt_labels(&e.labels, None),
+                                fmt_value(h.sum())
+                            );
+                            let _ = writeln!(
+                                out,
+                                "{family}_count{} {}",
+                                fmt_labels(&e.labels, None),
+                                h.count()
+                            );
+                        }
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// One parsed metric family.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PromFamily {
+    /// Family name (as declared by `# TYPE`).
+    pub name: String,
+    /// Declared kind.
+    pub kind: MetricKind,
+    /// Number of sample lines attributed to this family.
+    pub samples: usize,
+}
+
+fn parse_kind(s: &str) -> Option<MetricKind> {
+    match s {
+        "counter" => Some(MetricKind::Counter),
+        "gauge" => Some(MetricKind::Gauge),
+        "histogram" => Some(MetricKind::Histogram),
+        _ => None,
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+/// Split a sample line into `(metric_name, value_text)`, skipping the
+/// label section (brace-matching with quote/escape awareness).
+fn split_sample(line: &str) -> Result<(&str, &str), String> {
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .ok_or_else(|| format!("sample without value: `{line}`"))?;
+    let name = &line[..name_end];
+    let rest = &line[name_end..];
+    let value_part = if let Some(stripped) = rest.strip_prefix('{') {
+        let mut in_quotes = false;
+        let mut escaped = false;
+        let mut close = None;
+        for (i, c) in stripped.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_quotes = !in_quotes;
+            } else if c == '}' && !in_quotes {
+                close = Some(i);
+                break;
+            }
+        }
+        let close = close.ok_or_else(|| format!("unterminated label set: `{line}`"))?;
+        &stripped[close + 1..]
+    } else {
+        rest
+    };
+    // value is the first whitespace-separated token (a timestamp may follow)
+    let value = value_part
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| format!("sample without value: `{line}`"))?;
+    Ok((name, value))
+}
+
+/// Parse exposition text, enforcing the renderer's contract: every
+/// sample line carries a valid metric name and a parseable value, every
+/// sample belongs to a family declared by a preceding `# TYPE` line
+/// (histogram samples via their `_bucket`/`_sum`/`_count` suffixes),
+/// re-declarations keep the same kind, and every declared family has at
+/// least one sample.
+pub fn parse(text: &str) -> Result<Vec<PromFamily>, String> {
+    let mut families: Vec<PromFamily> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (
+                it.next().ok_or("# TYPE without a name")?,
+                it.next().ok_or("# TYPE without a kind")?,
+            );
+            if !valid_name(name) {
+                return Err(format!("invalid family name `{name}`"));
+            }
+            let kind = parse_kind(kind).ok_or_else(|| format!("unknown kind `{kind}`"))?;
+            match families.iter().find(|f| f.name == name) {
+                Some(f) if f.kind != kind => {
+                    return Err(format!("family `{name}` re-declared with a different kind"))
+                }
+                Some(_) => {}
+                None => families.push(PromFamily {
+                    name: name.to_string(),
+                    kind,
+                    samples: 0,
+                }),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let (name, value) = split_sample(line)?;
+        if !valid_name(name) {
+            return Err(format!("invalid metric name `{name}`"));
+        }
+        let accepted =
+            value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf" | "Inf");
+        if !accepted {
+            return Err(format!("unparseable value `{value}` for `{name}`"));
+        }
+        let family = families.iter_mut().find(|f| {
+            name == f.name
+                || (f.kind == MetricKind::Histogram
+                    && [
+                        format!("{}_bucket", f.name),
+                        format!("{}_sum", f.name),
+                        format!("{}_count", f.name),
+                    ]
+                    .iter()
+                    .any(|s| s == name))
+        });
+        match family {
+            Some(f) => f.samples += 1,
+            None => return Err(format!("sample `{name}` has no preceding # TYPE")),
+        }
+    }
+    if let Some(empty) = families.iter().find(|f| f.samples == 0) {
+        return Err(format!(
+            "family `{}` declared but has no samples",
+            empty.name
+        ));
+    }
+    Ok(families)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn render_parse_roundtrip_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("steps_total", "optimizer steps").add(12);
+        reg.gauge("loss", "train loss").set(3.75);
+        let h = reg.histogram("ttft_ms", "time to first token", &[1.0, 10.0, 100.0]);
+        h.observe(0.5);
+        h.observe(42.0);
+        reg.counter_with("rccl_calls_total", &[("collective", "AllReduce")], "rccl")
+            .add(64);
+        reg.counter_with("rccl_calls_total", &[("collective", "AllGather")], "rccl")
+            .add(32);
+
+        let text = render(&reg);
+        let families = parse(&text).expect("round-trips");
+        let by_name = |n: &str| families.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("steps_total").kind, MetricKind::Counter);
+        assert_eq!(by_name("steps_total").samples, 1);
+        assert_eq!(by_name("loss").kind, MetricKind::Gauge);
+        // 4 buckets (3 bounds + +Inf) + sum + count
+        assert_eq!(by_name("ttft_ms").kind, MetricKind::Histogram);
+        assert_eq!(by_name("ttft_ms").samples, 6);
+        assert_eq!(by_name("rccl_calls_total").samples, 2);
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("collective=\"AllReduce\""));
+    }
+
+    #[test]
+    fn every_registered_name_appears_with_its_kind() {
+        let reg = Registry::new();
+        reg.counter("a_total", "").inc();
+        reg.gauge("b", "").set(1.0);
+        reg.histogram("c_ms", "", &Histogram::LATENCY_MS_BOUNDS)
+            .observe(2.0);
+        let families = parse(&render(&reg)).unwrap();
+        for (name, kind) in reg.names() {
+            let f = families.iter().find(|f| f.name == name).unwrap();
+            assert_eq!(f.kind, kind, "{name}");
+        }
+    }
+
+    #[test]
+    fn render_all_merges_without_double_typing() {
+        let a = Registry::new();
+        a.counter("shared_total", "").inc();
+        a.gauge("only_a", "").set(1.0);
+        let b = Registry::new();
+        b.counter("shared_total", "").add(5);
+        b.gauge("only_b", "").set(2.0);
+        let text = render_all(&[&a, &b]);
+        assert_eq!(text.matches("# TYPE shared_total").count(), 1);
+        let families = parse(&text).expect("merged document parses");
+        assert_eq!(
+            families
+                .iter()
+                .find(|f| f.name == "shared_total")
+                .unwrap()
+                .samples,
+            2
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse("junk_total 5").is_err(), "sample without TYPE");
+        assert!(
+            parse("# TYPE x counter\n").is_err(),
+            "family without samples"
+        );
+        assert!(parse("# TYPE x counter\nx notanumber").is_err());
+        assert!(parse("# TYPE x counter\n# TYPE x gauge\nx 1").is_err());
+        assert!(parse("# TYPE 9bad counter\n9bad 1").is_err());
+    }
+
+    #[test]
+    fn non_finite_gauges_survive() {
+        let reg = Registry::new();
+        reg.gauge("weird", "").set(f64::NAN);
+        let text = render(&reg);
+        assert!(text.contains("weird NaN"));
+        parse(&text).expect("NaN is a legal sample value");
+    }
+
+    #[test]
+    fn labels_with_quotes_parse() {
+        let reg = Registry::new();
+        reg.counter_with("q_total", &[("k", "va\"l{ue}")], "").inc();
+        let text = render(&reg);
+        parse(&text).expect("escaped label value parses");
+    }
+}

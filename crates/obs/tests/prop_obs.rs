@@ -1,0 +1,155 @@
+//! Property tests for the exporters: every emitted Chrome trace is a
+//! valid document under [`matgpt_obs::chrome::validate`] (parseable
+//! JSON, monotonic non-negative `ts`, `dur >= 0`, every event's
+//! pid/tid matched by metadata), and Prometheus exposition round-trips
+//! every registered metric name and kind through
+//! [`matgpt_obs::prom::parse`].
+
+use matgpt_obs::{chrome, prom, MetricKind, Percentiles, Registry, Reservoir, TraceEvent};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        "[a-z_]{1,12}",
+        1u64..4,
+        0u64..6,
+        0.0f64..1.0e7,
+        0.0f64..1.0e5,
+        0u32..3,
+    )
+        .prop_map(|(name, pid, tid, ts, dur, nargs)| {
+            let cat = "prop";
+            let mut ev = TraceEvent::complete(pid, tid, cat, name, ts, dur);
+            for i in 0..nargs {
+                ev = ev.arg(format!("arg{i}"), ts / (i + 1) as f64);
+            }
+            ev
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any recorded event set — unordered timestamps, duplicate tracks,
+    /// arbitrary args — renders to a trace that passes the validator,
+    /// with every complete event accounted for.
+    #[test]
+    fn chrome_export_is_always_valid(
+        events in proptest::collection::vec(arb_event(), 0..40),
+        name_some_tracks in 0usize..4,
+    ) {
+        let tracks: Vec<((u64, u64), String)> = events
+            .iter()
+            .take(name_some_tracks)
+            .map(|e| ((e.pid, e.tid), format!("track {}-{}", e.pid, e.tid)))
+            .collect();
+        let json = chrome::render(&events, &tracks);
+        let stats = chrome::validate(&json);
+        prop_assert!(stats.is_ok(), "emitted trace failed validation: {:?}", stats.err());
+        let stats = stats.unwrap();
+        prop_assert_eq!(stats.complete_events, events.len());
+        let distinct_pids = {
+            let mut pids: Vec<u64> = events.iter().map(|e| e.pid).collect();
+            pids.sort_unstable();
+            pids.dedup();
+            pids.len()
+        };
+        prop_assert_eq!(stats.events_per_pid.len(), distinct_pids);
+    }
+
+    /// Events with hostile inputs (negative / non-finite ts and dur)
+    /// are sanitised at construction, so the export stays valid.
+    #[test]
+    fn chrome_export_survives_hostile_timestamps(
+        raw in proptest::collection::vec(
+            (1u64..3, 0u64..3, -1.0e6f64..1.0e6, -1.0e4f64..1.0e4),
+            1..20,
+        ),
+    ) {
+        let events: Vec<TraceEvent> = raw
+            .into_iter()
+            .map(|(pid, tid, ts, dur)| TraceEvent::complete(pid, tid, "c", "n", ts, dur))
+            .collect();
+        let json = chrome::render(&events, &[]);
+        prop_assert!(chrome::validate(&json).is_ok());
+    }
+
+    /// Every metric registered — any mix of kinds, labels, and values,
+    /// including clashing names — appears in the exposition with its
+    /// registered type, and the document parses.
+    #[test]
+    fn prometheus_roundtrips_names_and_kinds(
+        metrics in proptest::collection::vec(
+            ("[a-z][a-z0-9_]{0,10}", 0u32..3, 0.0f64..1.0e4, 0u32..2),
+            1..20,
+        ),
+    ) {
+        let reg = Registry::new();
+        for (name, kind, value, labelled) in &metrics {
+            let labels: &[(&str, &str)] = if *labelled == 1 {
+                &[("series", "a")]
+            } else {
+                &[]
+            };
+            match kind {
+                0 => reg.counter_with(name, labels, "help").add(*value as u64),
+                1 => reg.gauge_with(name, labels, "help").set(*value),
+                _ => reg
+                    .histogram_with(name, labels, "help", &[1.0, 10.0, 100.0])
+                    .observe(*value),
+            };
+        }
+        let text = prom::render(&reg);
+        let families = prom::parse(&text);
+        prop_assert!(families.is_ok(), "exposition failed to parse: {:?}\n{}", families.err(), text);
+        let families = families.unwrap();
+        for (name, kind) in reg.names() {
+            let fam = families.iter().find(|f| f.name == name);
+            prop_assert!(fam.is_some(), "family `{}` missing from exposition", name);
+            prop_assert_eq!(fam.unwrap().kind, kind, "family `{}` changed kind", name);
+            prop_assert!(fam.unwrap().samples > 0);
+        }
+    }
+
+    /// Histogram quantiles are monotone in `q` and bounded by the
+    /// bucket range; the reservoir never exceeds its capacity and its
+    /// percentiles stay inside the observed range.
+    #[test]
+    fn summaries_are_sane(
+        samples in proptest::collection::vec(0.0f64..5000.0, 1..200),
+        cap in 1usize..64,
+    ) {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ms", "", &matgpt_obs::Histogram::LATENCY_MS_BOUNDS);
+        let r = Reservoir::new(cap);
+        for &s in &samples {
+            h.observe(s);
+            r.push(s);
+        }
+        let (q50, q95, q99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        prop_assert!(q50 <= q95 && q95 <= q99, "{} {} {}", q50, q95, q99);
+        prop_assert!(q50 >= 0.0 && q99 <= 10_000.0);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+
+        let p = r.percentiles();
+        prop_assert_eq!(p.count, samples.len().min(cap));
+        prop_assert_eq!(r.seen(), samples.len() as u64);
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p.p50 >= lo && p.p99 <= hi);
+
+        // exact percentiles agree with themselves under permutation-free
+        // re-computation (Percentiles::of is deterministic)
+        let exact = Percentiles::of(&samples);
+        prop_assert_eq!(exact.count, samples.len());
+        prop_assert!(exact.p50 <= exact.p95 && exact.p95 <= exact.p99);
+    }
+}
+
+#[test]
+fn registered_kinds_enumerate() {
+    // cheap non-property guard that MetricKind covers the exposition kinds
+    assert_eq!(MetricKind::Counter.prom_type(), "counter");
+    assert_eq!(MetricKind::Gauge.prom_type(), "gauge");
+    assert_eq!(MetricKind::Histogram.prom_type(), "histogram");
+}

@@ -114,12 +114,9 @@ impl Engine {
         // admission control: atomically claim an in-flight slot; the
         // scheduler releases it when the response is sent
         let capacity = self.cfg.max_queue;
-        self.metrics
-            .backlog
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| {
-                (b < capacity).then_some(b + 1)
-            })
-            .map_err(|_| EngineError::QueueFull { capacity })?;
+        if !self.metrics.try_claim_slot(capacity) {
+            return Err(EngineError::QueueFull { capacity });
+        }
 
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (resp_tx, rx) = channel::unbounded();
@@ -136,7 +133,7 @@ impl Engine {
         };
         if tx.send(sub).is_err() {
             // scheduler thread is gone; give the slot back
-            self.metrics.backlog.fetch_sub(1, Ordering::AcqRel);
+            self.metrics.release_slot();
             return Err(EngineError::ShutDown);
         }
         Ok(ResponseHandle { id, rx, cancel })
@@ -145,6 +142,15 @@ impl Engine {
     /// A consistent snapshot of the serving metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The engine's metric registry: every serving series (counters,
+    /// gauges, the `serve_*_ms` latency histograms) lives here, so
+    /// [`matgpt_obs::prom::render`] exports this engine in Prometheus
+    /// text form. Per-engine rather than global, so multiple engines in
+    /// one process (or parallel tests) never mix their counts.
+    pub fn registry(&self) -> &matgpt_obs::Registry {
+        self.metrics.registry()
     }
 
     /// Graceful shutdown: stop intake (subsequent submits get
@@ -287,6 +293,44 @@ mod tests {
             assert!(matches!(r.finish, FinishReason::Length));
         }
         assert_eq!(engine.metrics().backlog, 0, "slots all released");
+    }
+
+    #[test]
+    fn registry_and_lifecycle_trace_cover_requests() {
+        let rec = matgpt_obs::Recorder::global();
+        rec.enable();
+        let engine = tiny_engine(EngineConfig::default());
+        let opts = SampleOptions {
+            temperature: 0.0,
+            top_k: 0,
+            max_new_tokens: 3,
+            stop_token: None,
+        };
+        let h = engine.submit(&[1, 2], opts).expect("admitted");
+        let r = h.wait().expect("response");
+        assert_eq!(r.generated, 3);
+        engine.shutdown();
+
+        // the per-engine registry carries the migrated serving series
+        let text = matgpt_obs::prom::render(engine.registry());
+        let families = matgpt_obs::prom::parse(&text).expect("exposition parses");
+        assert!(families.iter().any(|f| f.name == "serve_ttft_ms"));
+        assert_eq!(engine.metrics().completed, 1);
+        assert_eq!(engine.metrics().ttft_ms.count, 1);
+
+        // the request lifecycle and scheduler spans reached the global
+        // recorder (scheduler joined by shutdown, so all flushed)
+        let events = rec.snapshot();
+        let serve: Vec<_> = events
+            .iter()
+            .filter(|e| e.pid == matgpt_obs::pids::SERVE)
+            .collect();
+        for name in ["queued", "prefill", "decode", "decode-iter"] {
+            assert!(
+                serve.iter().any(|e| e.name == name),
+                "missing serve event `{name}`"
+            );
+        }
     }
 
     #[test]

@@ -1,39 +1,159 @@
 //! Serving metrics: queue depth, time-to-first-token, per-token decode
 //! latency percentiles, and decode throughput.
 //!
-//! Counters are updated by the scheduler thread; [`MetricsSnapshot`] is
-//! a consistent copy that serialises with `serde_json` for scraping.
+//! Counters are updated by the scheduler thread. The storage is a
+//! per-engine [`matgpt_obs::Registry`] — every value below is a
+//! registered counter/gauge/histogram, so the same numbers that back
+//! [`MetricsSnapshot`] export as Prometheus text via
+//! [`matgpt_obs::prom::render`] (see [`crate::Engine::registry`]).
+//!
+//! Latency percentiles come from bounded reservoirs: a ring buffer
+//! keeps only the most recent [`TTFT_WINDOW`] /
+//! [`TOKEN_LATENCY_WINDOW`] samples, so a long-lived engine holds at
+//! most ~96 KiB of latency state instead of growing one `Vec` entry
+//! per token forever. Percentiles are exact over that sliding window —
+//! the same nearest-rank math as before, just over the recent past
+//! rather than all history (which is what a latency dashboard wants
+//! anyway). The full-history distribution still exists as the
+//! fixed-bucket `serve_*_ms` histograms in the registry.
 
-use parking_lot::Mutex;
+use matgpt_obs::{Counter, Gauge, Histogram, Registry, Reservoir};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
-/// Shared mutable metrics state (engine-internal).
-#[derive(Default)]
+pub use matgpt_obs::Percentiles;
+
+/// Sliding-window size for time-to-first-token percentiles (one `f64`
+/// per retired request: 32 KiB at the bound).
+pub const TTFT_WINDOW: usize = 4096;
+
+/// Sliding-window size for per-token decode latency percentiles (one
+/// `f64` per generated token, so a larger window: 64 KiB at the bound).
+pub const TOKEN_LATENCY_WINDOW: usize = 8192;
+
+/// Shared mutable metrics state (engine-internal). All externally
+/// visible series are registered in the per-engine registry.
 pub(crate) struct MetricsInner {
-    pub queue_depth: AtomicUsize,
-    pub active: AtomicUsize,
+    registry: Registry,
+    /// Requests admitted but not yet scheduled into the batch.
+    pub queue_depth: Gauge,
+    /// Requests currently decoding.
+    pub active: Gauge,
     /// Requests submitted but not yet answered — the admission-control
-    /// gauge `Engine::submit` bounds against `max_queue`.
-    pub backlog: AtomicUsize,
-    pub completed: AtomicU64,
+    /// value `Engine::submit` bounds against `max_queue`. The atomic is
+    /// the source of truth (admission needs CAS); the gauge mirrors it
+    /// for the exposition.
+    backlog: AtomicUsize,
+    backlog_gauge: Gauge,
+    /// Requests retired (any finish reason).
+    pub completed: Counter,
     /// Requests retired with [`crate::FinishReason::Failed`].
-    pub failed: AtomicU64,
-    pub generated_tokens: AtomicU64,
-    /// Seconds the scheduler spent inside decode/prefill iterations.
+    pub failed: Counter,
+    /// Total tokens generated across all requests.
+    pub generated_tokens: Counter,
+    /// Nanoseconds the scheduler spent inside decode/prefill iterations.
     busy_ns: AtomicU64,
-    ttft_ms: Mutex<Vec<f64>>,
-    token_latency_ms: Mutex<Vec<f64>>,
+    tokens_per_sec: Gauge,
+    ttft_ms: Reservoir,
+    ttft_hist: Histogram,
+    token_latency_ms: Reservoir,
+    token_latency_hist: Histogram,
+}
+
+impl Default for MetricsInner {
+    fn default() -> Self {
+        let registry = Registry::new();
+        let queue_depth = registry.gauge(
+            "serve_queue_depth",
+            "requests admitted but not yet scheduled into the batch",
+        );
+        let active = registry.gauge("serve_active_requests", "requests currently decoding");
+        let backlog_gauge =
+            registry.gauge("serve_backlog", "requests in flight anywhere in the engine");
+        let completed = registry.counter(
+            "serve_requests_completed_total",
+            "requests retired (any finish reason)",
+        );
+        let failed = registry.counter(
+            "serve_requests_failed_total",
+            "requests retired by an internal fault",
+        );
+        let generated_tokens = registry.counter(
+            "serve_generated_tokens_total",
+            "tokens generated across all requests",
+        );
+        let tokens_per_sec = registry.gauge(
+            "serve_tokens_per_sec",
+            "generated tokens per second of scheduler busy time",
+        );
+        let ttft_hist = registry.histogram(
+            "serve_ttft_ms",
+            "time to first token, milliseconds",
+            &Histogram::LATENCY_MS_BOUNDS,
+        );
+        let token_latency_hist = registry.histogram(
+            "serve_token_latency_ms",
+            "per-token decode latency, milliseconds",
+            &Histogram::LATENCY_MS_BOUNDS,
+        );
+        Self {
+            registry,
+            queue_depth,
+            active,
+            backlog: AtomicUsize::new(0),
+            backlog_gauge,
+            completed,
+            failed,
+            generated_tokens,
+            busy_ns: AtomicU64::new(0),
+            tokens_per_sec,
+            ttft_ms: Reservoir::new(TTFT_WINDOW),
+            ttft_hist,
+            token_latency_ms: Reservoir::new(TOKEN_LATENCY_WINDOW),
+            token_latency_hist,
+        }
+    }
 }
 
 impl MetricsInner {
+    /// The engine's metric registry (for Prometheus exposition).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Atomically claim an in-flight slot if fewer than `capacity` are
+    /// taken. Admission control for `Engine::submit`.
+    pub fn try_claim_slot(&self, capacity: usize) -> bool {
+        let claimed = self
+            .backlog
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| {
+                (b < capacity).then_some(b + 1)
+            })
+            .is_ok();
+        if claimed {
+            self.backlog_gauge
+                .set(self.backlog.load(Ordering::Relaxed) as f64);
+        }
+        claimed
+    }
+
+    /// Release an in-flight slot (request answered or bounced).
+    pub fn release_slot(&self) {
+        let prev = self.backlog.fetch_sub(1, Ordering::AcqRel);
+        self.backlog_gauge.set(prev.saturating_sub(1) as f64);
+    }
+
     pub fn record_ttft(&self, d: Duration) {
-        self.ttft_ms.lock().push(d.as_secs_f64() * 1e3);
+        let ms = d.as_secs_f64() * 1e3;
+        self.ttft_ms.push(ms);
+        self.ttft_hist.observe(ms);
     }
 
     pub fn record_token_latency(&self, d: Duration) {
-        self.token_latency_ms.lock().push(d.as_secs_f64() * 1e3);
+        let ms = d.as_secs_f64() * 1e3;
+        self.token_latency_ms.push(ms);
+        self.token_latency_hist.observe(ms);
     }
 
     pub fn record_busy(&self, d: Duration) {
@@ -42,56 +162,25 @@ impl MetricsInner {
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let generated = self.generated_tokens.load(Ordering::Relaxed);
+        let generated = self.generated_tokens.get();
         let busy_s = self.busy_ns.load(Ordering::Relaxed) as f64 * 1e-9;
-        MetricsSnapshot {
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed),
-            backlog: self.backlog.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            generated_tokens: generated,
-            ttft_ms: Percentiles::of(&self.ttft_ms.lock()),
-            token_latency_ms: Percentiles::of(&self.token_latency_ms.lock()),
-            tokens_per_sec: if busy_s > 0.0 {
-                generated as f64 / busy_s
-            } else {
-                0.0
-            },
-        }
-    }
-}
-
-/// p50/p95/p99 of a latency population, in milliseconds.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
-pub struct Percentiles {
-    /// Median.
-    pub p50: f64,
-    /// 95th percentile.
-    pub p95: f64,
-    /// 99th percentile.
-    pub p99: f64,
-    /// Number of samples the percentiles summarise.
-    pub count: usize,
-}
-
-impl Percentiles {
-    fn of(samples: &[f64]) -> Self {
-        if samples.is_empty() {
-            return Self::default();
-        }
-        let mut sorted = samples.to_vec();
-        // total_cmp: NaN-proof total order, no panic path
-        sorted.sort_by(f64::total_cmp);
-        let at = |q: f64| {
-            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-            sorted[idx]
+        let tokens_per_sec = if busy_s > 0.0 {
+            generated as f64 / busy_s
+        } else {
+            0.0
         };
-        Self {
-            p50: at(0.50),
-            p95: at(0.95),
-            p99: at(0.99),
-            count: sorted.len(),
+        // derived gauge: refreshed on scrape so the exposition carries it
+        self.tokens_per_sec.set(tokens_per_sec);
+        MetricsSnapshot {
+            queue_depth: self.queue_depth.get() as usize,
+            active: self.active.get() as usize,
+            backlog: self.backlog.load(Ordering::Relaxed),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            generated_tokens: generated,
+            ttft_ms: self.ttft_ms.percentiles(),
+            token_latency_ms: self.token_latency_ms.percentiles(),
+            tokens_per_sec,
         }
     }
 }
@@ -112,9 +201,11 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Total tokens generated across all requests.
     pub generated_tokens: u64,
-    /// Time-to-first-token percentiles.
+    /// Time-to-first-token percentiles over the last [`TTFT_WINDOW`]
+    /// retired requests.
     pub ttft_ms: Percentiles,
-    /// Per-token decode latency percentiles.
+    /// Per-token decode latency percentiles over the last
+    /// [`TOKEN_LATENCY_WINDOW`] generated tokens.
     pub token_latency_ms: Percentiles,
     /// Generated tokens per second of scheduler busy time.
     pub tokens_per_sec: f64,
@@ -133,19 +224,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_of_known_population() {
-        let v: Vec<f64> = (1..=100).map(f64::from).collect();
-        let p = Percentiles::of(&v);
-        assert_eq!(p.count, 100);
-        assert!((p.p50 - 50.0).abs() <= 1.0);
-        assert!((p.p95 - 95.0).abs() <= 1.0);
-        assert!((p.p99 - 99.0).abs() <= 1.0);
-    }
-
-    #[test]
     fn snapshot_serialises_to_json() {
         let inner = MetricsInner::default();
-        inner.generated_tokens.store(7, Ordering::Relaxed);
+        inner.generated_tokens.add(7);
         inner.record_ttft(Duration::from_millis(12));
         inner.record_token_latency(Duration::from_millis(3));
         inner.record_busy(Duration::from_millis(70));
@@ -154,5 +235,57 @@ mod tests {
         assert!(json.contains("\"generated_tokens\":7"), "{json}");
         assert!(json.contains("tokens_per_sec"), "{json}");
         assert!(snap.tokens_per_sec > 0.0);
+    }
+
+    #[test]
+    fn latency_memory_is_bounded_with_sliding_percentiles() {
+        let inner = MetricsInner::default();
+        // three windows' worth of samples: memory must not grow past
+        // the bound, and percentiles must reflect the recent window
+        for i in 0..(3 * TTFT_WINDOW) {
+            inner.record_ttft(Duration::from_micros(i as u64));
+        }
+        let p = inner.snapshot().ttft_ms;
+        assert_eq!(p.count, TTFT_WINDOW, "reservoir exceeded its bound");
+        // the oldest two windows were evicted: all retained samples are
+        // >= 2*TTFT_WINDOW µs = 2*TTFT_WINDOW/1000 ms
+        let floor_ms = (2 * TTFT_WINDOW) as f64 / 1000.0;
+        assert!(p.p50 >= floor_ms, "p50 {} below window floor", p.p50);
+    }
+
+    #[test]
+    fn registry_exposes_all_serving_series() {
+        let inner = MetricsInner::default();
+        inner.record_ttft(Duration::from_millis(5));
+        inner.completed.inc();
+        let text = matgpt_obs::prom::render(inner.registry());
+        let families = matgpt_obs::prom::parse(&text).expect("exposition parses");
+        for name in [
+            "serve_queue_depth",
+            "serve_active_requests",
+            "serve_backlog",
+            "serve_requests_completed_total",
+            "serve_requests_failed_total",
+            "serve_generated_tokens_total",
+            "serve_tokens_per_sec",
+            "serve_ttft_ms",
+            "serve_token_latency_ms",
+        ] {
+            assert!(
+                families.iter().any(|f| f.name == name),
+                "family `{name}` missing:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn slot_claims_respect_capacity_and_mirror_gauge() {
+        let inner = MetricsInner::default();
+        assert!(inner.try_claim_slot(2));
+        assert!(inner.try_claim_slot(2));
+        assert!(!inner.try_claim_slot(2), "third claim must bounce");
+        inner.release_slot();
+        assert!(inner.try_claim_slot(2));
+        assert_eq!(inner.snapshot().backlog, 2);
     }
 }

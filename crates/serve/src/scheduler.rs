@@ -16,20 +16,32 @@
 //! request retires with [`FinishReason::Failed`] — its partially
 //! mutated state discarded with it, so no poisoned state survives —
 //! and the rest of the batch continues untouched.
+//!
+//! When the global `matgpt-obs` recorder is enabled, the scheduler
+//! traces itself on [`pids::SERVE`]: RAII spans around each batched
+//! prefill and decode iteration on the scheduler thread's track, and a
+//! reconstructed queued → prefill → decode lifecycle track per request
+//! (tid `REQ_TRACK_BASE + id`, named "req N"), emitted from the
+//! captured `Instant`s when the request retires.
 
 use crate::metrics::MetricsInner;
 use crate::request::{FinishReason, Response, Submission};
 use crossbeam::channel::{Receiver, TryRecvError};
 use matgpt_model::infer::KvCache;
 use matgpt_model::{generate::sample_logits, GptModel};
+use matgpt_obs::{pids, Recorder, Span, TraceEvent};
 use matgpt_tensor::ParamStore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Request lifecycle tracks start here within [`pids::SERVE`], far
+/// above the small thread-local track ids the scheduler's own spans
+/// use, so the two can never collide in the trace.
+const REQ_TRACK_BASE: u64 = 1 << 32;
 
 /// Admission and batching limits.
 #[derive(Clone, Copy, Debug)]
@@ -72,6 +84,10 @@ struct Active {
     last_token_at: Instant,
     reserved: usize,
     done: Option<FinishReason>,
+    /// When this request's prefill forward began / finished — the
+    /// boundaries of its traced queued/prefill/decode lifecycle.
+    prefill_start: Instant,
+    prefill_end: Instant,
 }
 
 impl Active {
@@ -85,6 +101,7 @@ impl Active {
         sub: Submission,
         reserved: usize,
     ) -> Result<Self, Box<(Submission, usize)>> {
+        let prefill_start = Instant::now();
         let tokens = sub.req.prompt.clone();
         let ctx_start = tokens.len().saturating_sub(model.cfg.max_seq);
         // only the forward is unwind-scoped; `sub` stays outside so a
@@ -101,6 +118,7 @@ impl Active {
             Err(_) => return Err(Box::new((sub, reserved))),
         };
         let rng = ChaCha8Rng::seed_from_u64(sub.req.seed);
+        let prefill_end = Instant::now();
         Ok(Self {
             sub,
             cache,
@@ -109,9 +127,11 @@ impl Active {
             rng,
             last_row,
             ttft: None,
-            last_token_at: Instant::now(),
+            last_token_at: prefill_end,
             reserved,
             done: None,
+            prefill_start,
+            prefill_end,
         })
     }
 
@@ -137,7 +157,7 @@ impl Active {
             sample_logits(&self.last_row, opts.temperature, opts.top_k, &mut self.rng) as u32;
         self.tokens.push(next);
         self.generated += 1;
-        metrics.generated_tokens.fetch_add(1, Ordering::Relaxed);
+        metrics.generated_tokens.inc();
         if self.ttft.is_none() {
             let ttft = self.sub.submitted.elapsed();
             self.ttft = Some(ttft);
@@ -177,6 +197,24 @@ fn token_cost(sub: &Submission, max_seq: usize) -> usize {
 /// Retire a request that never entered the batch.
 fn retire_unstarted(sub: Submission, reason: FinishReason, metrics: &MetricsInner) {
     let total = sub.submitted.elapsed();
+    let rec = Recorder::global();
+    if rec.is_enabled() {
+        // its whole life was the queue: one "queued" interval
+        let tid = REQ_TRACK_BASE + sub.id;
+        rec.set_track_name(pids::SERVE, tid, format!("req {}", sub.id));
+        let ts = rec.ts_of(sub.submitted);
+        rec.record(
+            TraceEvent::complete(
+                pids::SERVE,
+                tid,
+                "serve.request",
+                "queued",
+                ts,
+                (rec.now_us() - ts).max(0.0),
+            )
+            .arg("id", sub.id as f64),
+        );
+    }
     let resp = Response {
         id: sub.id,
         tokens: sub.req.prompt.clone(),
@@ -185,12 +223,57 @@ fn retire_unstarted(sub: Submission, reason: FinishReason, metrics: &MetricsInne
         ttft: total,
         total,
     };
-    metrics.completed.fetch_add(1, Ordering::Relaxed);
+    metrics.completed.inc();
     if reason == FinishReason::Failed {
-        metrics.failed.fetch_add(1, Ordering::Relaxed);
+        metrics.failed.inc();
     }
-    metrics.backlog.fetch_sub(1, Ordering::AcqRel);
+    metrics.release_slot();
     let _ = sub.tx.send(resp);
+}
+
+/// Reconstruct a retired request's lifecycle — queued → prefill →
+/// decode — onto its own trace track from the `Instant`s captured
+/// while it ran. No-op while the global recorder is disabled.
+fn emit_lifecycle(a: &Active) {
+    let rec = Recorder::global();
+    if !rec.is_enabled() {
+        return;
+    }
+    let tid = REQ_TRACK_BASE + a.sub.id;
+    rec.set_track_name(pids::SERVE, tid, format!("req {}", a.sub.id));
+    let queued_ts = rec.ts_of(a.sub.submitted);
+    let prefill_ts = rec.ts_of(a.prefill_start);
+    let decode_ts = rec.ts_of(a.prefill_end);
+    let now = rec.now_us();
+    rec.extend(vec![
+        TraceEvent::complete(
+            pids::SERVE,
+            tid,
+            "serve.request",
+            "queued",
+            queued_ts,
+            (prefill_ts - queued_ts).max(0.0),
+        )
+        .arg("id", a.sub.id as f64),
+        TraceEvent::complete(
+            pids::SERVE,
+            tid,
+            "serve.request",
+            "prefill",
+            prefill_ts,
+            (decode_ts - prefill_ts).max(0.0),
+        )
+        .arg("prompt_tokens", a.sub.req.prompt.len() as f64),
+        TraceEvent::complete(
+            pids::SERVE,
+            tid,
+            "serve.request",
+            "decode",
+            decode_ts,
+            (now - decode_ts).max(0.0),
+        )
+        .arg("generated", a.generated as f64),
+    ]);
 }
 
 /// The scheduler loop. Runs until every sender is gone and all queued
@@ -206,6 +289,7 @@ pub(crate) fn run(
     let mut active: Vec<Active> = Vec::new();
     let mut used_budget = 0usize;
     let mut disconnected = false;
+    Recorder::global().set_track_name(pids::SERVE, matgpt_obs::thread_tid(), "scheduler");
 
     loop {
         // ---- intake: block when idle, drain opportunistically otherwise
@@ -268,6 +352,7 @@ pub(crate) fn run(
             admitted.push((sub, cost));
         }
         if !admitted.is_empty() {
+            let _span = Span::enter(pids::SERVE, "serve", "prefill-batch");
             // batched prefill: all newly admitted prompts forward together
             let (model_ref, store_ref) = (&model, &store);
             let fresh: Vec<Result<Active, Box<(Submission, usize)>>> = admitted
@@ -287,8 +372,8 @@ pub(crate) fn run(
             }
         }
 
-        metrics.queue_depth.store(queue.len(), Ordering::Relaxed);
-        metrics.active.store(active.len(), Ordering::Relaxed);
+        metrics.queue_depth.set(queue.len() as f64);
+        metrics.active.set(active.len() as f64);
 
         if active.is_empty() {
             continue;
@@ -296,6 +381,7 @@ pub(crate) fn run(
 
         // ---- one decode iteration across the whole batch
         {
+            let _span = Span::enter(pids::SERVE, "serve", "decode-iter");
             let (model_ref, store_ref, metrics_ref) = (&model, &store, &*metrics);
             active.par_iter_mut().for_each(|a| {
                 if a.done.is_some() {
@@ -327,18 +413,20 @@ pub(crate) fn run(
         }
         // update gauges before answering, so a client that snapshots
         // metrics right after its response sees them already settled
-        metrics.active.store(active.len(), Ordering::Relaxed);
-        metrics
-            .completed
-            .fetch_add(retired.len() as u64, Ordering::Relaxed);
+        metrics.active.set(active.len() as f64);
+        metrics.completed.add(retired.len() as u64);
         metrics.record_busy(iter_start.elapsed());
         for a in retired {
             if a.done == Some(FinishReason::Failed) {
-                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                metrics.failed.inc();
             }
-            metrics.backlog.fetch_sub(1, Ordering::AcqRel);
+            metrics.release_slot();
+            emit_lifecycle(&a);
             let (sub, resp) = a.into_response();
             let _ = sub.tx.send(resp);
         }
     }
+    // hand any spans still buffered on this thread to the recorder
+    // before the scheduler thread exits
+    matgpt_obs::flush_thread();
 }

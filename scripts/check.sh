@@ -18,4 +18,20 @@ echo "== fault-tolerance: checkpoint-restart + failure injection =="
 cargo test -q --test fault_tolerance
 cargo test -q -p matgpt-tensor --test checkpoint_corruption
 
+echo "== observability: matgpt-obs suite + unified-trace smoke gate =="
+cargo test -q -p matgpt-obs
+rm -f target/obs/trace.json
+# the binary self-validates (exits non-zero on an invalid/empty trace
+# or missing metric families); re-check the artifact here anyway
+cargo run --release -q -p matgpt-bench --bin ext_observability -- --smoke
+python3 - <<'PY'
+import json, sys
+with open("target/obs/trace.json") as f:
+    doc = json.load(f)
+events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+if not events:
+    sys.exit("trace.json parsed but holds no complete events")
+print(f"trace.json OK: {len(events)} complete events")
+PY
+
 echo "All checks passed."
