@@ -1,0 +1,99 @@
+//! Benchmark-regression comparator: diff a fresh `BENCH_*.json` against
+//! a committed baseline and fail when a gated metric regresses.
+//!
+//! ```text
+//! bench_compare <fresh.json> <baseline.json> [--tolerance 0.15]
+//! ```
+//!
+//! Exit status: 0 when every gated metric clears
+//! `baseline * (1 - tolerance)`, 1 on any regression, 2 on unusable
+//! input (missing file, schema violation, bench/scale mismatch).
+//! `scripts/bench_gate.sh` runs this for each bench after regenerating
+//! the fresh reports at full scale.
+
+use matgpt_bench::report::{compare_reports, BenchReport, DEFAULT_TOLERANCE};
+use std::path::Path;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_compare <fresh.json> <baseline.json> [--tolerance 0.15]");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            tolerance = it
+                .next()
+                .and_then(|t| t.parse::<f64>().ok())
+                .filter(|t| (0.0..1.0).contains(t))
+                .unwrap_or_else(|| usage());
+        } else if a.starts_with('-') {
+            usage();
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+
+    let load = |p: &str| {
+        BenchReport::load(Path::new(p)).unwrap_or_else(|e| {
+            eprintln!("bench_compare: {e}");
+            exit(2)
+        })
+    };
+    let fresh = load(&paths[0]);
+    let baseline = load(&paths[1]);
+
+    let rows = compare_reports(&fresh, &baseline, tolerance).unwrap_or_else(|e| {
+        eprintln!("bench_compare: {e}");
+        exit(2)
+    });
+
+    println!(
+        "bench `{}` vs baseline ({} gated metric{}, tolerance {:.0}%):",
+        fresh.bench,
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" },
+        tolerance * 100.0
+    );
+    matgpt_bench::print_table(
+        &format!("regression gate: {}", fresh.bench),
+        &["metric", "baseline", "fresh", "delta", "gate"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.4}", r.baseline),
+                    format!("{:.4}", r.fresh),
+                    format!("{:+.1}%", r.delta * 100.0),
+                    if r.pass { "PASS" } else { "FAIL" }.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let failed: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.pass)
+        .map(|r| r.name.as_str())
+        .collect();
+    if failed.is_empty() {
+        println!("bench_compare: OK");
+    } else {
+        eprintln!(
+            "bench_compare: FAIL: {} regressed past {:.0}% tolerance: {}",
+            failed.len(),
+            tolerance * 100.0,
+            failed.join(", ")
+        );
+        exit(1);
+    }
+}

@@ -1,12 +1,17 @@
 //! Extension: unified observability demo — records a small pretraining
-//! run, an 8-request serving run, and a simulated Frontier training
-//! step into **one** Chrome trace (`target/obs/trace.json`, openable in
-//! Perfetto / `chrome://tracing`) and **one** Prometheus exposition
-//! (`target/obs/metrics.prom`), then self-validates both artifacts:
-//! the trace must parse with events from all three sources (trainer,
-//! serve, frontier-sim) and the exposition must round-trip every
-//! expected metric family. Exits non-zero on any violation, so
-//! `scripts/check.sh` can use it as a gate.
+//! run, serving runs at **both weight precisions** (f32 and int8), and
+//! a simulated Frontier training step into **one** Chrome trace
+//! (`target/obs/trace.json`, openable in Perfetto / `chrome://tracing`)
+//! and **one** Prometheus exposition (`target/obs/metrics.prom`), then
+//! self-validates both artifacts: the trace must parse with events from
+//! all three sources (trainer, serve, frontier-sim) and the exposition
+//! must round-trip every expected metric family, including the
+//! per-precision quantization series. Exits non-zero on any violation,
+//! so `scripts/check.sh` can use it as a gate.
+//!
+//! `--validate` re-checks previously written artifacts from disk
+//! without re-running anything — `scripts/check.sh` uses it to confirm
+//! the files really are valid on disk, with no python on the PATH.
 
 use matgpt_bench::print_table;
 use matgpt_core::{pretrain::Trainer, OptChoice, PretrainConfig, SizeRole};
@@ -14,7 +19,7 @@ use matgpt_corpus::{build_corpus, CorpusConfig};
 use matgpt_frontier_sim::parallel::{simulate_step, Strategy, TrainSetup};
 use matgpt_frontier_sim::power::PowerModel;
 use matgpt_frontier_sim::trace as sim_trace;
-use matgpt_model::{ArchKind, GptConfig, GptModel, SampleOptions};
+use matgpt_model::{ArchKind, GptConfig, GptModel, SampleOptions, WeightPrecision};
 use matgpt_obs::{chrome, pids, prom, Recorder, Registry};
 use matgpt_serve::{Engine, EngineConfig};
 use matgpt_tensor::{init, ParamStore};
@@ -26,7 +31,41 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// `--validate`: re-validate `target/obs/{trace.json,metrics.prom}`
+/// from disk — the artifact smoke gate `scripts/check.sh` runs after
+/// the recording pass, replacing the old python one-liner.
+fn validate_artifacts() -> ! {
+    let dir = Path::new("target/obs");
+    let read = |name: &str| {
+        std::fs::read_to_string(dir.join(name))
+            .unwrap_or_else(|e| fail(&format!("read {}/{name}: {e}", dir.display())))
+    };
+    let stats = match chrome::validate(&read("trace.json")) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("trace.json invalid: {e}")),
+    };
+    if stats.complete_events == 0 {
+        fail("trace.json parsed but holds no complete events");
+    }
+    let families = match prom::parse(&read("metrics.prom")) {
+        Ok(f) => f,
+        Err(e) => fail(&format!("metrics.prom invalid: {e}")),
+    };
+    println!(
+        "trace.json OK: {} complete events across {} tracks; \
+         metrics.prom OK: {} families",
+        stats.complete_events,
+        stats.tracks,
+        families.len()
+    );
+    println!("ext_observability --validate: OK");
+    std::process::exit(0)
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--validate") {
+        validate_artifacts();
+    }
     let smoke = matgpt_bench::smoke_requested();
     let rec = Recorder::global();
     rec.enable(); // enable first: the epoch starts now, timestamps stay small
@@ -71,15 +110,8 @@ fn main() {
     trainer.run_to_end();
     let checkpoint_bytes = trainer.checkpoint().len();
 
-    // ---- source 3: a concurrent serving run
-    let mut store = ParamStore::new();
-    let mut rng = init::rng(0);
-    let serve_cfg = GptConfig {
-        max_seq: 128,
-        ..GptConfig::tiny(ArchKind::Llama, 128)
-    };
-    let model = GptModel::new(serve_cfg, &mut store, &mut rng);
-    let engine = Engine::new(model, store, EngineConfig::default());
+    // ---- source 3: concurrent serving runs at both weight precisions,
+    // so the exposition carries the per-precision quantization series
     let n_req = if smoke { 4 } else { 8 };
     let opts = SampleOptions {
         temperature: 0.0,
@@ -87,23 +119,49 @@ fn main() {
         max_new_tokens: 6,
         stop_token: None,
     };
-    let handles: Vec<_> = (0..n_req)
-        .map(|i| {
-            let plen = 8 + 4 * i;
-            let p: Vec<u32> = (0..plen as u32).map(|t| (t * 5 + i as u32) % 127).collect();
-            engine.submit(&p, opts).expect("admitted")
+    let engines: Vec<Engine> = [WeightPrecision::F32, WeightPrecision::Int8]
+        .into_iter()
+        .map(|precision| {
+            let mut store = ParamStore::new();
+            let mut rng = init::rng(0);
+            let serve_cfg = GptConfig {
+                max_seq: 128,
+                ..GptConfig::tiny(ArchKind::Llama, 128)
+            };
+            let model = GptModel::new(serve_cfg, &mut store, &mut rng);
+            let engine = Engine::new(
+                model,
+                store,
+                EngineConfig {
+                    precision,
+                    ..EngineConfig::default()
+                },
+            );
+            let handles: Vec<_> = (0..n_req)
+                .map(|i| {
+                    let plen = 8 + 4 * i;
+                    let p: Vec<u32> = (0..plen as u32).map(|t| (t * 5 + i as u32) % 127).collect();
+                    engine.submit(&p, opts).expect("admitted")
+                })
+                .collect();
+            let answered = handles.into_iter().filter_map(|h| h.wait()).count();
+            if answered != n_req {
+                fail(&format!(
+                    "not every {precision} serving request was answered"
+                ));
+            }
+            engine.shutdown(); // joins the scheduler, flushing its spans
+            engine
         })
         .collect();
-    let answered = handles.into_iter().filter_map(|h| h.wait()).count();
-    if answered != n_req {
-        fail("not every serving request was answered");
-    }
-    engine.shutdown(); // joins the scheduler, flushing its spans
 
     // ---- export
     matgpt_obs::flush_thread();
     let json = rec.to_chrome_json();
-    let text = prom::render_all(&[Registry::global(), engine.registry()]);
+    let registries: Vec<&Registry> = std::iter::once(Registry::global())
+        .chain(engines.iter().map(|e| e.registry()))
+        .collect();
+    let text = prom::render_all(&registries);
     let out_dir = Path::new("target/obs");
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         fail(&format!("create {}: {e}", out_dir.display()));
@@ -144,9 +202,16 @@ fn main() {
         "serve_requests_completed_total",
         "serve_ttft_ms",
         "serve_token_latency_ms",
+        "serve_quant_weight_bytes",
+        "serve_decode_latency_ms",
     ] {
         if !families.iter().any(|f| f.name == family) {
             fail(&format!("metric family `{family}` missing from exposition"));
+        }
+    }
+    for label in ["precision=\"f32\"", "precision=\"int8\""] {
+        if !text.contains(label) {
+            fail(&format!("exposition lacks a {label} series"));
         }
     }
 

@@ -1,0 +1,216 @@
+//! Extension: int8 quantized decode benchmark — the measured-speedup
+//! gate behind the serving engine's `WeightPrecision::Int8` knob.
+//!
+//! Single-token decode is a GEMV that touches every matmul weight once
+//! per token, so it is bound by weight-memory traffic, not FLOPs.
+//! Per-channel int8 cuts that traffic 4×; this binary measures what
+//! that buys on the current CPU at a ≥512-hidden shape and what it
+//! costs in accuracy (max logits drift and perplexity drift over the
+//! same token stream).
+//!
+//! Acceptance gates (enforced here, exit non-zero on violation):
+//!
+//! * int8 decode ≥ 1.5× f32 tokens/sec,
+//! * max |logits_int8 − logits_f32| ≤ 5e-2 over every decoded position.
+//!
+//! The headline numbers land in `target/bench/BENCH_quant.json`
+//! (schema `matgpt-bench/v1`); `bench_compare` diffs that against the
+//! committed `benchmarks/BENCH_quant.json` baseline so CI fails on a
+//! >15 % regression of the gated ratios.
+
+use matgpt_bench::report::BenchReport;
+use matgpt_bench::{bench_out_dir, compare, print_table};
+use matgpt_model::generate::argmax;
+use matgpt_model::{ArchKind, ForwardParams, GptConfig, GptModel, QuantizedParamStore};
+use matgpt_tensor::kernels::softmax::logsumexp;
+use matgpt_tensor::{init, ParamStore};
+use std::time::Instant;
+
+/// Decode `reps` blocks of `steps` tokens greedily on top of a fresh
+/// prefill, timing each block separately. Returns (best block
+/// tokens/sec, the full decoded token stream, per-step logits rows).
+///
+/// Best-of-blocks, not mean-of-blocks: on a shared core, interference
+/// (steal time, noisy neighbours) only ever makes a block *slower*, so
+/// the fastest block is the least-disturbed estimate of the kernel's
+/// real rate — and the one that is stable enough to regression-gate.
+fn timed_decode<P: ForwardParams>(
+    model: &GptModel,
+    params: &P,
+    prompt: &[u32],
+    steps: usize,
+    reps: usize,
+    follow: Option<&[u32]>,
+) -> (f64, Vec<u32>, Vec<Vec<f32>>) {
+    let v = model.cfg.vocab_size;
+    let mut cache = model.new_cache();
+    let logits = model.forward_cached_with(params, prompt, &mut cache);
+    let mut row = logits[(cache.len() - 1) * v..].to_vec();
+    // one untimed step to fault in the weights before the clock starts
+    row = model.decode_step_with(params, argmax(&row) as u32, &mut cache);
+    let mut tokens = Vec::with_capacity(steps * reps);
+    let mut rows = Vec::with_capacity(steps * reps);
+    let mut best_tps = 0.0f64;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        for i in 0..steps {
+            // `follow` pins the token stream so both precisions see
+            // identical inputs and drift is compared apples-to-apples
+            let next = match follow {
+                Some(path) => path[rep * steps + i],
+                None => argmax(&row) as u32,
+            };
+            row = model.decode_step_with(params, next, &mut cache);
+            tokens.push(next);
+            rows.push(row.clone());
+        }
+        best_tps = best_tps.max(steps as f64 / t0.elapsed().as_secs_f64());
+    }
+    (best_tps, tokens, rows)
+}
+
+/// Mean next-token negative log-likelihood of `seq` under `params`.
+fn mean_nll<P: ForwardParams>(model: &GptModel, params: &P, seq: &[u32]) -> f64 {
+    let v = model.cfg.vocab_size;
+    let mut cache = model.new_cache();
+    let logits = model.forward_cached_with(params, seq, &mut cache);
+    let mut total = 0.0f64;
+    for pos in 1..seq.len() {
+        let row = &logits[(pos - 1) * v..pos * v];
+        total += logsumexp(row) as f64 - row[seq[pos] as usize] as f64;
+    }
+    total / (seq.len() - 1) as f64
+}
+
+fn main() {
+    let smoke = matgpt_bench::smoke_requested();
+    // ≥512-hidden: big enough that decode is bound by weight traffic,
+    // small enough to build and run in seconds on a CI core
+    let cfg = GptConfig {
+        vocab_size: 1024,
+        hidden: 512,
+        layers: 4,
+        heads: 8,
+        kv_heads: None,
+        max_seq: 384,
+        ..GptConfig::tiny(ArchKind::Llama, 1024)
+    };
+    let mut store = ParamStore::new();
+    let mut rng = init::rng(0);
+    let model = GptModel::new(cfg.clone(), &mut store, &mut rng);
+
+    let t_q = Instant::now();
+    let qstore = QuantizedParamStore::quantize(&model, &store);
+    let quantize_s = t_q.elapsed().as_secs_f64();
+    let f32_bytes = store.weight_bytes();
+    let int8_bytes = qstore.weight_bytes();
+
+    let prompt: Vec<u32> = (0..32u32).map(|i| (i * 131 + 7) % 1024).collect();
+    let (steps, reps) = if smoke { (12, 2) } else { (64, 5) };
+
+    // f32 first (greedy, free-running), then int8 pinned to the same
+    // token stream so every logits row is compared on identical inputs
+    let (f32_tps, f32_tokens, f32_rows) = timed_decode(&model, &store, &prompt, steps, reps, None);
+    let (int8_tps, _, int8_rows) =
+        timed_decode(&model, &qstore, &prompt, steps, reps, Some(&f32_tokens));
+    let speedup = int8_tps / f32_tps;
+
+    let mut max_drift = 0.0f32;
+    for (a, b) in f32_rows.iter().zip(&int8_rows) {
+        for (x, y) in a.iter().zip(b) {
+            max_drift = max_drift.max((x - y).abs());
+        }
+    }
+
+    let ppl_seq: Vec<u32> = (0..if smoke { 48 } else { 96 } as u32)
+        .map(|i| (i * 577 + 13) % 1024)
+        .collect();
+    let nll_f32 = mean_nll(&model, &store, &ppl_seq);
+    let nll_int8 = mean_nll(&model, &qstore, &ppl_seq);
+    let (ppl_f32, ppl_int8) = (nll_f32.exp(), nll_int8.exp());
+    let ppl_drift = (ppl_int8 / ppl_f32 - 1.0).abs();
+
+    print_table(
+        &format!(
+            "Int8 quantized decode (LLaMA h={} L={} V={}, {}-token prompt, \
+             best of {} x {} decode steps)",
+            cfg.hidden,
+            cfg.layers,
+            cfg.vocab_size,
+            prompt.len(),
+            reps,
+            steps
+        ),
+        &["precision", "decode tokens/s", "weight MiB", "perplexity"],
+        &[
+            vec![
+                "f32".to_string(),
+                format!("{f32_tps:.1}"),
+                format!("{:.1}", f32_bytes as f64 / (1 << 20) as f64),
+                format!("{ppl_f32:.3}"),
+            ],
+            vec![
+                "int8".to_string(),
+                format!("{int8_tps:.1}"),
+                format!("{:.1}", int8_bytes as f64 / (1 << 20) as f64),
+                format!("{ppl_int8:.3}"),
+            ],
+        ],
+    );
+    println!(
+        "\nquantize: {} matrices in {:.0} ms; compression {:.2}x; \
+         max logits drift {max_drift:.2e}; perplexity drift {:.3}%",
+        qstore.quantized_matrices(),
+        quantize_s * 1e3,
+        f32_bytes as f64 / int8_bytes as f64,
+        ppl_drift * 100.0
+    );
+
+    let report = BenchReport::new("quant", smoke)
+        .config("arch", cfg.arch)
+        .config("hidden", cfg.hidden)
+        .config("layers", cfg.layers)
+        .config("vocab", cfg.vocab_size)
+        .config("prompt_tokens", prompt.len())
+        .config("decode_steps", steps)
+        .config("timing_reps", reps)
+        .metric("f32_decode_tps", f32_tps)
+        .metric("int8_decode_tps", int8_tps)
+        .metric("int8_speedup", speedup)
+        .metric("max_logits_drift", max_drift as f64)
+        .metric("ppl_f32", ppl_f32)
+        .metric("ppl_int8", ppl_int8)
+        .metric("ppl_rel_drift", ppl_drift)
+        .metric("weight_bytes_f32", f32_bytes as f64)
+        .metric("weight_bytes_int8", int8_bytes as f64)
+        .metric("weight_compression", f32_bytes as f64 / int8_bytes as f64)
+        .gate("int8_speedup")
+        .gate("weight_compression");
+    let path = report
+        .write_to(&bench_out_dir())
+        .expect("write BENCH_quant.json");
+    println!("report: {}", path.display());
+
+    println!("\n-- reference vs measured --");
+    let speed_ok = speedup >= 1.5;
+    let drift_ok = max_drift <= 5e-2;
+    compare(
+        "int8 decode speedup at hidden=512",
+        ">= 1.5x over f32",
+        &format!("{speedup:.2}x"),
+        if speed_ok { "MATCH" } else { "MISMATCH" },
+    );
+    compare(
+        "max logits drift, int8 vs f32",
+        "<= 5e-2",
+        &format!("{max_drift:.2e}"),
+        if drift_ok { "MATCH" } else { "MISMATCH" },
+    );
+    // the timing gate is only meaningful at full scale — a 12-step
+    // smoke run on a loaded CI box is too noisy to fail the build on
+    if !(drift_ok && (speed_ok || smoke)) {
+        eprintln!("ext_quant: FAIL: acceptance gate violated");
+        std::process::exit(1);
+    }
+    println!("ext_quant: OK");
+}

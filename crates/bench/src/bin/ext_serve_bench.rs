@@ -5,7 +5,8 @@
 //! shape (which explains *why* decode needs the cache: each uncached
 //! token re-runs the whole prompt).
 
-use matgpt_bench::{compare, print_table};
+use matgpt_bench::report::BenchReport;
+use matgpt_bench::{bench_out_dir, compare, print_table};
 use matgpt_frontier_sim::InferenceSetup;
 use matgpt_model::{generate, generate_uncached, ArchKind, GptConfig, GptModel, SampleOptions};
 use matgpt_serve::{Engine, EngineConfig};
@@ -132,6 +133,24 @@ fn main() {
          cached-vs-uncached *ratio* transfers)",
         predicted
     );
+
+    // ---- machine-readable report for the regression gate
+    let report = BenchReport::new("serve", smoke)
+        .config("arch", "llama")
+        .config("prompt_tokens", prompt_len)
+        .config("gen_tokens", gen_len)
+        .config("engine_requests", n_req)
+        .metric("prefill_tps", prompt_len as f64 / prefill_s)
+        .metric("decode_tps", gen_len as f64 / decode_s)
+        .metric("cached_speedup", speedup)
+        .metric("engine_tps", m.tokens_per_sec)
+        .metric("ttft_p50_ms", m.ttft_ms.p50)
+        .metric("token_latency_p95_ms", m.token_latency_ms.p95)
+        .gate("cached_speedup");
+    let path = report
+        .write_to(&bench_out_dir())
+        .expect("write BENCH_serve.json");
+    println!("report: {}", path.display());
 
     println!("\n-- reference vs measured --");
     compare(

@@ -11,8 +11,16 @@
 //! need trained models accept `--smoke` for a fast, reduced-scale run.
 
 pub mod experiments;
+pub mod report;
 
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
+
+/// Directory fresh machine-readable bench reports land in
+/// (`target/bench/BENCH_<name>.json`).
+pub fn bench_out_dir() -> PathBuf {
+    Path::new("target").join("bench")
+}
 
 /// Render an ASCII table.
 pub fn print_table<H: Display, C: Display>(title: &str, headers: &[H], rows: &[Vec<C>]) {

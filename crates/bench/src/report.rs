@@ -1,0 +1,342 @@
+//! Machine-readable benchmark reports: the `BENCH_*.json` trajectory.
+//!
+//! Bench binaries that back a performance claim serialise their
+//! headline numbers with [`BenchReport`] into `target/bench/` (fresh
+//! run) while a reference copy lives under `benchmarks/` (committed
+//! baseline). `bench_compare` diffs the two and fails CI when a
+//! regression-gated metric drops more than the tolerance — that is the
+//! repo's benchmark-regression gate (`scripts/bench_gate.sh`).
+//!
+//! Schema (`matgpt-bench/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "matgpt-bench/v1",
+//!   "bench": "quant",
+//!   "smoke": false,
+//!   "config": {"hidden": "512", "...": "..."},
+//!   "metrics": {"int8_speedup": 2.1, "...": 0.0},
+//!   "regression_gated": ["int8_speedup"]
+//! }
+//! ```
+//!
+//! Gated metrics are **higher-is-better by construction** (throughputs
+//! and speedup ratios, never wall times), so the comparison is one
+//! rule: `fresh >= baseline * (1 - tolerance)`. Ratios are preferred
+//! over absolute tokens/sec because they transfer across machines; the
+//! absolute numbers still ride along in `metrics` as the trajectory.
+
+use serde_json::Value;
+use std::path::Path;
+
+/// Schema identifier every report carries.
+pub const SCHEMA: &str = "matgpt-bench/v1";
+
+/// Default regression tolerance: a gated metric may drop at most 15 %
+/// below its committed baseline before the gate fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.15;
+
+/// One benchmark's machine-readable results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Benchmark name (`quant`, `serve`, …) — must match the baseline's.
+    pub bench: String,
+    /// Whether this run used the reduced `--smoke` scale. Smoke and
+    /// full runs are never comparable, so the gate refuses to mix them.
+    pub smoke: bool,
+    /// Free-form configuration echo (shape, token counts) for humans
+    /// reading the trajectory.
+    pub config: Vec<(String, String)>,
+    /// Metric name → value. All values must be finite.
+    pub metrics: Vec<(String, f64)>,
+    /// Names of metrics the regression gate compares (each must exist
+    /// in `metrics`; higher is better).
+    pub gated: Vec<String>,
+}
+
+impl BenchReport {
+    /// An empty report for `bench`.
+    pub fn new(bench: &str, smoke: bool) -> Self {
+        Self {
+            bench: bench.to_string(),
+            smoke,
+            config: Vec::new(),
+            metrics: Vec::new(),
+            gated: Vec::new(),
+        }
+    }
+
+    /// Echo a configuration key (builder-style).
+    pub fn config(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Record a metric (builder-style). Non-finite values are a bug in
+    /// the caller and panic here rather than poisoning the trajectory.
+    pub fn metric(mut self, name: &str, value: f64) -> Self {
+        assert!(value.is_finite(), "metric `{name}` is not finite: {value}");
+        self.metrics.push((name.to_string(), value));
+        self
+    }
+
+    /// Mark an already-recorded metric as regression-gated.
+    pub fn gate(mut self, name: &str) -> Self {
+        assert!(
+            self.metrics.iter().any(|(n, _)| n == name),
+            "gating unknown metric `{name}`"
+        );
+        self.gated.push(name.to_string());
+        self
+    }
+
+    /// Value of a metric, if recorded.
+    pub fn metric_value(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serialise to schema-valid pretty JSON.
+    pub fn to_json(&self) -> String {
+        let obj = Value::Object(vec![
+            ("schema".into(), Value::Str(SCHEMA.into())),
+            ("bench".into(), Value::Str(self.bench.clone())),
+            ("smoke".into(), Value::Bool(self.smoke)),
+            (
+                "config".into(),
+                Value::Object(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "metrics".into(),
+                Value::Object(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "regression_gated".into(),
+                Value::Array(self.gated.iter().cloned().map(Value::Str).collect()),
+            ),
+        ]);
+        serde_json::to_string_pretty(&obj).expect("report serialises")
+    }
+
+    /// Write the report under `dir` as `BENCH_<bench>.json`, creating
+    /// the directory. Returns the written path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.bench));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Parse and validate a report. Errors name the first violation
+    /// (missing/mistyped field, non-finite metric, gate referencing an
+    /// unknown metric, wrong schema string).
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(json).map_err(|e| format!("not JSON: {e}"))?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing `schema` string")?;
+        if schema != SCHEMA {
+            return Err(format!("schema `{schema}` is not `{SCHEMA}`"));
+        }
+        let bench = v
+            .get("bench")
+            .and_then(Value::as_str)
+            .ok_or("missing `bench` string")?
+            .to_string();
+        let smoke = match v.get("smoke") {
+            Some(Value::Bool(b)) => *b,
+            _ => return Err("missing `smoke` bool".into()),
+        };
+        let config = v
+            .get("config")
+            .and_then(Value::as_object)
+            .ok_or("missing `config` object")?
+            .iter()
+            .map(|(k, val)| {
+                val.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or_else(|| format!("config `{k}` is not a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let metrics = v
+            .get("metrics")
+            .and_then(Value::as_object)
+            .ok_or("missing `metrics` object")?
+            .iter()
+            .map(|(k, val)| match val.as_f64() {
+                Some(x) if x.is_finite() => Ok((k.clone(), x)),
+                _ => Err(format!("metric `{k}` is not a finite number")),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let gated = v
+            .get("regression_gated")
+            .and_then(Value::as_array)
+            .ok_or("missing `regression_gated` array")?
+            .iter()
+            .map(|g| {
+                g.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string entry in `regression_gated`".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let report = Self {
+            bench,
+            smoke,
+            config,
+            metrics,
+            gated,
+        };
+        for g in &report.gated {
+            if report.metric_value(g).is_none() {
+                return Err(format!("gated metric `{g}` missing from `metrics`"));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Read and validate `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// One gated metric's fresh-vs-baseline comparison.
+#[derive(Clone, Debug)]
+pub struct GateRow {
+    /// Metric name.
+    pub name: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Fresh value from the run under test.
+    pub fresh: f64,
+    /// `fresh / baseline - 1` (negative = regression).
+    pub delta: f64,
+    /// Whether the fresh value clears `baseline * (1 - tolerance)`.
+    pub pass: bool,
+}
+
+/// Compare `fresh` against `baseline` over the baseline's gated
+/// metrics. Returns per-metric rows, or an error when the reports are
+/// not comparable (different bench, mixed smoke/full, no gates).
+pub fn compare_reports(
+    fresh: &BenchReport,
+    baseline: &BenchReport,
+    tolerance: f64,
+) -> Result<Vec<GateRow>, String> {
+    if fresh.bench != baseline.bench {
+        return Err(format!(
+            "bench mismatch: fresh `{}` vs baseline `{}`",
+            fresh.bench, baseline.bench
+        ));
+    }
+    if fresh.smoke != baseline.smoke {
+        return Err(format!(
+            "scale mismatch: fresh smoke={} vs baseline smoke={} — \
+             regenerate the baseline at the gate's scale",
+            fresh.smoke, baseline.smoke
+        ));
+    }
+    if baseline.gated.is_empty() {
+        return Err("baseline gates nothing; the comparison is vacuous".into());
+    }
+    baseline
+        .gated
+        .iter()
+        .map(|name| {
+            let b = baseline
+                .metric_value(name)
+                .expect("validated at parse time");
+            let f = fresh
+                .metric_value(name)
+                .ok_or_else(|| format!("fresh report lacks gated metric `{name}`"))?;
+            Ok(GateRow {
+                name: name.clone(),
+                baseline: b,
+                fresh: f,
+                delta: if b != 0.0 { f / b - 1.0 } else { 0.0 },
+                pass: f >= b * (1.0 - tolerance),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport::new("quant", false)
+            .config("hidden", 512)
+            .metric("int8_speedup", 2.0)
+            .metric("f32_decode_tps", 100.0)
+            .gate("int8_speedup")
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let parsed = BenchReport::parse(&r.to_json()).expect("round trip");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_shapes() {
+        assert!(BenchReport::parse("{}").is_err());
+        assert!(BenchReport::parse("not json").is_err());
+        let wrong = sample().to_json().replace(SCHEMA, "matgpt-bench/v0");
+        assert!(BenchReport::parse(&wrong).unwrap_err().contains("schema"));
+        let bad_gate = r#"{"schema":"matgpt-bench/v1","bench":"q","smoke":false,
+            "config":{},"metrics":{"a":1.0},"regression_gated":["missing"]}"#;
+        assert!(BenchReport::parse(bad_gate).unwrap_err().contains("gated"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn non_finite_metric_panics_at_build_time() {
+        let _ = BenchReport::new("x", false).metric("bad", f64::NAN);
+    }
+
+    #[test]
+    fn compare_flags_regressions_past_tolerance() {
+        let base = sample();
+        let ok = BenchReport::new("quant", false)
+            .metric("int8_speedup", 1.8)
+            .metric("f32_decode_tps", 90.0);
+        let rows = compare_reports(&ok, &base, 0.15).expect("comparable");
+        assert!(rows.iter().all(|r| r.pass), "10% drop is inside tolerance");
+
+        let bad = BenchReport::new("quant", false)
+            .metric("int8_speedup", 1.6)
+            .metric("f32_decode_tps", 90.0);
+        let rows = compare_reports(&bad, &base, 0.15).expect("comparable");
+        assert!(!rows[0].pass, "20% drop must fail the gate");
+    }
+
+    #[test]
+    fn compare_refuses_mixed_scales_and_benches() {
+        let base = sample();
+        let smoke = BenchReport::new("quant", true).metric("int8_speedup", 2.0);
+        assert!(compare_reports(&smoke, &base, 0.15)
+            .unwrap_err()
+            .contains("scale mismatch"));
+        let other = BenchReport::new("serve", false).metric("int8_speedup", 2.0);
+        assert!(compare_reports(&other, &base, 0.15)
+            .unwrap_err()
+            .contains("bench mismatch"));
+    }
+}

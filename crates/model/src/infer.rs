@@ -21,9 +21,9 @@
 
 use crate::config::ArchKind;
 use crate::gpt::GptModel;
+use crate::quant::ForwardParams;
 use matgpt_tensor::kernels::activation as act;
 use matgpt_tensor::kernels::infer::{cached_attention, rotary_rows};
-use matgpt_tensor::kernels::matmul::matmul;
 use matgpt_tensor::kernels::norm;
 use matgpt_tensor::{ParamId, ParamStore};
 
@@ -103,14 +103,16 @@ impl KvCache {
 }
 
 /// Scratch-buffer forward pass: everything below works on flat `f32`
-/// rows, reading weights straight out of the [`ParamStore`].
-struct Ctx<'a> {
-    store: &'a ParamStore,
+/// rows, reading weights through a [`ForwardParams`] source — the f32
+/// [`ParamStore`] or the int8 [`crate::quant::QuantizedParamStore`],
+/// which supplies its own fused-dequant matmul.
+struct Ctx<'a, P: ForwardParams> {
+    store: &'a P,
 }
 
-impl<'a> Ctx<'a> {
+impl<'a, P: ForwardParams> Ctx<'a, P> {
     fn w(&self, id: ParamId) -> &'a [f32] {
-        self.store.value(id).data()
+        self.store.dense(id)
     }
 
     /// `y = x @ w (+ b)`, x `[m, k]`, w `[k, n]`.
@@ -124,7 +126,7 @@ impl<'a> Ctx<'a> {
         n: usize,
     ) -> Vec<f32> {
         let mut y = vec![0.0f32; m * n];
-        matmul(x, self.w(w), &mut y, m, k, n);
+        self.store.matmul(x, w, &mut y, m, k, n);
         if let Some(b) = b {
             let bias = self.w(b);
             for row in y.chunks_mut(n) {
@@ -150,6 +152,19 @@ impl GptModel {
     pub fn forward_cached(
         &self,
         store: &ParamStore,
+        tokens: &[u32],
+        cache: &mut KvCache,
+    ) -> Vec<f32> {
+        self.forward_cached_with(store, tokens, cache)
+    }
+
+    /// [`GptModel::forward_cached`] generalised over the weight source:
+    /// `P` supplies dense reads and the matmul kernel, so the same pass
+    /// runs against f32 weights or the int8
+    /// [`crate::quant::QuantizedParamStore`] (fused-dequant matmuls).
+    pub fn forward_cached_with<P: ForwardParams>(
+        &self,
+        store: &P,
         tokens: &[u32],
         cache: &mut KvCache,
     ) -> Vec<f32> {
@@ -235,14 +250,8 @@ impl GptModel {
 
         self.norm_rows(&ctx, &x, &mut scratch, n, self.lnf_g, self.lnf_b);
         let mut logits = vec![0.0f32; n * cfg.vocab_size];
-        matmul(
-            &scratch,
-            ctx.w(self.lm_head),
-            &mut logits,
-            n,
-            h,
-            cfg.vocab_size,
-        );
+        ctx.store
+            .matmul(&scratch, self.lm_head, &mut logits, n, h, cfg.vocab_size);
         logits
     }
 
@@ -252,11 +261,21 @@ impl GptModel {
         self.forward_cached(store, &[token], cache)
     }
 
+    /// [`GptModel::decode_step`] generalised over the weight source.
+    pub fn decode_step_with<P: ForwardParams>(
+        &self,
+        store: &P,
+        token: u32,
+        cache: &mut KvCache,
+    ) -> Vec<f32> {
+        self.forward_cached_with(store, &[token], cache)
+    }
+
     /// Architecture-appropriate normalisation of `[n, hidden]` rows into
     /// `out`.
-    fn norm_rows(
+    fn norm_rows<P: ForwardParams>(
         &self,
-        ctx: &Ctx,
+        ctx: &Ctx<P>,
         x: &[f32],
         out: &mut [f32],
         n: usize,

@@ -16,7 +16,11 @@
 //!   Frontier simulator (Fig. 2, Fig. 10, Table II);
 //! * [`generate`] — autoregressive sampling;
 //! * [`infer`] — the tape-free KV-cached inference path that
-//!   `matgpt-serve` builds its continuous-batching engine on.
+//!   `matgpt-serve` builds its continuous-batching engine on;
+//! * [`quant`] — post-training per-channel int8 weight quantization
+//!   ([`quant::QuantizedParamStore`]) and the [`quant::ForwardParams`]
+//!   abstraction that lets the cached decode path run on either
+//!   precision ([`quant::WeightPrecision`]).
 
 pub mod bert;
 pub mod config;
@@ -24,9 +28,11 @@ pub mod count;
 pub mod generate;
 pub mod gpt;
 pub mod infer;
+pub mod quant;
 
 pub use bert::{mask_tokens, BertModel};
 pub use config::{ArchKind, BertConfig, GptConfig};
 pub use generate::{generate, generate_uncached, sample_logits, SampleOptions};
 pub use gpt::GptModel;
 pub use infer::KvCache;
+pub use quant::{ForwardParams, ModelWeights, QuantizedParamStore, WeightPrecision};

@@ -71,7 +71,7 @@ impl Engine {
     /// Spawn the scheduler thread over `model` + `store`.
     pub fn new(model: GptModel, store: ParamStore, cfg: EngineConfig) -> Self {
         let (tx, rx) = channel::unbounded();
-        let metrics = Arc::new(MetricsInner::default());
+        let metrics = Arc::new(MetricsInner::new(cfg.precision));
         let metrics_for_worker = Arc::clone(&metrics);
         let worker = std::thread::Builder::new()
             .name("matgpt-serve-scheduler".into())
@@ -331,6 +331,41 @@ mod tests {
                 "missing serve event `{name}`"
             );
         }
+    }
+
+    #[test]
+    fn int8_engine_serves_and_exposes_quant_series() {
+        let cfg = EngineConfig {
+            precision: matgpt_model::WeightPrecision::Int8,
+            ..EngineConfig::default()
+        };
+        let engine = tiny_engine(cfg);
+        let opts = SampleOptions {
+            temperature: 0.0,
+            top_k: 0,
+            max_new_tokens: 5,
+            stop_token: None,
+        };
+        let h = engine.submit(&[1, 2, 3], opts).expect("admitted");
+        let r = h.wait().expect("response");
+        assert_eq!(r.generated, 5);
+        assert_eq!(r.finish, FinishReason::Length);
+        let m = engine.metrics();
+        assert_eq!(m.precision, "int8");
+        assert!(m.weight_bytes > 0, "scheduler recorded the quant footprint");
+        let text = matgpt_obs::prom::render(engine.registry());
+        let families = matgpt_obs::prom::parse(&text).expect("exposition parses");
+        for name in ["serve_quant_weight_bytes", "serve_decode_latency_ms"] {
+            assert!(
+                families.iter().any(|f| f.name == name),
+                "family `{name}` missing:\n{text}"
+            );
+        }
+        assert!(
+            text.contains("precision=\"int8\""),
+            "precision label missing:\n{text}"
+        );
+        engine.shutdown();
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod request;
 pub mod scheduler;
 
 pub use engine::{Engine, EngineConfig, EngineError};
+pub use matgpt_model::WeightPrecision;
 pub use metrics::{MetricsSnapshot, Percentiles};
 pub use request::{FinishReason, GenRequest, Response, ResponseHandle};
 pub use scheduler::SchedulerConfig;

@@ -17,6 +17,7 @@
 //! anyway). The full-history distribution still exists as the
 //! fixed-bucket `serve_*_ms` histograms in the registry.
 
+use matgpt_model::WeightPrecision;
 use matgpt_obs::{Counter, Gauge, Histogram, Registry, Reservoir};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -59,10 +60,28 @@ pub(crate) struct MetricsInner {
     ttft_hist: Histogram,
     token_latency_ms: Reservoir,
     token_latency_hist: Histogram,
+    /// Which weight datatype this engine decodes with (label on the
+    /// per-precision series below).
+    precision: WeightPrecision,
+    /// Heap bytes of the weight store the scheduler runs against — the
+    /// quantized footprint under `Int8`, the f32 footprint otherwise.
+    quant_weight_bytes: Gauge,
+    /// Per-token decode latency again, as a precision-labelled family,
+    /// so one scrape can compare f32 and int8 engines side by side.
+    decode_latency_hist: Histogram,
 }
 
 impl Default for MetricsInner {
     fn default() -> Self {
+        Self::new(WeightPrecision::F32)
+    }
+}
+
+impl MetricsInner {
+    /// Metrics for an engine decoding at `precision`: everything the
+    /// f32 engine registers, plus the `serve_quant_weight_bytes` gauge
+    /// and a `precision`-labelled decode latency histogram.
+    pub fn new(precision: WeightPrecision) -> Self {
         let registry = Registry::new();
         let queue_depth = registry.gauge(
             "serve_queue_depth",
@@ -97,6 +116,17 @@ impl Default for MetricsInner {
             "per-token decode latency, milliseconds",
             &Histogram::LATENCY_MS_BOUNDS,
         );
+        let quant_weight_bytes = registry.gauge_with(
+            "serve_quant_weight_bytes",
+            &[("precision", precision.label())],
+            "heap bytes of the weight store the scheduler decodes against",
+        );
+        let decode_latency_hist = registry.histogram_with(
+            "serve_decode_latency_ms",
+            &[("precision", precision.label())],
+            "per-token decode latency by weight precision, milliseconds",
+            &Histogram::LATENCY_MS_BOUNDS,
+        );
         Self {
             registry,
             queue_depth,
@@ -112,14 +142,21 @@ impl Default for MetricsInner {
             ttft_hist,
             token_latency_ms: Reservoir::new(TOKEN_LATENCY_WINDOW),
             token_latency_hist,
+            precision,
+            quant_weight_bytes,
+            decode_latency_hist,
         }
     }
-}
 
-impl MetricsInner {
     /// The engine's metric registry (for Prometheus exposition).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Record the weight store's heap footprint (set once by the
+    /// scheduler after it builds [`matgpt_model::ModelWeights`]).
+    pub fn record_weight_bytes(&self, bytes: usize) {
+        self.quant_weight_bytes.set(bytes as f64);
     }
 
     /// Atomically claim an in-flight slot if fewer than `capacity` are
@@ -154,6 +191,7 @@ impl MetricsInner {
         let ms = d.as_secs_f64() * 1e3;
         self.token_latency_ms.push(ms);
         self.token_latency_hist.observe(ms);
+        self.decode_latency_hist.observe(ms);
     }
 
     pub fn record_busy(&self, d: Duration) {
@@ -181,6 +219,8 @@ impl MetricsInner {
             ttft_ms: self.ttft_ms.percentiles(),
             token_latency_ms: self.token_latency_ms.percentiles(),
             tokens_per_sec,
+            precision: self.precision.label().to_string(),
+            weight_bytes: self.quant_weight_bytes.get() as u64,
         }
     }
 }
@@ -209,6 +249,10 @@ pub struct MetricsSnapshot {
     pub token_latency_ms: Percentiles,
     /// Generated tokens per second of scheduler busy time.
     pub tokens_per_sec: f64,
+    /// Weight datatype label the engine decodes with (`f32` / `int8`).
+    pub precision: String,
+    /// Heap bytes of the weight store the scheduler runs against.
+    pub weight_bytes: u64,
 }
 
 impl MetricsSnapshot {

@@ -28,7 +28,7 @@ use crate::metrics::MetricsInner;
 use crate::request::{FinishReason, Response, Submission};
 use crossbeam::channel::{Receiver, TryRecvError};
 use matgpt_model::infer::KvCache;
-use matgpt_model::{generate::sample_logits, GptModel};
+use matgpt_model::{generate::sample_logits, GptModel, ModelWeights, WeightPrecision};
 use matgpt_obs::{pids, Recorder, Span, TraceEvent};
 use matgpt_tensor::ParamStore;
 use rand::SeedableRng;
@@ -59,6 +59,12 @@ pub struct SchedulerConfig {
     /// [`crate::EngineError::QueueFull`] — bounded-queue backpressure
     /// instead of an unbounded channel absorbing any burst.
     pub max_queue: usize,
+    /// Weight datatype the decode path runs against. `Int8` quantizes
+    /// the store once at engine construction (per-channel symmetric
+    /// int8, fused-dequant matmuls) and drops the f32 copy — ~4× less
+    /// weight memory and measurably faster bandwidth-bound decode; see
+    /// `ext_quant` for the gated numbers.
+    pub precision: WeightPrecision,
 }
 
 impl Default for SchedulerConfig {
@@ -67,6 +73,7 @@ impl Default for SchedulerConfig {
             max_batch: 8,
             token_budget: 4096,
             max_queue: 1024,
+            precision: WeightPrecision::F32,
         }
     }
 }
@@ -97,7 +104,7 @@ impl Active {
     /// retire it as [`FinishReason::Failed`] without losing the batch.
     fn try_prefill(
         model: &GptModel,
-        store: &ParamStore,
+        weights: &ModelWeights,
         sub: Submission,
         reserved: usize,
     ) -> Result<Self, Box<(Submission, usize)>> {
@@ -108,7 +115,7 @@ impl Active {
         // Failed response can still be delivered
         let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut cache = model.new_cache();
-            let logits = model.forward_cached(store, &tokens[ctx_start..], &mut cache);
+            let logits = weights.forward_cached(model, &tokens[ctx_start..], &mut cache);
             let v = model.cfg.vocab_size;
             let last_row = logits[(cache.len() - 1) * v..].to_vec();
             (cache, last_row)
@@ -137,7 +144,7 @@ impl Active {
 
     /// Advance by one token: sample from the staged logits, decide
     /// whether to finish, otherwise run one cached decode step.
-    fn step(&mut self, model: &GptModel, store: &ParamStore, metrics: &MetricsInner) {
+    fn step(&mut self, model: &GptModel, weights: &ModelWeights, metrics: &MetricsInner) {
         debug_assert!(self.done.is_none(), "stepping a finished request");
         let now = Instant::now();
         if self.sub.cancelled() {
@@ -171,7 +178,7 @@ impl Active {
         } else if self.generated >= opts.max_new_tokens {
             self.done = Some(FinishReason::Length);
         } else {
-            self.last_row = model.decode_step(store, next, &mut self.cache);
+            self.last_row = weights.decode_step(model, next, &mut self.cache);
         }
     }
 
@@ -291,6 +298,11 @@ pub(crate) fn run(
     let mut disconnected = false;
     Recorder::global().set_track_name(pids::SERVE, matgpt_obs::thread_tid(), "scheduler");
 
+    // one-time precision selection: Int8 quantizes here and drops the
+    // f32 store with `store`'s binding
+    let weights = ModelWeights::from_store(&model, store, cfg.precision);
+    metrics.record_weight_bytes(weights.weight_bytes());
+
     loop {
         // ---- intake: block when idle, drain opportunistically otherwise
         if active.is_empty() && queue.is_empty() {
@@ -354,10 +366,10 @@ pub(crate) fn run(
         if !admitted.is_empty() {
             let _span = Span::enter(pids::SERVE, "serve", "prefill-batch");
             // batched prefill: all newly admitted prompts forward together
-            let (model_ref, store_ref) = (&model, &store);
+            let (model_ref, weights_ref) = (&model, &weights);
             let fresh: Vec<Result<Active, Box<(Submission, usize)>>> = admitted
                 .into_par_iter()
-                .map(|(sub, cost)| Active::try_prefill(model_ref, store_ref, sub, cost))
+                .map(|(sub, cost)| Active::try_prefill(model_ref, weights_ref, sub, cost))
                 .collect_vec();
             for prefilled in fresh {
                 match prefilled {
@@ -382,7 +394,7 @@ pub(crate) fn run(
         // ---- one decode iteration across the whole batch
         {
             let _span = Span::enter(pids::SERVE, "serve", "decode-iter");
-            let (model_ref, store_ref, metrics_ref) = (&model, &store, &*metrics);
+            let (model_ref, weights_ref, metrics_ref) = (&model, &weights, &*metrics);
             active.par_iter_mut().for_each(|a| {
                 if a.done.is_some() {
                     return;
@@ -391,7 +403,7 @@ pub(crate) fn run(
                 // only its own request; its half-stepped state is
                 // discarded when it retires below
                 let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    a.step(model_ref, store_ref, metrics_ref)
+                    a.step(model_ref, weights_ref, metrics_ref)
                 }));
                 if stepped.is_err() {
                     a.done = Some(FinishReason::Failed);

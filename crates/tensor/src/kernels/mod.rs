@@ -6,4 +6,5 @@ pub mod attention;
 pub mod infer;
 pub mod matmul;
 pub mod norm;
+pub mod quant;
 pub mod softmax;

@@ -1,0 +1,225 @@
+//! Post-training int8 weight quantization kernels.
+//!
+//! Per-output-channel symmetric quantization: a `[k, n]` weight matrix
+//! stores one `i8` per element plus one `f32` scale per output channel
+//! (column `j`), chosen so the channel's largest-magnitude weight maps
+//! to ±127. Symmetric (no zero point) keeps the fused matmul a pure
+//! multiply: because the scale is constant along the contraction
+//! dimension it factors out of the dot product, so
+//! [`matmul_q8`] accumulates `a[i][p] * q[p][j]` in f32 and applies
+//! `scale[j]` once per output element — identical arithmetic to
+//! dequantize-then-matmul, at a quarter of the weight-memory traffic.
+//! That traffic is what bounds single-token decode (a GEMV touches
+//! every weight once per token), which is where the int8 path earns its
+//! speedup; see `ext_quant` for the measured numbers.
+//!
+//! Layout and parallel structure mirror [`super::matmul`]: row-major
+//! `[k, n]` data, `ikj` loop order, rayon over output rows past the
+//! same threshold.
+
+use rayon::prelude::*;
+
+/// Minimum output elements before rayon pays for itself (kept identical
+/// to the f32 kernels so precision comparisons measure the datatype,
+/// not a different parallel policy).
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// A `[k, n]` weight matrix quantized to int8 with one symmetric scale
+/// per output channel (column).
+#[derive(Clone, Debug)]
+pub struct QuantizedMatrix {
+    /// Row-major `[k, n]` int8 codes (same layout as the f32 original).
+    data: Vec<i8>,
+    /// Per-column dequantization scales, length `n`.
+    scales: Vec<f32>,
+    /// Contraction dimension (rows).
+    k: usize,
+    /// Output channels (columns).
+    n: usize,
+}
+
+impl QuantizedMatrix {
+    /// Quantize a row-major `[k, n]` f32 matrix per output channel.
+    ///
+    /// Each column `j` gets `scale[j] = max_p |w[p][j]| / 127` (1.0 for
+    /// an all-zero column) and codes `round(w / scale)` clamped to
+    /// ±127, so every representable weight round-trips within
+    /// `scale / 2`.
+    pub fn quantize(w: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(w.len(), k * n, "weight layout");
+        let mut maxabs = vec![0.0f32; n];
+        for row in w.chunks(n) {
+            for (m, &v) in maxabs.iter_mut().zip(row) {
+                *m = m.max(v.abs());
+            }
+        }
+        let scales: Vec<f32> = maxabs
+            .iter()
+            .map(|&m| if m > 0.0 { m / 127.0 } else { 1.0 })
+            .collect();
+        let mut data = vec![0i8; k * n];
+        for (qrow, row) in data.chunks_mut(n).zip(w.chunks(n)) {
+            for ((q, &v), &s) in qrow.iter_mut().zip(row).zip(&scales) {
+                *q = (v / s).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        Self { data, scales, k, n }
+    }
+
+    /// Contraction dimension (rows of the original matrix).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output channels (columns of the original matrix).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The per-column scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// The int8 codes, `[k, n]` row-major.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Heap bytes held by codes + scales — the number the
+    /// `serve_quant_weight_bytes` gauge reports.
+    pub fn bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Expand back to f32, `[k, n]` row-major.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.k * self.n];
+        for (orow, qrow) in out.chunks_mut(self.n).zip(self.data.chunks(self.n)) {
+            for ((o, &q), &s) in orow.iter_mut().zip(qrow).zip(&self.scales) {
+                *o = q as f32 * s;
+            }
+        }
+        out
+    }
+}
+
+/// `c[m,n] = a[m,k] @ dequant(w)[k,n]` without materialising the f32
+/// weights: int8 codes stream through the `ikj` hot loop and each
+/// output element is scaled once at the end.
+pub fn matmul_q8(a: &[f32], w: &QuantizedMatrix, c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(w.k, k, "contraction dim");
+    assert_eq!(w.n, n, "output dim");
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(c.len(), m * n);
+    let data = &w.data;
+    let scales = &w.scales;
+    let row = |ci: &mut [f32], ai: &[f32]| {
+        ci.fill(0.0);
+        for (p, &aip) in ai.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let qrow = &data[p * n..(p + 1) * n];
+            for (cv, &qv) in ci.iter_mut().zip(qrow.iter()) {
+                *cv += aip * qv as f32;
+            }
+        }
+        for (cv, &s) in ci.iter_mut().zip(scales.iter()) {
+            *cv *= s;
+        }
+    };
+    if m * n >= PAR_THRESHOLD && m > 1 {
+        c.par_chunks_mut(n)
+            .zip(a.par_chunks(k))
+            .for_each(|(ci, ai)| row(ci, ai));
+    } else {
+        for (ci, ai) in c.chunks_mut(n).zip(a.chunks(k)) {
+            row(ci, ai);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::matmul::matmul;
+
+    fn toy_weight(k: usize, n: usize, seed: u32) -> Vec<f32> {
+        (0..k * n)
+            .map(|i| {
+                let x = ((i as u32).wrapping_mul(2654435761).wrapping_add(seed) >> 8) as f32;
+                (x / (1u32 << 24) as f32 - 0.5) * 0.4
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_scale() {
+        let (k, n) = (17, 9);
+        let w = toy_weight(k, n, 1);
+        let q = QuantizedMatrix::quantize(&w, k, n);
+        let dq = q.dequantize();
+        for (p, (orig, deq)) in w.iter().zip(&dq).enumerate() {
+            let s = q.scales()[p % n];
+            assert!(
+                (orig - deq).abs() <= s * 0.5 + 1e-7,
+                "elem {p}: {orig} vs {deq} (scale {s})"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_column_round_trips_exactly() {
+        let (k, n) = (4, 3);
+        let mut w = toy_weight(k, n, 7);
+        for row in 0..k {
+            w[row * n + 1] = 0.0;
+        }
+        let q = QuantizedMatrix::quantize(&w, k, n);
+        let dq = q.dequantize();
+        for row in 0..k {
+            assert_eq!(dq[row * n + 1], 0.0);
+        }
+    }
+
+    #[test]
+    fn extreme_weight_maps_to_127() {
+        let w = vec![0.5, -1.0, 0.25, 0.5];
+        let q = QuantizedMatrix::quantize(&w, 2, 2);
+        // each column's largest-magnitude entry codes to ±127 exactly
+        assert_eq!(q.data[0], 127);
+        assert_eq!(q.data[1], -127);
+        let dq = q.dequantize();
+        assert!((dq[0] - 0.5).abs() < 1e-6, "channel max is exact");
+        assert!((dq[1] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fused_matmul_matches_dequant_then_matmul() {
+        for (m, k, n) in [(1, 33, 40), (5, 16, 12), (70, 33, 71)] {
+            let w = toy_weight(k, n, 3);
+            let q = QuantizedMatrix::quantize(&w, k, n);
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.1)
+                .collect();
+            let mut fused = vec![0.0f32; m * n];
+            matmul_q8(&a, &q, &mut fused, m, k, n);
+            let dq = q.dequantize();
+            let mut reference = vec![0.0f32; m * n];
+            matmul(&a, &dq, &mut reference, m, k, n);
+            for (x, y) in fused.iter().zip(&reference) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_are_a_quarter_plus_scales() {
+        let (k, n) = (64, 32);
+        let w = toy_weight(k, n, 11);
+        let q = QuantizedMatrix::quantize(&w, k, n);
+        assert_eq!(q.bytes(), k * n + n * 4);
+        assert!(q.bytes() * 3 < k * n * 4, "well under the f32 footprint");
+    }
+}

@@ -40,6 +40,7 @@ pub mod tape;
 pub mod tensor;
 
 pub use kernels::attention::AttentionImpl;
+pub use kernels::quant::QuantizedMatrix;
 pub use param::{ParamId, ParamStore};
 pub use precision::Precision;
 pub use tape::{Tape, Var, IGNORE_INDEX};

@@ -1,0 +1,79 @@
+//! Property-based tests for the per-channel int8 quantizer and the
+//! fused-dequant matmul.
+
+use matgpt_tensor::kernels::matmul::matmul;
+use matgpt_tensor::kernels::quant::{matmul_q8, QuantizedMatrix};
+use proptest::prelude::*;
+
+fn weight_strategy(max_k: usize, max_n: usize) -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
+    (1..=max_k, 1..=max_n).prop_flat_map(|(k, n)| {
+        proptest::collection::vec(-8.0f32..8.0, k * n).prop_map(move |v| (k, n, v))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Symmetric per-channel round-trip: every reconstructed weight is
+    /// within half a quantization step of the original, where the step
+    /// is that column's own scale (max|w| / 127), not a global one.
+    #[test]
+    fn round_trip_error_bounded_per_channel((k, n, w) in weight_strategy(12, 12)) {
+        let q = QuantizedMatrix::quantize(&w, k, n);
+        let back = q.dequantize();
+        for p in 0..k {
+            for j in 0..n {
+                let step = q.scales()[j];
+                let err = (back[p * n + j] - w[p * n + j]).abs();
+                prop_assert!(
+                    err <= step * 0.5 + 1e-6,
+                    "w[{p}][{j}]: err {err} exceeds half-step {}",
+                    step * 0.5
+                );
+            }
+        }
+    }
+
+    /// Column scales are exact: the largest-magnitude entry of each
+    /// column maps to ±127 (or the column is all-zero with scale 1).
+    #[test]
+    fn extremes_saturate_codes((k, n, w) in weight_strategy(10, 10)) {
+        let q = QuantizedMatrix::quantize(&w, k, n);
+        for j in 0..n {
+            let col_max = (0..k).fold(0.0f32, |m, p| m.max(w[p * n + j].abs()));
+            let code_max = (0..k).fold(0i8, |m, p| m.max(q.data()[p * n + j].abs()));
+            if col_max == 0.0 {
+                prop_assert_eq!(q.scales()[j], 1.0);
+                prop_assert_eq!(code_max, 0);
+            } else {
+                prop_assert_eq!(code_max, 127);
+            }
+        }
+    }
+
+    /// The fused kernel is exact: matmul_q8(a, Q) equals
+    /// matmul(a, dequantize(Q)) to f32 round-off, because the
+    /// per-column scale factors out of the k-contraction.
+    #[test]
+    fn fused_matches_dequantized_matmul(
+        (k, n, w) in weight_strategy(10, 10),
+        m in 1usize..5,
+    ) {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 37 % 23) as f32 - 11.0) * 0.25)
+            .collect();
+        let q = QuantizedMatrix::quantize(&w, k, n);
+        let mut fused = vec![0.0f32; m * n];
+        matmul_q8(&a, &q, &mut fused, m, k, n);
+        let mut reference = vec![0.0f32; m * n];
+        matmul(&a, &q.dequantize(), &mut reference, m, k, n);
+        for i in 0..m * n {
+            prop_assert!(
+                (fused[i] - reference[i]).abs() <= 1e-3 * (1.0 + reference[i].abs()),
+                "c[{i}]: fused {} vs reference {}",
+                fused[i],
+                reference[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Benchmark-regression gate: regenerate the machine-readable bench
+# reports at full scale and diff them against the committed baselines
+# under benchmarks/. Fails when a regression-gated metric (all
+# higher-is-better ratios, so they transfer across machines) drops more
+# than the tolerance below its baseline.
+#
+# Usage: ./scripts/bench_gate.sh [tolerance]   (default 0.15)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${1:-0.15}"
+
+echo "== regenerating fresh bench reports (full scale) =="
+cargo run --release -q -p matgpt-bench --bin ext_quant
+cargo run --release -q -p matgpt-bench --bin ext_serve_bench
+
+echo
+echo "== diffing against committed baselines (tolerance ${TOLERANCE}) =="
+status=0
+for bench in quant serve; do
+  fresh="target/bench/BENCH_${bench}.json"
+  baseline="benchmarks/BENCH_${bench}.json"
+  if [[ ! -f "$baseline" ]]; then
+    echo "bench_gate: missing baseline $baseline" >&2
+    status=1
+    continue
+  fi
+  if ! cargo run --release -q -p matgpt-bench --bin bench_compare -- \
+      "$fresh" "$baseline" --tolerance "$TOLERANCE"; then
+    status=1
+  fi
+done
+
+if [[ "$status" -ne 0 ]]; then
+  echo "bench_gate: FAIL (to accept a new performance floor, copy the" >&2
+  echo "fresh target/bench/BENCH_*.json over benchmarks/ in the same PR" >&2
+  echo "that explains the regression)" >&2
+  exit "$status"
+fi
+echo "bench_gate: OK"
