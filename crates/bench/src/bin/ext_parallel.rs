@@ -1,0 +1,217 @@
+//! Extension: executed data-parallel training — the measured
+//! counterpart of the simulator's Figs. 7–10 scaling claims.
+//!
+//! Where `fig07_parallelism` *prices* DP/ZeRO scaling with the α-β
+//! machine model, this binary *runs* it: `core::parallel` trains real
+//! replicas over a hand-rolled ring allreduce and the numbers here are
+//! measured, not modelled. Three claims are checked:
+//!
+//! * **Throughput** — the bulk-synchronous critical path shrinks with
+//!   worker count; ≥ 1.6× at 4 workers over 1 (paper Fig. 8's
+//!   data-parallel regime, where gradient math dominates sync).
+//! * **Traffic** — mean per-rank gradient-sync bytes land *exactly* on
+//!   the `2(N−1)/N · 4M` ring-allreduce closed form the simulator
+//!   prices (Fig. 11's volume accounting), measured on the channels.
+//! * **Memory** — ZeRO-1 cuts the largest per-worker optimizer-state
+//!   footprint to ≤ 0.35× the replicated bytes at 4 workers (Fig. 5's
+//!   optimizer-state term of the memory model).
+//!
+//! Bit-level equivalence (threaded executor ≡ sequential reference) is
+//! asserted here too — a speedup that changes the answer is not a
+//! speedup. Timing uses the contention-free reference executor so the
+//! speedup ratio is portable to single-core CI; see PARALLELISM.md.
+//!
+//! The headline numbers land in `target/bench/BENCH_parallel.json`
+//! (schema `matgpt-bench/v1`); `bench_compare` diffs the gated ratios
+//! against the committed `benchmarks/BENCH_parallel.json` baseline.
+
+use matgpt_bench::report::BenchReport;
+use matgpt_bench::{bench_out_dir, compare, print_table, smoke_requested};
+use matgpt_core::parallel::{DataParallel, ParallelConfig, ParallelOutcome};
+use matgpt_core::{OptChoice, PretrainConfig, SizeRole};
+use matgpt_corpus::{build_corpus, CorpusConfig};
+use matgpt_frontier_sim::collectives::{wire_bytes, Collective};
+use matgpt_frontier_sim::{simulate_step, Strategy, TrainSetup};
+use matgpt_model::{ArchKind, GptConfig};
+use matgpt_tokenizer::TokenizerKind;
+
+fn main() {
+    let smoke = smoke_requested();
+    let documents = build_corpus(&CorpusConfig {
+        n_materials: 30,
+        total_docs: 90,
+        offtopic_fraction: 0.2,
+        seed: 23,
+    })
+    .documents;
+    let cfg = PretrainConfig {
+        steps: if smoke { 4 } else { 8 },
+        batch_seqs: 8,
+        seq: if smoke { 32 } else { 48 },
+        ..PretrainConfig::scaled(
+            ArchKind::Llama,
+            TokenizerKind::Hf,
+            300,
+            OptChoice::Adam,
+            SizeRole::Base,
+        )
+    };
+    let worker_counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    // ---- throughput: contention-free critical path vs worker count
+    let runs: Vec<ParallelOutcome> = worker_counts
+        .iter()
+        .map(|&n| DataParallel::train_reference(&documents, &cfg, n))
+        .collect();
+    let base_ms = runs[0].report.critical_path_ms();
+    let speedups: Vec<f64> = runs
+        .iter()
+        .map(|r| base_ms / r.report.critical_path_ms())
+        .collect();
+    let dp_speedup_4w = speedups[worker_counts.iter().position(|&n| n == 4).unwrap()];
+
+    // different worker counts group the micro-gradient sum differently,
+    // so curves are only bitwise comparable at equal N — here just
+    // check every run trained to a finite loss
+    for r in &runs {
+        assert!(
+            r.pretrained.curves.final_train().is_finite(),
+            "reference run diverged"
+        );
+    }
+
+    // ---- the threaded executor must reproduce the reference bitwise,
+    // and its measured channel traffic must land on the closed form
+    let check_n = if smoke { 2 } else { 4 };
+    let idx = worker_counts.iter().position(|&n| n == check_n).unwrap();
+    let threaded = DataParallel::new(ParallelConfig::replicated(check_n)).train(&documents, &cfg);
+    assert_eq!(
+        threaded.pretrained.curves.train, runs[idx].pretrained.curves.train,
+        "threaded executor must match the sequential reference bitwise"
+    );
+    assert_eq!(
+        threaded.pretrained.store.flat_values(),
+        runs[idx].pretrained.store.flat_values(),
+        "final weights must match bitwise"
+    );
+    let m = threaded.report.param_scalars;
+    let formula = wire_bytes(Collective::AllReduce, (m * 4) as f64, check_n);
+    let measured = threaded.report.measured_allreduce_bytes_per_step;
+    assert_eq!(
+        measured, formula,
+        "measured per-rank traffic must equal 2(N-1)/N * 4M exactly"
+    );
+
+    // ---- ZeRO-1 memory: replicated vs sharded optimizer state at 4
+    let four = worker_counts.iter().position(|&n| n == 4).unwrap();
+    let zero1 = DataParallel::new(ParallelConfig::zero1(4)).train(&documents, &cfg);
+    assert_eq!(
+        zero1.pretrained.curves.train, runs[four].pretrained.curves.train,
+        "ZeRO-1 must not change the training computation"
+    );
+    let replicated_opt_bytes = 8 + m * 2 * 4; // Adam: step counter + m,v moments
+    let max_shard = zero1.report.max_opt_state_bytes();
+    let zero1_opt_state_reduction_4w = replicated_opt_bytes as f64 / max_shard as f64;
+
+    print_table(
+        &format!(
+            "Executed data parallelism (LLaMA base, {} steps, global batch {}, seq {}, M={} params)",
+            cfg.steps, cfg.batch_seqs, cfg.seq, m
+        ),
+        &["workers", "critical path ms", "speedup", "per-rank sync KiB/step"],
+        &worker_counts
+            .iter()
+            .zip(&runs)
+            .zip(&speedups)
+            .map(|((&n, r), &s)| {
+                vec![
+                    n.to_string(),
+                    format!("{:.1}", r.report.critical_path_ms()),
+                    format!("{s:.2}x"),
+                    format!(
+                        "{:.1}",
+                        wire_bytes(Collective::AllReduce, (m * 4) as f64, n) / 1024.0
+                    ),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nZeRO-1 at 4 workers: optimizer state {} B replicated -> max shard {} B \
+         ({zero1_opt_state_reduction_4w:.2}x reduction); shard scalars {:?}",
+        replicated_opt_bytes, max_shard, zero1.report.shard_scalars
+    );
+
+    // ---- cross-validate the simulator's DP scaling shape: its priced
+    // per-rank allreduce seconds must grow with N like the volume
+    // formula the executor was measured to emit (the simulator moves
+    // bf16 gradients, the executor f32 — shapes match, scales differ)
+    let sim_cfg = GptConfig::tiny(ArchKind::Llama, 1024);
+    let sim_comm: Vec<f64> = worker_counts
+        .iter()
+        .map(|&n| {
+            if n < 2 {
+                return 0.0;
+            }
+            let setup = TrainSetup::new(sim_cfg.clone(), n, Strategy::DataParallel);
+            simulate_step(&setup).comm_s
+        })
+        .collect();
+    println!("\n-- simulator cross-check (priced DP comm seconds per step) --");
+    for (i, (&n, &c)) in worker_counts.iter().zip(&sim_comm).enumerate() {
+        let vol = wire_bytes(Collective::AllReduce, (m * 4) as f64, n);
+        println!("  N={n}: sim {c:.3e} s, executor volume {vol:.0} B");
+        if i > 0 && worker_counts[i - 1] >= 2 {
+            assert!(
+                c >= sim_comm[i - 1],
+                "simulated DP comm must be monotone in N (volume 2(N-1)/N grows)"
+            );
+        }
+    }
+
+    let report = BenchReport::new("parallel", smoke)
+        .config("arch", "Llama")
+        .config("size", "base")
+        .config("steps", cfg.steps)
+        .config("global_batch", cfg.batch_seqs)
+        .config("seq", cfg.seq)
+        .config("param_scalars", m)
+        .config("worker_counts", format!("{worker_counts:?}"))
+        .metric("critical_path_1w_ms", runs[0].report.critical_path_ms())
+        .metric("critical_path_4w_ms", runs[four].report.critical_path_ms())
+        .metric("dp_speedup_4w", dp_speedup_4w)
+        .metric("allreduce_bytes_per_step_measured", measured)
+        .metric("allreduce_bytes_per_step_formula", formula)
+        .metric("opt_state_bytes_replicated", replicated_opt_bytes as f64)
+        .metric("opt_state_bytes_max_shard_4w", max_shard as f64)
+        .metric("zero1_opt_state_reduction_4w", zero1_opt_state_reduction_4w)
+        .gate("dp_speedup_4w")
+        .gate("zero1_opt_state_reduction_4w");
+    let path = report
+        .write_to(&bench_out_dir())
+        .expect("write BENCH_parallel.json");
+    println!("report: {}", path.display());
+
+    println!("\n-- reference vs measured --");
+    let speed_ok = dp_speedup_4w >= 1.6;
+    let mem_ok = zero1_opt_state_reduction_4w >= 1.0 / 0.35;
+    compare(
+        "DP critical-path speedup at 4 workers",
+        ">= 1.6x over 1 worker",
+        &format!("{dp_speedup_4w:.2}x"),
+        if speed_ok { "MATCH" } else { "MISMATCH" },
+    );
+    compare(
+        "ZeRO-1 optimizer-state reduction at 4 workers",
+        ">= 2.86x (max shard <= 0.35x replicated)",
+        &format!("{zero1_opt_state_reduction_4w:.2}x"),
+        if mem_ok { "MATCH" } else { "MISMATCH" },
+    );
+    // the timing gate is only meaningful at full scale — a smoke run on
+    // a loaded CI box is too noisy to fail the build on
+    if !(mem_ok && (speed_ok || smoke)) {
+        eprintln!("ext_parallel: FAIL: acceptance gate violated");
+        std::process::exit(1);
+    }
+    println!("ext_parallel: OK");
+}

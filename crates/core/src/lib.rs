@@ -12,17 +12,19 @@
 //! `matgpt-frontier-sim`, `matgpt-eval`, `matgpt-gnn`); this crate provides
 //! the orchestration the examples and the bench harness drive.
 
+pub mod parallel;
 pub mod pipeline;
 pub mod pretrain;
 pub mod recipes;
 pub mod releases;
 
+pub use parallel::{DataParallel, ParallelConfig, ParallelOutcome, ParallelReport};
 pub use pipeline::{
     experiment_matrix, pretrain_bert, train_suite, MatGptSuite, SuiteScale, TrainedBert,
 };
 pub use pretrain::{
     pretrain, pretrain_resume, pretrain_with_checkpoints, pretrain_with_tokenizer, train_tokenizer,
-    LossCurves, Pretrained, ResumeError, Trainer,
+    validation_loss, validation_loss_on, LossCurves, Pretrained, ResumeError, Trainer,
 };
 pub use recipes::{OptChoice, PaperRecipe, PretrainConfig, SizeRole, TABLE_III};
 pub use releases::{counts_by_year, Branch, Release, RELEASES};

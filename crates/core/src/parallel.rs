@@ -1,0 +1,1282 @@
+//! Executed data-parallel training with a ZeRO-1 sharded optimizer.
+//!
+//! Where [`crate::pretrain::Trainer`] advances one replica,
+//! [`DataParallel`] runs **N worker replicas on OS threads**, each
+//! holding a full [`ParamStore`] copy and computing gradients on a
+//! disjoint micro-batch of the coordinator-sampled global batch. The
+//! replicas synchronize with a hand-rolled **ring allreduce** over
+//! in-process channels — chunked reduce-scatter followed by allgather,
+//! exactly the schedule RCCL rings execute on Frontier, so the measured
+//! per-worker traffic lands on the paper's `2(N−1)/N · M` closed form
+//! ([`matgpt_frontier_sim::collectives::wire_bytes`]).
+//!
+//! Two synchronization modes:
+//!
+//! * **Replicated** ([`ParallelConfig::replicated`]) — classic DP:
+//!   reduce-scatter the gradients, average, allgather them back, every
+//!   worker applies the identical full optimizer step.
+//! * **ZeRO-1** ([`ParallelConfig::zero1`]) — each worker owns a
+//!   contiguous, tensor-aligned ~1/N shard of the flattened parameter
+//!   space, keeps Adam/LAMB moments **only for its shard**
+//!   ([`matgpt_optim::Optimizer::step_masked`]), and publishes updated parameters with
+//!   an allgather. Optimizer-state memory per worker drops ~N×, at the
+//!   same wire volume (reduce-scatter + allgather ≙ allreduce).
+//!
+//! # Determinism and equivalence
+//!
+//! f32 addition is not associative, so "DP equals single-worker
+//! training on the concatenated batch" is only meaningful under a fixed
+//! reduction order. The ring fixes one: chunk `c` accumulates
+//! contributions in ring order starting from rank `c+1` (the rank that
+//! injects chunk `c` first). [`ring_fold`] is that order as a pure
+//! sequential function; [`DataParallel::train_reference`] is a
+//! single-replica executor that uses it, and defines the equivalence
+//! target. The guarantees, proven by `tests/parallelism.rs`:
+//!
+//! * threaded DP×N (replicated **and** ZeRO-1) is **bit-identical** to
+//!   the sequential reference at the same N — thread scheduling never
+//!   leaks into the numerics;
+//! * DP×1 is **bit-identical** to [`crate::pretrain::Trainer`];
+//! * replicated and ZeRO-1 are **bit-identical to each other** at any N
+//!   (shard-aligned reduction buckets, whole-tensor LAMB trust ratios,
+//!   and a tensor-order global-norm fold make the masked update exact);
+//! * checkpoints are ordinary v2 MGPT images (ZeRO-1 shards are merged
+//!   back with [`OptimizerState::merge_shards`]), so
+//!   [`crate::pretrain::pretrain_resume`] composes with DP runs.
+
+use crate::pretrain::{
+    build_model, build_optimizer, train_tokenizer, validation_loss_on, LossCurves, Pretrained,
+    ResumeError, SEC_CURSOR, SEC_CURVES, SEC_LABEL, SEC_OPT, SEC_STEP,
+};
+use crate::recipes::PretrainConfig;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use matgpt_corpus::{Batch, TokenDataset};
+use matgpt_frontier_sim::collectives::{wire_bytes, Collective};
+use matgpt_model::GptModel;
+use matgpt_obs::{pids, Histogram, Registry, Span};
+use matgpt_optim::{CosineSchedule, LrSchedule, OptimizerState};
+use matgpt_tensor::{checkpoint, ParamStore, Tape};
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many workers, and how they keep optimizer state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker replica count N (≥ 1). The global batch must divide by it.
+    pub workers: usize,
+    /// ZeRO-1: shard optimizer state across workers instead of
+    /// replicating it.
+    pub zero1: bool,
+}
+
+impl ParallelConfig {
+    /// Classic replicated data parallelism over `workers` replicas.
+    pub fn replicated(workers: usize) -> Self {
+        Self {
+            workers,
+            zero1: false,
+        }
+    }
+
+    /// Data parallelism with a ZeRO-1 sharded optimizer.
+    pub fn zero1(workers: usize) -> Self {
+        Self {
+            workers,
+            zero1: true,
+        }
+    }
+}
+
+/// Per-run accounting the executor reports next to the trained model.
+#[derive(Clone, Debug)]
+pub struct ParallelReport {
+    /// Worker count the run used.
+    pub workers: usize,
+    /// Whether optimizer state was ZeRO-1 sharded.
+    pub zero1: bool,
+    /// Optimizer steps executed by this run.
+    pub steps_run: usize,
+    /// Flattened parameter count M (scalars).
+    pub param_scalars: usize,
+    /// Owned scalars per worker (the ZeRO-1 shard sizes; sums to
+    /// `param_scalars`).
+    pub shard_scalars: Vec<usize>,
+    /// Measured gradient-sync traffic: mean bytes sent per worker per
+    /// step (reduce-scatter + allgather, counted on the channels).
+    pub measured_allreduce_bytes_per_step: f64,
+    /// The analytic `2(N−1)/N · 4M` per-rank allreduce volume the paper
+    /// profiles — the mean measured traffic must land on it exactly.
+    pub formula_allreduce_bytes_per_step: f64,
+    /// Σ over steps of the slowest worker's gradient-compute time — the
+    /// bulk-synchronous critical path's compute term.
+    pub critical_compute_ms: f64,
+    /// Total gradient-compute time per worker.
+    pub total_compute_ms: Vec<f64>,
+    /// Synchronization cost: reduction/fold time (reference executor)
+    /// or time blocked on ring channels (threaded workers), per worker.
+    pub comm_ms: Vec<f64>,
+    /// Per-step serial remainder (grad load, clip, optimizer update) on
+    /// the critical path, summed over steps.
+    pub post_ms: f64,
+    /// Optimizer-state bytes held by each worker after training
+    /// ([`matgpt_optim::Optimizer::state_bytes`] accounting).
+    pub opt_state_bytes: Vec<usize>,
+}
+
+impl ParallelReport {
+    /// The bulk-synchronous critical path: slowest-worker compute plus
+    /// synchronization plus the serial per-step remainder. On a machine
+    /// with ≥ N cores this is the step wall-clock; measuring the terms
+    /// contention-free keeps the ratio portable to single-core CI.
+    pub fn critical_path_ms(&self) -> f64 {
+        let comm = self.comm_ms.iter().cloned().fold(0.0, f64::max);
+        self.critical_compute_ms + comm + self.post_ms
+    }
+
+    /// Largest per-worker optimizer-state footprint in bytes.
+    pub fn max_opt_state_bytes(&self) -> usize {
+        self.opt_state_bytes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// What a data-parallel run returns.
+pub struct ParallelOutcome {
+    /// The trained bundle, identical in shape to [`fn@crate::pretrain::pretrain`]'s.
+    pub pretrained: Pretrained,
+    /// Executor accounting (traffic, timings, memory).
+    pub report: ParallelReport,
+    /// `(steps_completed, bytes)` checkpoints when periodic
+    /// checkpointing was requested; empty otherwise.
+    pub checkpoints: Vec<(usize, Vec<u8>)>,
+}
+
+// ---------------------------------------------------------------------------
+// Shard plan: tensor-aligned contiguous partition of the flat space.
+// ---------------------------------------------------------------------------
+
+/// The partition both ring collectives and ZeRO-1 ownership use: rank
+/// `r` owns a contiguous run of whole tensors, balanced by scalar
+/// count. Using the same bounds for reduction chunks and optimizer
+/// shards is what makes ZeRO-1 bit-identical to replicated DP.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Per-rank scalar ranges in the flat layout.
+    pub flat: Vec<Range<usize>>,
+    /// Per-rank tensor-index ranges.
+    pub tensors: Vec<Range<usize>>,
+    /// Flat offset of each tensor (prefix sums of the sizes).
+    pub offsets: Vec<usize>,
+    /// Total scalar count M.
+    pub total: usize,
+}
+
+impl ShardPlan {
+    /// Partition tensors of the given sizes across `n` ranks.
+    pub fn new(sizes: &[usize], n: usize) -> Self {
+        assert!(n > 0, "need at least one rank");
+        let mut offsets = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0usize;
+        for &s in sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        let total = acc;
+        // Snap the ideal equal cuts to tensor boundaries: shard r covers
+        // tensors [b_r, b_{r+1}) where b_r is the boundary nearest to
+        // r·M/n (rounding to the nearest boundary rather than always up
+        // halves the worst-case skew a large tensor can induce).
+        let cut = |i: usize| -> usize {
+            let ideal = i * total / n;
+            let hi = offsets.partition_point(|&off| off < ideal);
+            if hi == 0 {
+                return 0;
+            }
+            let hi_off = offsets.get(hi).copied().unwrap_or(total);
+            let lo_off = offsets[hi - 1];
+            if ideal - lo_off < hi_off - ideal {
+                hi - 1
+            } else {
+                hi
+            }
+        };
+        let mut tensors = Vec::with_capacity(n);
+        let mut flat = Vec::with_capacity(n);
+        for r in 0..n {
+            let (a, b) = (cut(r), cut(r + 1));
+            tensors.push(a..b);
+            let start = offsets.get(a).copied().unwrap_or(total);
+            let end = offsets.get(b).copied().unwrap_or(total);
+            flat.push(start..end);
+        }
+        offsets.push(total);
+        Self {
+            flat,
+            tensors,
+            offsets,
+            total,
+        }
+    }
+
+    /// Ownership mask over tensors for `rank` (the
+    /// [`matgpt_optim::Optimizer::step_masked`] argument).
+    pub fn owned_mask(&self, rank: usize) -> Vec<bool> {
+        let n_tensors = self.offsets.len() - 1;
+        (0..n_tensors)
+            .map(|t| self.tensors[rank].contains(&t))
+            .collect()
+    }
+
+    /// For every tensor, the rank that owns it (the
+    /// [`OptimizerState::merge_shards`] argument).
+    pub fn owners(&self) -> Vec<usize> {
+        let n_tensors = self.offsets.len() - 1;
+        (0..n_tensors)
+            .map(|t| {
+                self.tensors
+                    .iter()
+                    .position(|r| r.contains(&t))
+                    .expect("every tensor has an owner")
+            })
+            .collect()
+    }
+
+    /// Scalar count owned by each rank.
+    pub fn shard_scalars(&self) -> Vec<usize> {
+        self.flat.iter().map(|r| r.len()).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The ring: deterministic chunked reduce-scatter + allgather.
+// ---------------------------------------------------------------------------
+
+/// One worker's pair of ring links: it only ever sends to its successor
+/// and receives from its predecessor, like one RCCL ring channel.
+struct Ring {
+    rank: usize,
+    n: usize,
+    tx_next: Sender<Vec<f32>>,
+    rx_prev: Receiver<Vec<f32>>,
+    sent_bytes: u64,
+    wait_ms: f64,
+}
+
+/// One directed ring link: the channel carrying rank r's sends to r+1.
+type RingLink = (Sender<Vec<f32>>, Receiver<Vec<f32>>);
+
+impl Ring {
+    /// Build the n ring endpoints (rank r sends to rank (r+1) mod n).
+    fn build(n: usize) -> Vec<Ring> {
+        let links: Vec<RingLink> = (0..n).map(|_| unbounded()).collect();
+        let mut txs: Vec<Option<Sender<Vec<f32>>>> = Vec::new();
+        let mut rxs: Vec<Option<Receiver<Vec<f32>>>> = Vec::new();
+        for (tx, rx) in links {
+            txs.push(Some(tx));
+            rxs.push(Some(rx));
+        }
+        (0..n)
+            .map(|r| Ring {
+                rank: r,
+                n,
+                // link r carries r -> r+1 traffic
+                tx_next: txs[r].take().expect("unique sender"),
+                rx_prev: rxs[(r + n - 1) % n].take().expect("unique receiver"),
+                sent_bytes: 0,
+                wait_ms: 0.0,
+            })
+            .collect()
+    }
+
+    fn send(&mut self, buf: Vec<f32>) {
+        self.sent_bytes += 4 * buf.len() as u64;
+        self.tx_next.send(buf).expect("ring peer alive");
+    }
+
+    fn recv(&mut self) -> Vec<f32> {
+        let t0 = Instant::now();
+        let got = self.rx_prev.recv().expect("ring peer alive");
+        self.wait_ms += t0.elapsed().as_secs_f64() * 1e3;
+        got
+    }
+
+    /// Chunked ring reduce-scatter over `bounds`: after N−1 steps rank
+    /// `r` holds the fully reduced chunk `bounds[r]`; other chunks hold
+    /// partial sums. Each chunk's additions happen in ring order
+    /// starting from rank `r+1` — the order [`ring_fold`] replays.
+    fn reduce_scatter(&mut self, buf: &mut [f32], bounds: &[Range<usize>]) {
+        let n = self.n;
+        for s in 0..n.saturating_sub(1) {
+            let send_idx = (self.rank + n - 1 - s) % n;
+            self.send(buf[bounds[send_idx].clone()].to_vec());
+            let recv_idx = (self.rank + 2 * n - 2 - s) % n;
+            let incoming = self.recv();
+            for (dst, src) in buf[bounds[recv_idx].clone()].iter_mut().zip(&incoming) {
+                *dst += *src;
+            }
+        }
+    }
+
+    /// Chunked ring allgather over `bounds`: rank `r` starts with the
+    /// authoritative `bounds[r]` and after N−1 steps every rank holds
+    /// every chunk.
+    fn allgather(&mut self, buf: &mut [f32], bounds: &[Range<usize>]) {
+        let n = self.n;
+        for s in 0..n.saturating_sub(1) {
+            let send_idx = (self.rank + n - s) % n;
+            self.send(buf[bounds[send_idx].clone()].to_vec());
+            let recv_idx = (self.rank + n - 1 - s) % n;
+            let incoming = self.recv();
+            buf[bounds[recv_idx].clone()].copy_from_slice(&incoming);
+        }
+    }
+}
+
+/// The ring reduce-scatter's fixed fold order as a pure sequential
+/// function: chunk `c` is the left fold of the ranks' contributions in
+/// ring order starting at rank `(c+1) mod N`. The threaded ring is
+/// bit-identical to this by construction (f32 addition is commutative,
+/// and the ring fixes the grouping); the sequential reference executor
+/// uses it to define "single-worker training on the concatenated batch"
+/// under deterministic-reduction semantics.
+pub fn ring_fold(parts: &[Vec<f32>], bounds: &[Range<usize>]) -> Vec<f32> {
+    let n = parts.len();
+    assert!(n > 0, "ring_fold needs at least one contribution");
+    assert_eq!(bounds.len(), n, "one chunk per rank");
+    let mut out = vec![0.0f32; parts[0].len()];
+    for (c, b) in bounds.iter().enumerate() {
+        out[b.clone()].copy_from_slice(&parts[(c + 1) % n][b.clone()]);
+        for k in 2..=n {
+            let r = (c + k) % n;
+            for (dst, src) in out[b.clone()].iter_mut().zip(&parts[r][b.clone()]) {
+                *dst += *src;
+            }
+        }
+    }
+    out
+}
+
+/// Run a real threaded ring allreduce (sum) over the given per-rank
+/// buffers and chunk bounds. Returns each rank's resulting buffer plus
+/// the bytes each rank sent — the unit-testable surface of the ring.
+pub fn ring_allreduce_sum(
+    parts: Vec<Vec<f32>>,
+    bounds: &[Range<usize>],
+) -> (Vec<Vec<f32>>, Vec<u64>) {
+    let n = parts.len();
+    assert!(n > 0, "need at least one rank");
+    assert_eq!(bounds.len(), n, "one chunk per rank");
+    let rings = Ring::build(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = rings
+            .into_iter()
+            .zip(parts)
+            .map(|(mut ring, mut buf)| {
+                scope.spawn(move || {
+                    ring.reduce_scatter(&mut buf, bounds);
+                    ring.allgather(&mut buf, bounds);
+                    (buf, ring.sent_bytes)
+                })
+            })
+            .collect();
+        let mut bufs = Vec::with_capacity(n);
+        let mut bytes = Vec::with_capacity(n);
+        for h in handles {
+            let (b, sent) = h.join().expect("ring worker");
+            bufs.push(b);
+            bytes.push(sent);
+        }
+        (bufs, bytes)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shared numerics (coordinator, workers and reference must agree bitwise).
+// ---------------------------------------------------------------------------
+
+/// Rank-order left-fold mean — the one loss-averaging order every
+/// executor uses so recorded curves agree bitwise.
+fn fold_mean(losses: &[f32]) -> f32 {
+    losses.iter().copied().fold(0.0f32, |a, b| a + b) / losses.len() as f32
+}
+
+/// Split the coordinator's global batch into per-rank micro-batches of
+/// `rows` rows each (contiguous row blocks, rank order).
+fn split_batch(batch: &Batch, n: usize) -> Vec<Batch> {
+    assert!(batch.batch.is_multiple_of(n), "batch divides over workers");
+    let rows = batch.batch / n;
+    let stride = rows * batch.seq;
+    (0..n)
+        .map(|r| Batch {
+            inputs: batch.inputs[r * stride..(r + 1) * stride].to_vec(),
+            targets: batch.targets[r * stride..(r + 1) * stride].to_vec(),
+            batch: rows,
+            seq: batch.seq,
+        })
+        .collect()
+}
+
+/// One replica's gradient computation for one micro-batch: zero grads,
+/// (optionally) round weights to the mixed-precision grid, forward,
+/// backward, restore masters. Returns the micro loss. Identical between
+/// threaded workers and the sequential reference.
+fn micro_grads(
+    cfg: &PretrainConfig,
+    model: &GptModel,
+    store: &mut ParamStore,
+    micro: &Batch,
+) -> f32 {
+    store.zero_grads();
+    let masters = if cfg.precision != matgpt_tensor::Precision::F32 {
+        let snap = matgpt_tensor::precision::snapshot_values(store);
+        matgpt_tensor::precision::round_store(store, cfg.precision);
+        Some(snap)
+    } else {
+        None
+    };
+    let mut tape = Tape::new();
+    let loss = {
+        let _s = Span::enter(pids::PARALLEL, "dp", "forward");
+        model.loss(
+            &mut tape,
+            store,
+            &micro.inputs,
+            &micro.targets,
+            micro.batch,
+            micro.seq,
+        )
+    };
+    let micro_loss = tape.value(loss).item();
+    {
+        let _s = Span::enter(pids::PARALLEL, "dp", "backward");
+        tape.backward(loss);
+        tape.accumulate_param_grads(store);
+    }
+    if let Some(snap) = masters {
+        matgpt_tensor::precision::restore_values(store, &snap);
+    }
+    micro_loss
+}
+
+/// Scale `buf[own]` by 1/n — the gradient-averaging step, applied by
+/// each chunk's owner right after the reduce-scatter so every element
+/// is scaled exactly once. Skipped at n = 1 to keep DP×1 bit-identical
+/// to the plain [`crate::pretrain::Trainer`] (which never averages).
+fn scale_owned(buf: &mut [f32], own: &Range<usize>, n: usize) {
+    if n > 1 {
+        let inv = 1.0f32 / n as f32;
+        for x in &mut buf[own.clone()] {
+            *x *= inv;
+        }
+    }
+}
+
+/// Per-tensor squared gradient norms for the tensors in `tensors`,
+/// read from the flat gradient buffer. Uses the same per-element
+/// multiply-and-left-fold as [`matgpt_tensor::Tensor::sq_norm`], so the
+/// ZeRO-1 global-norm clip matches `ParamStore::clip_grad_norm` bitwise.
+fn owned_sq_norms(flat: &[f32], plan: &ShardPlan, tensors: &Range<usize>, out: &mut [f32]) {
+    for t in tensors.clone() {
+        let range = plan.offsets[t]..plan.offsets[t + 1];
+        out[t] = flat[range].iter().map(|v| v * v).sum::<f32>();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker protocol.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum ToWorker {
+    Step {
+        micro: Batch,
+        lr: f32,
+        eval: bool,
+    },
+    /// Export optimizer state (a shard under ZeRO-1) for consolidation.
+    ExportOpt,
+    /// Rank 0 only: wrap its weights and the prepared sections into a
+    /// v2 checkpoint image.
+    Assemble(Vec<(String, Vec<u8>)>),
+    Finish,
+}
+
+#[derive(Debug)]
+enum FromWorker {
+    StepDone {
+        rank: usize,
+        micro_loss: f32,
+        val_loss: Option<f32>,
+        compute_ms: f64,
+        comm_ms: f64,
+        sent_bytes: u64,
+        opt_bytes: usize,
+    },
+    Opt(usize, OptimizerState),
+    Image(Vec<u8>),
+}
+
+/// Keep only the parameters `mask` owns from a full optimizer state —
+/// what a ZeRO-1 worker imports when resuming from a consolidated
+/// checkpoint.
+fn shard_state(full: &OptimizerState, mask: &[bool]) -> OptimizerState {
+    OptimizerState {
+        step: full.step,
+        slots: full
+            .slots
+            .iter()
+            .map(|slot| {
+                slot.iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        if mask.get(i).copied().unwrap_or(false) {
+                            p.clone()
+                        } else {
+                            Vec::new()
+                        }
+                    })
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+struct WorkerSeat {
+    rank: usize,
+    ring: Ring,
+    rx: Receiver<ToWorker>,
+    tx: Sender<FromWorker>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_main(
+    seat: WorkerSeat,
+    cfg: &PretrainConfig,
+    zero1: bool,
+    vocab: usize,
+    plan: &ShardPlan,
+    val_batches: &[Batch],
+    opt_restore: Option<&OptimizerState>,
+    weight_restore: Option<&ParamStore>,
+) -> Option<(GptModel, ParamStore)> {
+    let WorkerSeat {
+        rank,
+        mut ring,
+        rx,
+        tx,
+    } = seat;
+    let n = ring.n;
+    let (model, mut store) = build_model(cfg, vocab);
+    if let Some(weights) = weight_restore {
+        let restored = checkpoint::restore_into(&mut store, weights);
+        assert_eq!(restored, store.len(), "resume weights cover the model");
+    }
+    let mut opt = build_optimizer(cfg);
+    let mask = plan.owned_mask(rank);
+    if let Some(full) = opt_restore {
+        opt.import_state(if zero1 {
+            shard_state(full, &mask)
+        } else {
+            full.clone()
+        });
+    }
+
+    let rank_label = rank.to_string();
+    let reg = Registry::global();
+    let labels = [("worker", rank_label.as_str())];
+    let bytes_total = reg.counter_with(
+        "parallel_allreduce_bytes_total",
+        &labels,
+        "gradient-sync bytes this worker sent on the ring",
+    );
+    let sync_wait = reg.histogram_with(
+        "parallel_step_sync_wait_ms",
+        &labels,
+        "per-step time blocked on ring receives",
+        &Histogram::LATENCY_MS_BOUNDS,
+    );
+    let steps_total = reg.counter_with(
+        "parallel_steps_total",
+        &labels,
+        "data-parallel steps this worker executed",
+    );
+
+    let n_tensors = plan.offsets.len() - 1;
+    loop {
+        match rx.recv().expect("coordinator alive") {
+            ToWorker::Step { micro, lr, eval } => {
+                let _step_span = Span::enter(pids::PARALLEL, "dp", "worker-step");
+                let bytes_before = ring.sent_bytes;
+                let wait_before = ring.wait_ms;
+                let t0 = Instant::now();
+                let micro_loss = micro_grads(cfg, &model, &mut store, &micro);
+                let mut flat = store.flat_grads();
+
+                {
+                    let _s = Span::enter(pids::PARALLEL, "dp", "reduce-scatter");
+                    ring.reduce_scatter(&mut flat, &plan.flat);
+                }
+                scale_owned(&mut flat, &plan.flat[rank], n);
+
+                if zero1 {
+                    // Global-norm clip from allgathered per-tensor norms,
+                    // folded in tensor order like `ParamStore::grad_norm`.
+                    let mut norms = vec![0.0f32; n_tensors];
+                    owned_sq_norms(&flat, plan, &plan.tensors[rank], &mut norms);
+                    {
+                        let _s = Span::enter(pids::PARALLEL, "dp", "allgather-norms");
+                        ring.allgather(&mut norms, &plan.tensors);
+                    }
+                    let norm = norms.iter().sum::<f32>().sqrt();
+                    if norm > 1.0 {
+                        let s = 1.0 / norm;
+                        for x in &mut flat[plan.flat[rank].clone()] {
+                            *x *= s;
+                        }
+                    }
+                    store.load_flat_grads(&flat);
+                    {
+                        let _s = Span::enter(pids::PARALLEL, "dp", "optimizer");
+                        opt.step_masked(&mut store, lr, &mask);
+                    }
+                    let mut vals = store.flat_values();
+                    {
+                        let _s = Span::enter(pids::PARALLEL, "dp", "allgather-params");
+                        ring.allgather(&mut vals, &plan.flat);
+                    }
+                    store.load_flat_values(&vals);
+                } else {
+                    {
+                        let _s = Span::enter(pids::PARALLEL, "dp", "allgather-grads");
+                        ring.allgather(&mut flat, &plan.flat);
+                    }
+                    store.load_flat_grads(&flat);
+                    let _s = Span::enter(pids::PARALLEL, "dp", "optimizer");
+                    store.clip_grad_norm(1.0);
+                    opt.step(&mut store, lr);
+                }
+                // Compute = wall time not blocked on ring receives.
+                let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+                let val_loss =
+                    (eval && rank == 0).then(|| validation_loss_on(&model, &store, val_batches));
+
+                let sent = ring.sent_bytes - bytes_before;
+                let waited = ring.wait_ms - wait_before;
+                bytes_total.add(sent);
+                sync_wait.observe(waited);
+                steps_total.inc();
+                tx.send(FromWorker::StepDone {
+                    rank,
+                    micro_loss,
+                    val_loss,
+                    compute_ms: (wall_ms - waited).max(0.0),
+                    comm_ms: waited,
+                    sent_bytes: sent,
+                    opt_bytes: opt.state_bytes(),
+                })
+                .expect("coordinator alive");
+            }
+            ToWorker::ExportOpt => {
+                tx.send(FromWorker::Opt(rank, opt.export_state()))
+                    .expect("coordinator alive");
+            }
+            ToWorker::Assemble(sections) => {
+                let _s = Span::enter(pids::PARALLEL, "dp", "checkpoint");
+                let image = checkpoint::save_with_sections(&store, &sections).to_vec();
+                tx.send(FromWorker::Image(image))
+                    .expect("coordinator alive");
+            }
+            ToWorker::Finish => break,
+        }
+    }
+    (rank == 0).then_some((model, store))
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator.
+// ---------------------------------------------------------------------------
+
+/// The data-parallel training executor. See the module docs for the
+/// synchronization modes and equivalence guarantees.
+///
+/// # Examples
+///
+/// ```
+/// use matgpt_core::parallel::{DataParallel, ParallelConfig};
+/// use matgpt_core::{OptChoice, PretrainConfig, SizeRole};
+/// use matgpt_corpus::{build_corpus, CorpusConfig};
+/// use matgpt_model::ArchKind;
+/// use matgpt_tokenizer::TokenizerKind;
+///
+/// let documents = build_corpus(&CorpusConfig {
+///     n_materials: 8,
+///     total_docs: 24,
+///     offtopic_fraction: 0.2,
+///     seed: 5,
+/// })
+/// .documents;
+/// let cfg = PretrainConfig {
+///     steps: 2,
+///     batch_seqs: 4,
+///     seq: 16,
+///     ..PretrainConfig::scaled(
+///         ArchKind::Llama,
+///         TokenizerKind::Hf,
+///         300,
+///         OptChoice::Adam,
+///         SizeRole::Base,
+///     )
+/// };
+///
+/// // Two replicas with a ZeRO-1 sharded optimizer.
+/// let outcome = DataParallel::new(ParallelConfig::zero1(2)).train(&documents, &cfg);
+/// assert_eq!(outcome.report.workers, 2);
+/// assert!(outcome.pretrained.curves.final_train().is_finite());
+/// // Each worker held roughly half the optimizer state.
+/// let max_shard = outcome.report.max_opt_state_bytes();
+/// let replicated: usize = 8 + 2 * 4 * outcome.report.param_scalars;
+/// assert!(max_shard < replicated);
+/// ```
+pub struct DataParallel {
+    cfg: ParallelConfig,
+}
+
+impl DataParallel {
+    /// An executor for the given worker/sharding configuration.
+    pub fn new(cfg: ParallelConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        Self { cfg }
+    }
+
+    /// Train `cfg` on `documents` across the configured workers.
+    pub fn train(&self, documents: &[String], cfg: &PretrainConfig) -> ParallelOutcome {
+        self.run(documents, cfg, None, None)
+            .expect("fresh runs cannot fail to resume")
+    }
+
+    /// As [`DataParallel::train`], checkpointing every `every` steps
+    /// (and at the final step). The images are ordinary v2 MGPT
+    /// checkpoints: [`crate::pretrain::pretrain_resume`] accepts them.
+    pub fn train_with_checkpoints(
+        &self,
+        documents: &[String],
+        cfg: &PretrainConfig,
+        every: usize,
+    ) -> ParallelOutcome {
+        self.run(documents, cfg, Some(every.max(1)), None)
+            .expect("fresh runs cannot fail to resume")
+    }
+
+    /// Resume a checkpointed run (from [`DataParallel`] or a
+    /// single-worker [`crate::pretrain::Trainer`]) and finish it under
+    /// data parallelism.
+    pub fn resume(
+        &self,
+        documents: &[String],
+        cfg: &PretrainConfig,
+        bytes: &[u8],
+    ) -> Result<ParallelOutcome, ResumeError> {
+        self.run(documents, cfg, None, Some(bytes))
+    }
+
+    /// The sequential reference executor: one replica, one thread,
+    /// micro-batch gradients combined with [`ring_fold`] — the
+    /// deterministic-reduction definition of "single-worker training on
+    /// the concatenated batch" that the threaded executor must (and
+    /// does) match bit-for-bit. Also the contention-free way to measure
+    /// per-worker compute on machines with fewer cores than workers.
+    pub fn train_reference(
+        documents: &[String],
+        cfg: &PretrainConfig,
+        workers: usize,
+    ) -> ParallelOutcome {
+        assert!(workers >= 1, "need at least one worker");
+        assert!(
+            cfg.batch_seqs.is_multiple_of(workers),
+            "global batch {} must divide across {workers} workers",
+            cfg.batch_seqs
+        );
+        let tokenizer = train_tokenizer(cfg.tokenizer, cfg.vocab, documents);
+        let vocab = tokenizer.vocab_size();
+        let (model, mut store) = build_model(cfg, vocab);
+        let mut dataset = TokenDataset::new(documents, tokenizer.as_ref(), 0.08, cfg.seed ^ 0xda7a);
+        let val_batches = dataset.val_batches(2, cfg.seq);
+        let mut opt = build_optimizer(cfg);
+        let schedule = CosineSchedule::paper(cfg.lr, cfg.steps);
+        let plan = ShardPlan::new(&store.tensor_sizes(), workers);
+        let eval_every = (cfg.steps / 10).max(1);
+
+        let mut train_curve = Vec::new();
+        let mut val_curve = Vec::new();
+        let mut critical_ms = 0.0f64;
+        let mut total_compute = vec![0.0f64; workers];
+        let mut fold_ms = 0.0f64;
+        let mut post_ms = 0.0f64;
+
+        for step in 0..cfg.steps {
+            let batch = dataset.sample_batch(cfg.batch_seqs, cfg.seq);
+            let micros = split_batch(&batch, workers);
+            let mut losses = Vec::with_capacity(workers);
+            let mut parts = Vec::with_capacity(workers);
+            let mut slowest = 0.0f64;
+            for (r, micro) in micros.iter().enumerate() {
+                let t0 = Instant::now();
+                losses.push(micro_grads(cfg, &model, &mut store, micro));
+                parts.push(store.flat_grads());
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                total_compute[r] += ms;
+                slowest = slowest.max(ms);
+            }
+            critical_ms += slowest;
+
+            let t1 = Instant::now();
+            let mut reduced = if workers == 1 {
+                parts.pop().expect("one part")
+            } else {
+                ring_fold(&parts, &plan.flat)
+            };
+            for r in 0..workers {
+                scale_owned(&mut reduced, &plan.flat[r], workers);
+            }
+            fold_ms += t1.elapsed().as_secs_f64() * 1e3;
+
+            let t2 = Instant::now();
+            store.load_flat_grads(&reduced);
+            let lr = schedule.lr(step);
+            store.clip_grad_norm(1.0);
+            opt.step(&mut store, lr);
+            post_ms += t2.elapsed().as_secs_f64() * 1e3;
+
+            if step.is_multiple_of(eval_every) || step + 1 == cfg.steps {
+                train_curve.push((step, fold_mean(&losses)));
+                val_curve.push((step, validation_loss_on(&model, &store, &val_batches)));
+            }
+        }
+
+        let formula = wire_bytes(Collective::AllReduce, (plan.total * 4) as f64, workers);
+        let report = ParallelReport {
+            workers,
+            zero1: false,
+            steps_run: cfg.steps,
+            param_scalars: plan.total,
+            shard_scalars: plan.shard_scalars(),
+            measured_allreduce_bytes_per_step: formula,
+            formula_allreduce_bytes_per_step: formula,
+            critical_compute_ms: critical_ms,
+            total_compute_ms: total_compute,
+            comm_ms: vec![fold_ms],
+            post_ms,
+            opt_state_bytes: vec![opt.state_bytes()],
+        };
+        ParallelOutcome {
+            pretrained: Pretrained {
+                model,
+                store,
+                tokenizer,
+                curves: LossCurves {
+                    label: cfg.label(),
+                    train: train_curve,
+                    val: val_curve,
+                },
+                config: cfg.clone(),
+            },
+            report,
+            checkpoints: Vec::new(),
+        }
+    }
+
+    fn run(
+        &self,
+        documents: &[String],
+        cfg: &PretrainConfig,
+        checkpoint_every: Option<usize>,
+        resume_from: Option<&[u8]>,
+    ) -> Result<ParallelOutcome, ResumeError> {
+        let n = self.cfg.workers;
+        let zero1 = self.cfg.zero1;
+        assert!(
+            cfg.batch_seqs.is_multiple_of(n),
+            "global batch {} must divide across {n} workers",
+            cfg.batch_seqs
+        );
+        let tokenizer = train_tokenizer(cfg.tokenizer, cfg.vocab, documents);
+        let vocab = tokenizer.vocab_size();
+        let mut dataset = TokenDataset::new(documents, tokenizer.as_ref(), 0.08, cfg.seed ^ 0xda7a);
+
+        // Decode and validate a resume image coordinator-side (same
+        // checks as `Trainer::resume_with_tokenizer`).
+        let restore = match resume_from {
+            None => None,
+            Some(bytes) => Some(decode_resume(cfg, bytes)?),
+        };
+        let (start_step, mut train_curve, mut val_curve) = match &restore {
+            Some(r) => {
+                dataset.seek(r.cursor);
+                (r.step, r.train_curve.clone(), r.val_curve.clone())
+            }
+            None => (0, Vec::new(), Vec::new()),
+        };
+
+        // Probe replica: the tensor layout every worker will build.
+        let sizes = {
+            let (_, probe) = build_model(cfg, vocab);
+            probe.tensor_sizes()
+        };
+        let plan = Arc::new(ShardPlan::new(&sizes, n));
+        let val_batches = Arc::new(dataset.val_batches(2, cfg.seq));
+        let schedule = CosineSchedule::paper(cfg.lr, cfg.steps);
+        let eval_every = (cfg.steps / 10).max(1);
+
+        let rings = Ring::build(n);
+        let (tx_out, rx_out) = unbounded::<FromWorker>();
+        let mut cmd_txs: Vec<Sender<ToWorker>> = Vec::with_capacity(n);
+        let mut seats: Vec<WorkerSeat> = Vec::with_capacity(n);
+        for (rank, ring) in rings.into_iter().enumerate() {
+            let (tx_cmd, rx_cmd) = unbounded::<ToWorker>();
+            cmd_txs.push(tx_cmd);
+            seats.push(WorkerSeat {
+                rank,
+                ring,
+                rx: rx_cmd,
+                tx: tx_out.clone(),
+            });
+        }
+        drop(tx_out);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = seats
+                .into_iter()
+                .map(|seat| {
+                    let plan = Arc::clone(&plan);
+                    let val_batches = Arc::clone(&val_batches);
+                    let restore = restore.as_ref();
+                    scope.spawn(move || {
+                        worker_main(
+                            seat,
+                            cfg,
+                            zero1,
+                            vocab,
+                            &plan,
+                            &val_batches,
+                            restore.map(|r| &r.opt_state),
+                            restore.map(|r| &r.weights),
+                        )
+                    })
+                })
+                .collect();
+
+            let mut critical_ms = 0.0f64;
+            let mut total_compute = vec![0.0f64; n];
+            let mut comm = vec![0.0f64; n];
+            let mut opt_bytes = vec![0usize; n];
+            let mut bytes_accum = 0u64;
+            let mut checkpoints = Vec::new();
+            let mut steps_run = 0usize;
+
+            for step in start_step..cfg.steps {
+                let lr = schedule.lr(step);
+                let eval = step.is_multiple_of(eval_every) || step + 1 == cfg.steps;
+                let batch = dataset.sample_batch(cfg.batch_seqs, cfg.seq);
+                for (rank, micro) in split_batch(&batch, n).into_iter().enumerate() {
+                    cmd_txs[rank]
+                        .send(ToWorker::Step { micro, lr, eval })
+                        .expect("worker alive");
+                }
+                let mut losses = vec![0.0f32; n];
+                let mut val = None;
+                let mut slowest = 0.0f64;
+                for _ in 0..n {
+                    match rx_out.recv().expect("worker alive") {
+                        FromWorker::StepDone {
+                            rank,
+                            micro_loss,
+                            val_loss,
+                            compute_ms,
+                            comm_ms,
+                            sent_bytes,
+                            opt_bytes: ob,
+                        } => {
+                            losses[rank] = micro_loss;
+                            val = val.or(val_loss);
+                            total_compute[rank] += compute_ms;
+                            comm[rank] += comm_ms;
+                            slowest = slowest.max(compute_ms);
+                            bytes_accum += sent_bytes;
+                            opt_bytes[rank] = ob;
+                        }
+                        _ => unreachable!("only StepDone during a step"),
+                    }
+                }
+                critical_ms += slowest;
+                steps_run += 1;
+                if eval {
+                    train_curve.push((step, fold_mean(&losses)));
+                    val_curve.push((step, val.expect("rank 0 evaluated")));
+                }
+
+                let completed = step + 1;
+                let at_checkpoint = checkpoint_every
+                    .is_some_and(|every| completed.is_multiple_of(every) || completed == cfg.steps);
+                if at_checkpoint {
+                    let image = consolidate_checkpoint(
+                        &cmd_txs,
+                        &rx_out,
+                        &plan,
+                        zero1,
+                        cfg,
+                        completed,
+                        dataset.cursor(),
+                        &train_curve,
+                        &val_curve,
+                    );
+                    checkpoints.push((completed, image));
+                }
+            }
+
+            for tx in &cmd_txs {
+                tx.send(ToWorker::Finish).expect("worker alive");
+            }
+            let mut rank0 = None;
+            for h in handles {
+                if let Some(bundle) = h.join().expect("worker thread") {
+                    rank0 = Some(bundle);
+                }
+            }
+            let (model, store) = rank0.expect("rank 0 returns its replica");
+
+            let denom = (steps_run.max(1) * n) as f64;
+            let formula = wire_bytes(Collective::AllReduce, (plan.total * 4) as f64, n);
+            let report = ParallelReport {
+                workers: n,
+                zero1,
+                steps_run,
+                param_scalars: plan.total,
+                shard_scalars: plan.shard_scalars(),
+                measured_allreduce_bytes_per_step: bytes_accum as f64 / denom,
+                formula_allreduce_bytes_per_step: formula,
+                critical_compute_ms: critical_ms,
+                total_compute_ms: total_compute,
+                comm_ms: comm,
+                post_ms: 0.0,
+                opt_state_bytes: opt_bytes,
+            };
+            Ok(ParallelOutcome {
+                pretrained: Pretrained {
+                    model,
+                    store,
+                    tokenizer,
+                    curves: LossCurves {
+                        label: cfg.label(),
+                        train: train_curve,
+                        val: val_curve,
+                    },
+                    config: cfg.clone(),
+                },
+                report,
+                checkpoints,
+            })
+        })
+    }
+}
+
+/// Ask every worker for its optimizer state, merge the shards, and have
+/// rank 0 wrap its weights plus the training-state sections into a v2
+/// checkpoint image — byte-compatible with [`crate::pretrain::Trainer`].
+#[allow(clippy::too_many_arguments)]
+fn consolidate_checkpoint(
+    cmd_txs: &[Sender<ToWorker>],
+    rx_out: &Receiver<FromWorker>,
+    plan: &ShardPlan,
+    zero1: bool,
+    cfg: &PretrainConfig,
+    completed: usize,
+    cursor: u128,
+    train_curve: &[(usize, f32)],
+    val_curve: &[(usize, f32)],
+) -> Vec<u8> {
+    let n = cmd_txs.len();
+    for tx in cmd_txs {
+        tx.send(ToWorker::ExportOpt).expect("worker alive");
+    }
+    let mut shards: Vec<Option<OptimizerState>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        match rx_out.recv().expect("worker alive") {
+            FromWorker::Opt(rank, state) => shards[rank] = Some(state),
+            _ => unreachable!("only Opt replies during consolidation"),
+        }
+    }
+    let shards: Vec<OptimizerState> = shards.into_iter().map(|s| s.expect("all ranks")).collect();
+    let merged = if zero1 {
+        OptimizerState::merge_shards(&shards, &plan.owners())
+            .expect("shards cover every parameter consistently")
+    } else {
+        shards.into_iter().next().expect("rank 0 state")
+    };
+    let sections = vec![
+        (SEC_LABEL.to_string(), cfg.label().into_bytes()),
+        (SEC_OPT.to_string(), merged.to_bytes()),
+        (
+            SEC_STEP.to_string(),
+            (completed as u64).to_le_bytes().to_vec(),
+        ),
+        (SEC_CURSOR.to_string(), cursor.to_le_bytes().to_vec()),
+        (
+            SEC_CURVES.to_string(),
+            crate::pretrain::encode_curves(train_curve, val_curve),
+        ),
+    ];
+    cmd_txs[0]
+        .send(ToWorker::Assemble(sections))
+        .expect("worker alive");
+    match rx_out.recv().expect("worker alive") {
+        FromWorker::Image(bytes) => bytes,
+        _ => unreachable!("only an Image reply after Assemble"),
+    }
+}
+
+/// Training state decoded from a v2 checkpoint for a DP resume.
+struct ResumeState {
+    weights: ParamStore,
+    opt_state: OptimizerState,
+    step: usize,
+    cursor: u128,
+    train_curve: Vec<(usize, f32)>,
+    val_curve: Vec<(usize, f32)>,
+}
+
+fn decode_resume(cfg: &PretrainConfig, bytes: &[u8]) -> Result<ResumeState, ResumeError> {
+    let ck = checkpoint::load_full(bytes).map_err(ResumeError::Checkpoint)?;
+    let label = ck
+        .section(SEC_LABEL)
+        .ok_or(ResumeError::MissingSection(SEC_LABEL))?;
+    let expected = cfg.label();
+    if label != expected.as_bytes() {
+        return Err(ResumeError::ConfigMismatch {
+            expected,
+            found: String::from_utf8_lossy(label).into_owned(),
+        });
+    }
+    let opt_state = OptimizerState::from_bytes(
+        ck.section(SEC_OPT)
+            .ok_or(ResumeError::MissingSection(SEC_OPT))?,
+    )
+    .ok_or(ResumeError::Corrupt(SEC_OPT))?;
+    let step = u64::from_le_bytes(
+        ck.section(SEC_STEP)
+            .ok_or(ResumeError::MissingSection(SEC_STEP))?
+            .try_into()
+            .map_err(|_| ResumeError::Corrupt(SEC_STEP))?,
+    ) as usize;
+    let cursor = u128::from_le_bytes(
+        ck.section(SEC_CURSOR)
+            .ok_or(ResumeError::MissingSection(SEC_CURSOR))?
+            .try_into()
+            .map_err(|_| ResumeError::Corrupt(SEC_CURSOR))?,
+    );
+    let (train_curve, val_curve) = crate::pretrain::decode_curves(
+        ck.section(SEC_CURVES)
+            .ok_or(ResumeError::MissingSection(SEC_CURVES))?,
+    )
+    .ok_or(ResumeError::Corrupt(SEC_CURVES))?;
+    Ok(ResumeState {
+        weights: ck.store,
+        opt_state,
+        step,
+        cursor,
+        train_curve,
+        val_curve,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matgpt_frontier_sim::collectives::ring_chunks;
+
+    #[test]
+    fn shard_plan_covers_and_aligns() {
+        let sizes = vec![100, 3, 50, 50, 7, 90];
+        for n in 1..=4 {
+            let plan = ShardPlan::new(&sizes, n);
+            assert_eq!(plan.total, 300);
+            assert_eq!(plan.flat.len(), n);
+            // contiguous cover of the flat space
+            assert_eq!(plan.flat[0].start, 0);
+            assert_eq!(plan.flat[n - 1].end, 300);
+            for w in plan.flat.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            // every bound is a tensor boundary
+            for r in &plan.flat {
+                assert!(plan.offsets.contains(&r.start));
+                assert!(plan.offsets.contains(&r.end));
+            }
+            // ownership is a partition
+            let owners = plan.owners();
+            assert_eq!(owners.len(), sizes.len());
+            for (t, &o) in owners.iter().enumerate() {
+                assert!(plan.owned_mask(o)[t]);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_fold_matches_naive_sum_on_integers() {
+        // Integer-valued f32 sums are associative-exact, so the ring
+        // order and the naive order must agree bit-for-bit.
+        let parts: Vec<Vec<f32>> = (0..4)
+            .map(|r| (0..10).map(|i| ((r * 10 + i) % 7) as f32).collect())
+            .collect();
+        let bounds = ring_chunks(10, 4);
+        let folded = ring_fold(&parts, &bounds);
+        for i in 0..10 {
+            let naive: f32 = parts.iter().map(|p| p[i]).sum();
+            assert_eq!(folded[i].to_bits(), naive.to_bits());
+        }
+    }
+
+    #[test]
+    fn threaded_ring_matches_fold_bitwise() {
+        let parts: Vec<Vec<f32>> = (0..3)
+            .map(|r| {
+                (0..11)
+                    .map(|i| (0.1 + r as f32 * 0.37 + i as f32 * 0.013).sin())
+                    .collect()
+            })
+            .collect();
+        let bounds = ring_chunks(11, 3); // non-divisible remainder chunks
+        let expect = ring_fold(&parts, &bounds);
+        let (results, bytes) = ring_allreduce_sum(parts, &bounds);
+        for buf in &results {
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(buf), bits(&expect));
+        }
+        // Each rank sends 2(n-1) chunks; mean volume hits the closed form.
+        let mean = bytes.iter().sum::<u64>() as f64 / bytes.len() as f64;
+        let formula = wire_bytes(Collective::AllReduce, 11.0 * 4.0, 3);
+        assert!((mean - formula).abs() < 1e-9, "{mean} vs {formula}");
+    }
+
+    #[test]
+    fn fold_mean_of_single_loss_is_identity() {
+        let l = 2.3456789f32;
+        assert_eq!(fold_mean(&[l]).to_bits(), l.to_bits());
+    }
+
+    #[test]
+    fn split_batch_partitions_rows_in_rank_order() {
+        let batch = Batch {
+            inputs: (0..12).collect(),
+            targets: (100..112).collect(),
+            batch: 4,
+            seq: 3,
+        };
+        let micros = split_batch(&batch, 2);
+        assert_eq!(micros[0].inputs, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(micros[1].inputs, vec![6, 7, 8, 9, 10, 11]);
+        assert_eq!(micros[1].targets, vec![106, 107, 108, 109, 110, 111]);
+        assert_eq!(micros[0].batch, 2);
+        assert_eq!(micros[0].seq, 3);
+    }
+}

@@ -11,7 +11,7 @@
 //! picks such a run back up and finishes it.
 
 use crate::recipes::{OptChoice, PretrainConfig, SizeRole};
-use matgpt_corpus::TokenDataset;
+use matgpt_corpus::{Batch, TokenDataset};
 use matgpt_model::{GptConfig, GptModel};
 use matgpt_obs::{pids, Counter, Gauge, Registry, Span};
 use matgpt_optim::{Adam, AdamConfig, CosineSchedule, Lamb, LrSchedule, Optimizer, OptimizerState};
@@ -92,6 +92,45 @@ pub fn pretrain_with_tokenizer(
 /// one at the final step). Returns the finished bundle plus the
 /// `(steps_completed, bytes)` checkpoints, newest last — the periodic-
 /// checkpointing loop a fault-tolerant launcher drives.
+///
+/// # Examples
+///
+/// Interrupt a run at its midpoint checkpoint and resume it; the
+/// resumed curves are bit-identical to the uninterrupted ones:
+///
+/// ```
+/// use matgpt_core::{pretrain_resume, pretrain_with_checkpoints};
+/// use matgpt_core::{OptChoice, PretrainConfig, SizeRole};
+/// use matgpt_corpus::{build_corpus, CorpusConfig};
+/// use matgpt_model::ArchKind;
+/// use matgpt_tokenizer::TokenizerKind;
+///
+/// let documents = build_corpus(&CorpusConfig {
+///     n_materials: 8,
+///     total_docs: 24,
+///     offtopic_fraction: 0.2,
+///     seed: 5,
+/// })
+/// .documents;
+/// let cfg = PretrainConfig {
+///     steps: 4,
+///     batch_seqs: 4,
+///     seq: 16,
+///     ..PretrainConfig::scaled(
+///         ArchKind::Llama,
+///         TokenizerKind::Hf,
+///         300,
+///         OptChoice::Adam,
+///         SizeRole::Base,
+///     )
+/// };
+///
+/// let (full, checkpoints) = pretrain_with_checkpoints(&documents, &cfg, 2);
+/// let (mid_step, image) = &checkpoints[0];
+/// assert_eq!(*mid_step, 2);
+/// let resumed = pretrain_resume(&documents, &cfg, image).unwrap();
+/// assert_eq!(resumed.curves.train, full.curves.train);
+/// ```
 pub fn pretrain_with_checkpoints(
     documents: &[String],
     cfg: &PretrainConfig,
@@ -166,12 +205,42 @@ impl std::fmt::Display for ResumeError {
 
 impl std::error::Error for ResumeError {}
 
-// Section names inside the v2 checkpoint container.
-const SEC_LABEL: &str = "label";
-const SEC_OPT: &str = "opt_state";
-const SEC_STEP: &str = "lr_step";
-const SEC_CURSOR: &str = "data_cursor";
-const SEC_CURVES: &str = "curves";
+// Section names inside the v2 checkpoint container (shared with
+// `crate::parallel`, whose checkpoints are the same format).
+pub(crate) const SEC_LABEL: &str = "label";
+pub(crate) const SEC_OPT: &str = "opt_state";
+pub(crate) const SEC_STEP: &str = "lr_step";
+pub(crate) const SEC_CURSOR: &str = "data_cursor";
+pub(crate) const SEC_CURVES: &str = "curves";
+
+/// Build the (scaled-down) model and parameter store a pre-training
+/// config describes, seeded deterministically. Shared between
+/// [`Trainer`] and the per-worker replicas of [`crate::parallel`], so a
+/// data-parallel worker starts from exactly the single-worker weights.
+pub(crate) fn build_model(cfg: &PretrainConfig, vocab: usize) -> (GptModel, ParamStore) {
+    let model_cfg = match cfg.size {
+        SizeRole::Base => GptConfig::tiny(cfg.arch, vocab),
+        SizeRole::Large => GptConfig::small(cfg.arch, vocab),
+    };
+    // the context window is 4x the training length so few-shot prompts
+    // (Fig. 15) fit; rotary positions extrapolate beyond trained offsets
+    let model_cfg = GptConfig {
+        max_seq: (cfg.seq * 4).max(model_cfg.max_seq),
+        ..model_cfg
+    };
+    let mut rng = init::rng(cfg.seed);
+    let mut store = ParamStore::new();
+    let model = GptModel::new(model_cfg, &mut store, &mut rng);
+    (model, store)
+}
+
+/// The optimizer a pre-training config selects (paper Table III recipes).
+pub(crate) fn build_optimizer(cfg: &PretrainConfig) -> Box<dyn Optimizer> {
+    match cfg.optimizer {
+        OptChoice::Adam => Box::new(Adam::new(AdamConfig::paper_adam())),
+        OptChoice::Lamb => Box::new(Lamb::new(AdamConfig::paper_lamb())),
+    }
+}
 
 /// Cached handles into the global metrics [`Registry`]: the trainer's
 /// exported gauges/counters, resolved once at construction so the step
@@ -209,6 +278,44 @@ impl StepTelemetry {
 /// struct form exists so the loop can be interrupted between any two
 /// steps, serialised with [`Trainer::checkpoint`], and continued later
 /// with [`Trainer::resume`] — producing bit-identical curves either way.
+///
+/// # Examples
+///
+/// Drive the loop one step at a time:
+///
+/// ```
+/// use matgpt_core::{OptChoice, PretrainConfig, SizeRole, Trainer};
+/// use matgpt_corpus::{build_corpus, CorpusConfig};
+/// use matgpt_model::ArchKind;
+/// use matgpt_tokenizer::TokenizerKind;
+///
+/// let documents = build_corpus(&CorpusConfig {
+///     n_materials: 8,
+///     total_docs: 24,
+///     offtopic_fraction: 0.2,
+///     seed: 5,
+/// })
+/// .documents;
+/// let cfg = PretrainConfig {
+///     steps: 2,
+///     batch_seqs: 4,
+///     seq: 16,
+///     ..PretrainConfig::scaled(
+///         ArchKind::NeoX,
+///         TokenizerKind::Hf,
+///         300,
+///         OptChoice::Adam,
+///         SizeRole::Base,
+///     )
+/// };
+///
+/// let mut trainer = Trainer::new(&documents, &cfg);
+/// while !trainer.is_done() {
+///     trainer.step_once();
+/// }
+/// let done = trainer.finish();
+/// assert_eq!(done.curves.train.len(), cfg.steps);
+/// ```
 pub struct Trainer {
     cfg: PretrainConfig,
     model: GptModel,
@@ -237,24 +344,9 @@ impl Trainer {
         tokenizer: Box<dyn Tokenizer>,
     ) -> Self {
         let vocab = tokenizer.vocab_size();
-        let model_cfg = match cfg.size {
-            SizeRole::Base => GptConfig::tiny(cfg.arch, vocab),
-            SizeRole::Large => GptConfig::small(cfg.arch, vocab),
-        };
-        // the context window is 4x the training length so few-shot prompts
-        // (Fig. 15) fit; rotary positions extrapolate beyond trained offsets
-        let model_cfg = GptConfig {
-            max_seq: (cfg.seq * 4).max(model_cfg.max_seq),
-            ..model_cfg
-        };
-        let mut rng = init::rng(cfg.seed);
-        let mut store = ParamStore::new();
-        let model = GptModel::new(model_cfg, &mut store, &mut rng);
+        let (model, store) = build_model(cfg, vocab);
         let dataset = TokenDataset::new(documents, tokenizer.as_ref(), 0.08, cfg.seed ^ 0xda7a);
-        let opt: Box<dyn Optimizer> = match cfg.optimizer {
-            OptChoice::Adam => Box::new(Adam::new(AdamConfig::paper_adam())),
-            OptChoice::Lamb => Box::new(Lamb::new(AdamConfig::paper_lamb())),
-        };
+        let opt = build_optimizer(cfg);
         let schedule = CosineSchedule::paper(cfg.lr, cfg.steps);
         Self {
             cfg: cfg.clone(),
@@ -480,7 +572,7 @@ impl Trainer {
 
 /// Binary-encode curves: `n u32 | (step u64, loss-bits u32)…` twice.
 /// f32 values travel as raw bits so restart reproduces them exactly.
-fn encode_curves(train: &[(usize, f32)], val: &[(usize, f32)]) -> Vec<u8> {
+pub(crate) fn encode_curves(train: &[(usize, f32)], val: &[(usize, f32)]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + 12 * (train.len() + val.len()));
     for curve in [train, val] {
         out.extend_from_slice(&(curve.len() as u32).to_le_bytes());
@@ -493,7 +585,7 @@ fn encode_curves(train: &[(usize, f32)], val: &[(usize, f32)]) -> Vec<u8> {
 }
 
 #[allow(clippy::type_complexity)]
-fn decode_curves(mut bytes: &[u8]) -> Option<(Vec<(usize, f32)>, Vec<(usize, f32)>)> {
+pub(crate) fn decode_curves(mut bytes: &[u8]) -> Option<(Vec<(usize, f32)>, Vec<(usize, f32)>)> {
     fn take<const N: usize>(b: &mut &[u8]) -> Option<[u8; N]> {
         if b.len() < N {
             return None;
@@ -525,7 +617,14 @@ pub fn validation_loss(
     dataset: &TokenDataset,
     seq: usize,
 ) -> f32 {
-    let batches = dataset.val_batches(2, seq);
+    validation_loss_on(model, store, &dataset.val_batches(2, seq))
+}
+
+/// As [`validation_loss`], on pre-sampled validation batches. The
+/// data-parallel executor evaluates on worker replicas that have no
+/// dataset of their own, so the batches travel to them precomputed —
+/// evaluating here keeps the result bit-identical to [`validation_loss`].
+pub fn validation_loss_on(model: &GptModel, store: &ParamStore, batches: &[Batch]) -> f32 {
     let take = batches.len().min(8);
     if take == 0 {
         return f32::NAN;

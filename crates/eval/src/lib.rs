@@ -11,7 +11,7 @@
 //!   lm-evaluation-harness substitute), Figs. 14–15;
 //! * [`embedding`] — model-agnostic formula embedding extraction (Fig. 3);
 //! * [`analysis`] — pairwise distance / cosine geometry (Fig. 16);
-//! * [`pca`], [`tsne`], [`cluster`] — the "TSNE in tandem with PCA"
+//! * [`pca`], [`mod@tsne`], [`cluster`] — the "TSNE in tandem with PCA"
 //!   pipeline plus k-means cluster metrics (Fig. 17).
 
 pub mod analysis;

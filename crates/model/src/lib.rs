@@ -14,7 +14,7 @@
 //!   tiny/small variants;
 //! * [`count`] — exact parameter and FLOP accounting shared with the
 //!   Frontier simulator (Fig. 2, Fig. 10, Table II);
-//! * [`generate`] — autoregressive sampling;
+//! * [`mod@generate`] — autoregressive sampling;
 //! * [`infer`] — the tape-free KV-cached inference path that
 //!   `matgpt-serve` builds its continuous-batching engine on;
 //! * [`quant`] — post-training per-channel int8 weight quantization

@@ -34,6 +34,9 @@ pub mod pids {
     pub const SERVE: u64 = 2;
     /// `matgpt-frontier-sim` simulated timelines (Figs. 9/11/12).
     pub const SIM: u64 = 3;
+    /// `matgpt-core` data-parallel workers (`core::parallel` ring
+    /// collectives + per-worker step phases).
+    pub const PARALLEL: u64 = 4;
 
     /// Human-readable name for a logical pid.
     pub fn name(pid: u64) -> String {
@@ -41,6 +44,7 @@ pub mod pids {
             TRAINER => "trainer".into(),
             SERVE => "serve".into(),
             SIM => "frontier-sim".into(),
+            PARALLEL => "parallel".into(),
             other => format!("pid {other}"),
         }
     }

@@ -15,6 +15,13 @@
 //!   paper's schedule (1 % warmup, final LR = 10 % of initial).
 //!
 //! All optimizers drive a [`matgpt_tensor::ParamStore`] in place.
+//!
+//! For ZeRO-1 data parallelism (`matgpt_core::parallel`), every
+//! optimizer also exposes [`Optimizer::step_masked`] — update only an
+//! owned subset of tensors, allocating moments for those alone —
+//! [`Optimizer::state_bytes`] for the memory accounting, and
+//! [`OptimizerState::merge_shards`] to consolidate per-rank shards back
+//! into one checkpointable state.
 
 pub mod schedule;
 
@@ -28,6 +35,21 @@ pub trait Optimizer {
     /// Apply one update using the gradients currently in `store`, at
     /// learning rate `lr`. Does not zero the gradients.
     fn step(&mut self, store: &mut ParamStore, lr: f32);
+
+    /// ZeRO-1 entry point: apply the update only to parameters whose
+    /// index is flagged in `owned`, allocating moment state **only for
+    /// those parameters** — a worker owning 1/N of the tensors holds
+    /// ~1/N of the optimizer-state bytes. The step counter still
+    /// advances once per call so bias correction matches a full
+    /// [`Optimizer::step`] exactly; updates to owned parameters are
+    /// bit-identical to the unmasked step.
+    fn step_masked(&mut self, store: &mut ParamStore, lr: f32, owned: &[bool]);
+
+    /// Bytes of per-parameter optimizer state currently allocated
+    /// (moment/momentum payload, 4 bytes per f32, plus the step
+    /// counter). This is the `weight_bytes`-style accounting the ZeRO-1
+    /// memory claim is asserted with.
+    fn state_bytes(&self) -> usize;
 
     /// Human-readable name for logs and experiment tables.
     fn name(&self) -> &'static str;
@@ -110,6 +132,51 @@ impl OptimizerState {
             slots.push(slot);
         }
         Some(Self { step, slots })
+    }
+
+    /// Reassemble a full optimizer state from per-worker ZeRO-1 shards.
+    ///
+    /// `owner[i]` names the shard that stepped parameter `i` (and so
+    /// holds its live moments; the other shards left that entry empty
+    /// or absent). All shards must agree on the step counter and slot
+    /// count. Returns `None` when a shard is missing a parameter it
+    /// owns, or the shards are inconsistent — the consolidated
+    /// checkpoint would be silently wrong otherwise.
+    pub fn merge_shards(shards: &[OptimizerState], owner: &[usize]) -> Option<OptimizerState> {
+        let first = shards.first()?;
+        let n_slots = first.slots.len();
+        if shards
+            .iter()
+            .any(|s| s.step != first.step || s.slots.len() != n_slots)
+        {
+            return None;
+        }
+        let mut slots = Vec::with_capacity(n_slots);
+        for slot in 0..n_slots {
+            let mut merged = Vec::with_capacity(owner.len());
+            for (param, &rank) in owner.iter().enumerate() {
+                let entry = shards.get(rank)?.slots[slot].get(param)?;
+                if entry.is_empty() {
+                    return None;
+                }
+                merged.push(entry.clone());
+            }
+            slots.push(merged);
+        }
+        Some(Self {
+            step: first.step,
+            slots,
+        })
+    }
+
+    /// Payload bytes of this state (4 per f32 plus the step counter) —
+    /// the same accounting as [`Optimizer::state_bytes`].
+    pub fn payload_bytes(&self) -> usize {
+        8 + self
+            .slots
+            .iter()
+            .flat_map(|s| s.iter().map(|p| p.len() * 4))
+            .sum::<usize>()
     }
 }
 
@@ -214,19 +281,22 @@ impl Adam {
             out[i] = mhat / (vhat.sqrt() + cfg.eps) + cfg.weight_decay * value[i];
         }
     }
-}
 
-impl Optimizer for Adam {
-    fn step(&mut self, store: &mut ParamStore, lr: f32) {
+    fn step_impl(&mut self, store: &mut ParamStore, lr: f32, owned: Option<&[bool]>) {
         self.t += 1;
         let t = self.t;
         let cfg = self.cfg;
         let sizes: Vec<usize> = store.ids().map(|id| store.value(id).numel()).collect();
         for (i, n) in sizes.iter().enumerate() {
-            self.ensure_state(i, *n);
+            if owned.is_none_or(|mask| mask[i]) {
+                self.ensure_state(i, *n);
+            }
         }
         let (ms, vs) = (&mut self.m, &mut self.v);
         store.for_each_param(|i, value, grad| {
+            if owned.is_some_and(|mask| !mask[i]) {
+                return;
+            }
             let n = value.numel();
             let mut dir = vec![0.0f32; n];
             Adam::direction(
@@ -242,6 +312,20 @@ impl Optimizer for Adam {
                 *w -= lr * d;
             }
         });
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, lr: f32) {
+        self.step_impl(store, lr, None);
+    }
+
+    fn step_masked(&mut self, store: &mut ParamStore, lr: f32, owned: &[bool]) {
+        self.step_impl(store, lr, Some(owned));
+    }
+
+    fn state_bytes(&self) -> usize {
+        moment_bytes(&[&self.m, &self.v])
     }
 
     fn name(&self) -> &'static str {
@@ -261,6 +345,15 @@ impl Optimizer for Adam {
         self.v = slots.next().unwrap_or_default();
         self.t = state.step;
     }
+}
+
+/// Allocated bytes across moment slot groups: 4 per f32 plus the step
+/// counter, matching [`OptimizerState::payload_bytes`].
+fn moment_bytes(slots: &[&Vec<Vec<f32>>]) -> usize {
+    8 + slots
+        .iter()
+        .flat_map(|s| s.iter().map(|p| p.len() * 4))
+        .sum::<usize>()
 }
 
 /// LAMB (You et al., 2020): Adam direction rescaled per layer by the trust
@@ -295,10 +388,8 @@ impl Lamb {
             1.0
         }
     }
-}
 
-impl Optimizer for Lamb {
-    fn step(&mut self, store: &mut ParamStore, lr: f32) {
+    fn step_impl(&mut self, store: &mut ParamStore, lr: f32, owned: Option<&[bool]>) {
         self.t += 1;
         let t = self.t;
         let cfg = self.cfg;
@@ -309,13 +400,16 @@ impl Optimizer for Lamb {
             self.v.push(Vec::new());
         }
         for (i, n) in sizes.iter().enumerate() {
-            if self.m[i].len() != *n {
+            if owned.is_none_or(|mask| mask[i]) && self.m[i].len() != *n {
                 self.m[i] = vec![0.0; *n];
                 self.v[i] = vec![0.0; *n];
             }
         }
         let (ms, vs) = (&mut self.m, &mut self.v);
         store.for_each_param(|i, value, grad| {
+            if owned.is_some_and(|mask| !mask[i]) {
+                return;
+            }
             let n = value.numel();
             let mut dir = vec![0.0f32; n];
             Adam::direction(
@@ -327,6 +421,9 @@ impl Optimizer for Lamb {
                 t,
                 &mut dir,
             );
+            // The trust ratio is per whole tensor, so ZeRO-1 shards must
+            // align to tensor boundaries for masked and full steps to
+            // produce identical updates — `core::parallel` guarantees it.
             let w_norm = value.norm();
             let u_norm = dir.iter().map(|x| x * x).sum::<f32>().sqrt();
             let trust = Lamb::trust_ratio(w_norm, u_norm, max_trust);
@@ -334,6 +431,20 @@ impl Optimizer for Lamb {
                 *w -= lr * trust * d;
             }
         });
+    }
+}
+
+impl Optimizer for Lamb {
+    fn step(&mut self, store: &mut ParamStore, lr: f32) {
+        self.step_impl(store, lr, None);
+    }
+
+    fn step_masked(&mut self, store: &mut ParamStore, lr: f32, owned: &[bool]) {
+        self.step_impl(store, lr, Some(owned));
+    }
+
+    fn state_bytes(&self) -> usize {
+        moment_bytes(&[&self.m, &self.v])
     }
 
     fn name(&self) -> &'static str {
@@ -372,20 +483,23 @@ impl Sgd {
     }
 }
 
-impl Optimizer for Sgd {
-    fn step(&mut self, store: &mut ParamStore, lr: f32) {
+impl Sgd {
+    fn step_impl(&mut self, store: &mut ParamStore, lr: f32, owned: Option<&[bool]>) {
         let mu = self.momentum;
         let sizes: Vec<usize> = store.ids().map(|id| store.value(id).numel()).collect();
         while self.bufs.len() < sizes.len() {
             self.bufs.push(Vec::new());
         }
         for (i, n) in sizes.iter().enumerate() {
-            if self.bufs[i].len() != *n {
+            if owned.is_none_or(|mask| mask[i]) && self.bufs[i].len() != *n {
                 self.bufs[i] = vec![0.0; *n];
             }
         }
         let bufs = &mut self.bufs;
         store.for_each_param(|i, value, grad| {
+            if owned.is_some_and(|mask| !mask[i]) {
+                return;
+            }
             let buf = &mut bufs[i];
             for ((w, &g), b) in value
                 .data_mut()
@@ -397,6 +511,20 @@ impl Optimizer for Sgd {
                 *w -= lr * *b;
             }
         });
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, lr: f32) {
+        self.step_impl(store, lr, None);
+    }
+
+    fn step_masked(&mut self, store: &mut ParamStore, lr: f32, owned: &[bool]) {
+        self.step_impl(store, lr, Some(owned));
+    }
+
+    fn state_bytes(&self) -> usize {
+        moment_bytes(&[&self.bufs])
     }
 
     fn name(&self) -> &'static str {
@@ -544,6 +672,125 @@ mod tests {
         .to_bytes();
         bytes.truncate(bytes.len() - 1);
         assert_eq!(OptimizerState::from_bytes(&bytes), None);
+    }
+
+    fn two_param_store() -> ParamStore {
+        let mut s = ParamStore::new();
+        s.add("a", Tensor::from_vec(&[3], vec![1.0, -2.0, 3.0]));
+        s.add("b", Tensor::from_vec(&[2], vec![0.5, -0.5]));
+        s
+    }
+
+    fn set_grads(s: &mut ParamStore) {
+        let ids: Vec<_> = s.ids().collect();
+        s.grad_mut(ids[0])
+            .data_mut()
+            .copy_from_slice(&[0.1, 0.7, -0.3]);
+        s.grad_mut(ids[1]).data_mut().copy_from_slice(&[-0.2, 0.9]);
+    }
+
+    /// Complementary masked steps reproduce the unmasked step bit-for-bit
+    /// on the parameters each mask owns — the ZeRO-1 update contract.
+    #[test]
+    fn masked_steps_union_to_full_step() {
+        let make = || Box::new(Adam::new(AdamConfig::paper_adam())) as Box<dyn Optimizer>;
+        for steps in 1..4 {
+            let mut full_store = two_param_store();
+            let mut full = make();
+            let mut a_store = two_param_store();
+            let mut a_opt = make();
+            let mut b_store = two_param_store();
+            let mut b_opt = make();
+            for _ in 0..steps {
+                set_grads(&mut full_store);
+                set_grads(&mut a_store);
+                set_grads(&mut b_store);
+                full.step(&mut full_store, 0.05);
+                a_opt.step_masked(&mut a_store, 0.05, &[true, false]);
+                b_opt.step_masked(&mut b_store, 0.05, &[false, true]);
+                // Emulate the allgather: each shard publishes its owned
+                // parameter so the next step sees synced weights.
+                let ids: Vec<_> = full_store.ids().collect();
+                let a_val = a_store.value(ids[0]).data().to_vec();
+                let b_val = b_store.value(ids[1]).data().to_vec();
+                a_store.value_mut(ids[1]).data_mut().copy_from_slice(&b_val);
+                b_store.value_mut(ids[0]).data_mut().copy_from_slice(&a_val);
+            }
+            let ids: Vec<_> = full_store.ids().collect();
+            for &id in &ids {
+                let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(full_store.value(id)), bits(a_store.value(id)));
+            }
+        }
+    }
+
+    /// A masked optimizer only allocates moments for owned parameters,
+    /// and the shards' payload sums back to the replicated footprint.
+    #[test]
+    fn masked_state_bytes_shrink_with_ownership() {
+        let mut full_store = two_param_store();
+        let mut full = Adam::new(AdamConfig::paper_adam());
+        set_grads(&mut full_store);
+        full.step(&mut full_store, 0.05);
+
+        let mut a_store = two_param_store();
+        let mut a_opt = Adam::new(AdamConfig::paper_adam());
+        set_grads(&mut a_store);
+        a_opt.step_masked(&mut a_store, 0.05, &[true, false]);
+
+        let mut b_store = two_param_store();
+        let mut b_opt = Adam::new(AdamConfig::paper_adam());
+        set_grads(&mut b_store);
+        b_opt.step_masked(&mut b_store, 0.05, &[false, true]);
+
+        // Full: (3 + 2 scalars) × 2 slots × 4 bytes + 8-byte counter.
+        assert_eq!(full.state_bytes(), 8 + 5 * 2 * 4);
+        assert_eq!(a_opt.state_bytes(), 8 + 3 * 2 * 4);
+        assert_eq!(b_opt.state_bytes(), 8 + 2 * 2 * 4);
+        assert_eq!(
+            full.state_bytes() - 8,
+            (a_opt.state_bytes() - 8) + (b_opt.state_bytes() - 8)
+        );
+        assert_eq!(full.export_state().payload_bytes(), full.state_bytes());
+    }
+
+    /// Shards merged by ownership reproduce the full optimizer state.
+    #[test]
+    fn merge_shards_reassembles_full_state() {
+        let mut full_store = two_param_store();
+        let mut full = Adam::new(AdamConfig::paper_adam());
+        let mut a_store = two_param_store();
+        let mut a_opt = Adam::new(AdamConfig::paper_adam());
+        let mut b_store = two_param_store();
+        let mut b_opt = Adam::new(AdamConfig::paper_adam());
+        for _ in 0..3 {
+            set_grads(&mut full_store);
+            set_grads(&mut a_store);
+            set_grads(&mut b_store);
+            full.step(&mut full_store, 0.05);
+            a_opt.step_masked(&mut a_store, 0.05, &[true, false]);
+            b_opt.step_masked(&mut b_store, 0.05, &[false, true]);
+        }
+        let merged =
+            OptimizerState::merge_shards(&[a_opt.export_state(), b_opt.export_state()], &[0, 1])
+                .expect("consistent shards merge");
+        assert_eq!(merged, full.export_state());
+
+        // Inconsistent step counters refuse to merge.
+        let mut behind = Adam::new(AdamConfig::paper_adam());
+        behind.step_masked(&mut two_param_store(), 0.05, &[false, true]);
+        assert_eq!(
+            OptimizerState::merge_shards(&[a_opt.export_state(), behind.export_state()], &[0, 1]),
+            None
+        );
+        // An owner missing its parameter refuses to merge.
+        assert_eq!(
+            OptimizerState::merge_shards(
+                &[a_opt.export_state(), b_opt.export_state()],
+                &[1, 0] // wrong ownership: shard 1 never stepped param 0
+            ),
+            None
+        );
     }
 
     #[test]

@@ -122,6 +122,58 @@ impl ParamStore {
         }
         norm
     }
+
+    /// Scalar count of each registered tensor, in registration order.
+    /// Prefix-summing this gives each tensor's range in the flat layout
+    /// used by [`ParamStore::flat_grads`] / [`ParamStore::flat_values`].
+    pub fn tensor_sizes(&self) -> Vec<usize> {
+        self.entries.iter().map(|e| e.value.numel()).collect()
+    }
+
+    /// All gradients concatenated in registration order into one flat
+    /// vector of length [`ParamStore::num_scalars`] — the wire format
+    /// collectives operate on.
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_scalars());
+        for e in &self.entries {
+            out.extend_from_slice(e.grad.data());
+        }
+        out
+    }
+
+    /// Overwrite every gradient from a flat vector laid out as
+    /// [`ParamStore::flat_grads`]. Panics on length mismatch.
+    pub fn load_flat_grads(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_scalars(), "flat gradient length");
+        let mut off = 0;
+        for e in self.entries.iter_mut() {
+            let n = e.grad.numel();
+            e.grad.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// All parameter values concatenated in registration order (same
+    /// layout as [`ParamStore::flat_grads`]).
+    pub fn flat_values(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_scalars());
+        for e in &self.entries {
+            out.extend_from_slice(e.value.data());
+        }
+        out
+    }
+
+    /// Overwrite every parameter value from a flat vector laid out as
+    /// [`ParamStore::flat_values`]. Panics on length mismatch.
+    pub fn load_flat_values(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.num_scalars(), "flat value length");
+        let mut off = 0;
+        for e in self.entries.iter_mut() {
+            let n = e.value.numel();
+            e.value.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +202,40 @@ mod tests {
         assert!((s.grad_norm() - 1.0).abs() < 1e-5);
         s.zero_grads();
         assert_eq!(s.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn flat_round_trips_preserve_layout() {
+        let mut s = ParamStore::new();
+        let a = s.add("w", Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]));
+        let b = s.add("b", Tensor::from_vec(&[3], vec![5.0, 6.0, 7.0]));
+        s.grad_mut(a)
+            .data_mut()
+            .copy_from_slice(&[0.1, 0.2, 0.3, 0.4]);
+        s.grad_mut(b).data_mut().copy_from_slice(&[0.5, 0.6, 0.7]);
+
+        assert_eq!(s.tensor_sizes(), vec![4, 3]);
+        assert_eq!(s.flat_values(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s.flat_grads(), vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]);
+
+        let mut vals = s.flat_values();
+        for v in &mut vals {
+            *v += 10.0;
+        }
+        s.load_flat_values(&vals);
+        assert_eq!(s.value(b).data(), &[15.0, 16.0, 17.0]);
+
+        let grads = vec![1.0; 7];
+        s.load_flat_grads(&grads);
+        assert_eq!(s.grad(a).data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat gradient length")]
+    fn load_flat_grads_rejects_wrong_length() {
+        let mut s = ParamStore::new();
+        s.add("w", Tensor::zeros(&[2]));
+        s.load_flat_grads(&[1.0]);
     }
 
     #[test]

@@ -14,20 +14,27 @@ TOLERANCE="${1:-0.15}"
 echo "== regenerating fresh bench reports (full scale) =="
 cargo run --release -q -p matgpt-bench --bin ext_quant
 cargo run --release -q -p matgpt-bench --bin ext_serve_bench
+cargo run --release -q -p matgpt-bench --bin ext_parallel
 
 echo
 echo "== diffing against committed baselines (tolerance ${TOLERANCE}) =="
 status=0
-for bench in quant serve; do
+for bench in quant serve parallel; do
   fresh="target/bench/BENCH_${bench}.json"
   baseline="benchmarks/BENCH_${bench}.json"
+  # single-core CI makes the data-parallel critical-path ratio noisier
+  # than the kernel-bound benches; give it a wider band
+  tol="$TOLERANCE"
+  if [[ "$bench" == "parallel" ]]; then
+    tol=$(awk -v a="$TOLERANCE" 'BEGIN { print (a > 0.30) ? a : 0.30 }')
+  fi
   if [[ ! -f "$baseline" ]]; then
     echo "bench_gate: missing baseline $baseline" >&2
     status=1
     continue
   fi
   if ! cargo run --release -q -p matgpt-bench --bin bench_compare -- \
-      "$fresh" "$baseline" --tolerance "$TOLERANCE"; then
+      "$fresh" "$baseline" --tolerance "$tol"; then
     status=1
   fi
 done

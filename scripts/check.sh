@@ -31,4 +31,8 @@ cargo run --release -q -p matgpt-bench --bin ext_observability -- --validate
 echo "== quantization: int8 decode acceptance gates (smoke scale) =="
 cargo run --release -q -p matgpt-bench --bin ext_quant -- --smoke
 
+echo "== parallelism: data-parallel + ZeRO-1 acceptance gates (smoke scale) =="
+cargo test -q --test parallelism
+cargo run --release -q -p matgpt-bench --bin ext_parallel -- --smoke
+
 echo "All checks passed."
