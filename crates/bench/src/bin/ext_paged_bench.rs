@@ -1,0 +1,205 @@
+//! Extension: paged KV-cache benchmark — a fleet of concurrent
+//! requests sharing one system prompt, served twice over the same
+//! weights: once on the contiguous per-request KV backend, once on the
+//! block-paged pool with copy-on-write prefix sharing. The comparison
+//! isolates what paging buys (peak KV memory, prefill reuse) and what
+//! it must not cost (throughput, output fidelity: greedy decode must
+//! produce identical token streams on both backends).
+
+use matgpt_bench::report::BenchReport;
+use matgpt_bench::{bench_out_dir, compare, print_table};
+use matgpt_model::{ArchKind, GptConfig, GptModel, SampleOptions};
+use matgpt_serve::{Engine, EngineConfig, KvBackend, KvBlockConfig, MetricsSnapshot};
+use matgpt_tensor::{init, ParamStore};
+use std::time::Instant;
+
+/// One serving run: `n_req` concurrent requests, every prompt opening
+/// with the same `prefix_len`-token system prompt and diverging into a
+/// unique `suffix_len`-token tail. Returns each request's final token
+/// stream (submission order), the engine metrics, and the wall time.
+fn run_backend(
+    backend: KvBackend,
+    n_req: usize,
+    prefix_len: usize,
+    suffix_len: usize,
+    max_new: usize,
+) -> (Vec<Vec<u32>>, MetricsSnapshot, f64) {
+    // identical seed both runs → identical weights, so the token
+    // streams are comparable request-for-request
+    let cfg = GptConfig {
+        max_seq: 512,
+        ..GptConfig::tiny(ArchKind::Llama, 256)
+    };
+    let mut store = ParamStore::new();
+    let mut rng = init::rng(0);
+    let model = GptModel::new(cfg, &mut store, &mut rng);
+    let engine = Engine::new(
+        model,
+        store,
+        EngineConfig {
+            max_batch: n_req,
+            token_budget: 1 << 20, // not the constraint under test
+            max_queue: 2 * n_req,
+            kv_backend: backend,
+            ..EngineConfig::default()
+        },
+    );
+    let opts = SampleOptions {
+        temperature: 0.0,
+        top_k: 0,
+        max_new_tokens: max_new,
+        stop_token: None,
+    };
+    let system: Vec<u32> = (0..prefix_len as u32).map(|t| (t * 13 + 7) % 251).collect();
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..n_req)
+        .map(|i| {
+            let mut p = system.clone();
+            p.extend((0..suffix_len as u32).map(|t| (t * 31 + i as u32) % 251));
+            engine.submit(&p, opts).expect("admitted")
+        })
+        .collect();
+    let outs: Vec<Vec<u32>> = handles
+        .into_iter()
+        .map(|h| {
+            let r = h.wait().expect("response");
+            assert_eq!(r.generated, max_new, "finish: {:?}", r.finish);
+            r.tokens
+        })
+        .collect();
+    let wall = t0.elapsed().as_secs_f64();
+    engine.shutdown();
+    (outs, engine.metrics(), wall)
+}
+
+fn main() {
+    let smoke = matgpt_bench::smoke_requested();
+    let (n_req, prefix_len) = if smoke { (16, 64) } else { (128, 256) };
+    let (suffix_len, max_new) = (8, 16);
+    let block = KvBlockConfig {
+        block_size: 16,
+        num_blocks: if smoke { 256 } else { 1024 },
+    };
+
+    let (contig_out, contig_m, contig_wall) = run_backend(
+        KvBackend::Contiguous,
+        n_req,
+        prefix_len,
+        suffix_len,
+        max_new,
+    );
+    let (paged_out, paged_m, paged_wall) = run_backend(
+        KvBackend::Paged(block),
+        n_req,
+        prefix_len,
+        suffix_len,
+        max_new,
+    );
+    assert_eq!(
+        contig_out, paged_out,
+        "paged and contiguous greedy decode must match token-for-token"
+    );
+
+    let kv_peak_reduction = contig_m.kv_bytes_peak as f64 / paged_m.kv_bytes_peak as f64;
+    let throughput_ratio = paged_m.tokens_per_sec / contig_m.tokens_per_sec;
+    let prefix_reuse =
+        paged_m.kv_block_shares as f64 / (paged_m.kv_block_allocs + paged_m.kv_block_shares) as f64;
+    let total_tokens = (n_req * max_new) as f64;
+
+    print_table(
+        &format!(
+            "{n_req} concurrent requests, shared {prefix_len}-token system prompt, \
+             {suffix_len}-token unique tails, {max_new} new tokens each"
+        ),
+        &["metric", "contiguous", "paged"],
+        &[
+            vec![
+                "peak KV bytes".to_string(),
+                contig_m.kv_bytes_peak.to_string(),
+                paged_m.kv_bytes_peak.to_string(),
+            ],
+            vec![
+                "tokens/s (busy)".to_string(),
+                format!("{:.0}", contig_m.tokens_per_sec),
+                format!("{:.0}", paged_m.tokens_per_sec),
+            ],
+            vec![
+                "tokens/s (wall)".to_string(),
+                format!("{:.0}", total_tokens / contig_wall),
+                format!("{:.0}", total_tokens / paged_wall),
+            ],
+            vec![
+                "TTFT p50 (ms)".to_string(),
+                format!("{:.1}", contig_m.ttft_ms.p50),
+                format!("{:.1}", paged_m.ttft_ms.p50),
+            ],
+            vec![
+                "blocks allocated".to_string(),
+                "-".to_string(),
+                paged_m.kv_block_allocs.to_string(),
+            ],
+            vec![
+                "blocks shared (COW)".to_string(),
+                "-".to_string(),
+                paged_m.kv_block_shares.to_string(),
+            ],
+            vec![
+                "blocks evicted".to_string(),
+                "-".to_string(),
+                paged_m.kv_blocks_evicted.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "\npeak-KV reduction {kv_peak_reduction:.2}x, throughput ratio \
+         {throughput_ratio:.2}x, prefix-block reuse {:.1}%",
+        prefix_reuse * 100.0
+    );
+
+    // ---- machine-readable report for the regression gate
+    let report = BenchReport::new("paged", smoke)
+        .config("arch", "llama")
+        .config("requests", n_req)
+        .config("prefix_tokens", prefix_len)
+        .config("suffix_tokens", suffix_len)
+        .config("gen_tokens", max_new)
+        .config("block_size", block.block_size)
+        .config("num_blocks", block.num_blocks)
+        .metric("kv_peak_reduction", kv_peak_reduction)
+        .metric("throughput_ratio", throughput_ratio)
+        .metric("prefix_reuse", prefix_reuse)
+        .metric("paged_tps", paged_m.tokens_per_sec)
+        .metric("paged_wall_tps", total_tokens / paged_wall)
+        .metric("contig_tps", contig_m.tokens_per_sec)
+        .metric("paged_kv_peak_bytes", paged_m.kv_bytes_peak as f64)
+        .metric("contig_kv_peak_bytes", contig_m.kv_bytes_peak as f64)
+        .gate("kv_peak_reduction")
+        .gate("throughput_ratio")
+        .gate("prefix_reuse");
+    let path = report
+        .write_to(&bench_out_dir())
+        .expect("write BENCH_paged.json");
+    println!("report: {}", path.display());
+
+    println!("\n-- reference vs measured --");
+    compare(
+        "paged KV halves peak memory under shared prompts",
+        ">= 2x less peak KV than contiguous",
+        &format!("{kv_peak_reduction:.2}x"),
+        if smoke || kv_peak_reduction >= 2.0 {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
+    );
+    compare(
+        "prefix sharing carries the fleet's prefills",
+        "most prefix blocks reused, not recomputed",
+        &format!("{:.1}% reuse", prefix_reuse * 100.0),
+        if smoke || prefix_reuse >= 0.5 {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
+    );
+}

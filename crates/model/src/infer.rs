@@ -27,6 +27,65 @@ use matgpt_tensor::kernels::infer::{cached_attention, rotary_rows};
 use matgpt_tensor::kernels::norm;
 use matgpt_tensor::{ParamId, ParamStore};
 
+/// Storage backend for the per-request KV state the cached decode path
+/// attends through.
+///
+/// [`GptModel::forward_cached_with`] drives one forward of `n` new
+/// tokens as: [`KvStorage::begin`] (claim the next `n` absolute
+/// positions), then per layer [`KvStorage::write`] (store the rotated
+/// K/V rows) and [`KvStorage::attend`] (causal attention of the new
+/// queries over everything cached in that layer, *including* the rows
+/// just written), then [`KvStorage::commit`] (advance counters and
+/// apply window truncation).
+///
+/// Two backends implement this: the contiguous per-request [`KvCache`]
+/// (one flat buffer per layer) and the block-paged
+/// `matgpt_serve::kvpool::PagedKv` (fixed-size blocks from a shared
+/// slab, refcounted copy-on-write prefix sharing). The contract both
+/// uphold: for bitwise-equal inputs, [`KvStorage::attend`] visits the
+/// same rows in the same order with the same float operations, so the
+/// logits out of `forward_cached_with` are **bit-identical** across
+/// backends (property-tested in `tests/paged_kv.rs`).
+pub trait KvStorage {
+    /// Number of transformer layers this storage is shaped for.
+    fn layers(&self) -> usize;
+    /// Positions currently visible to attention (committed, ≤ window).
+    fn len(&self) -> usize;
+    /// True when nothing has been cached yet.
+    fn is_empty(&self) -> bool {
+        self.positions_seen() == 0
+    }
+    /// Total tokens ever fed through this storage (monotone, unaffected
+    /// by window truncation).
+    fn positions_seen(&self) -> usize;
+    /// Heap bytes held for cached keys and values.
+    fn kv_bytes(&self) -> usize;
+    /// Claim the next `n` absolute positions for an in-flight forward;
+    /// returns the absolute position of the first new token. Paged
+    /// backends require capacity for `n` rows to have been reserved.
+    fn begin(&mut self, n: usize) -> usize;
+    /// Store the rotated K/V rows (`[n, kv_heads*head_dim]` each) for
+    /// `layer` of the in-flight forward.
+    fn write(&mut self, layer: usize, k: &[f32], v: &[f32]);
+    /// Causal attention of `q` (`[n_new, heads*d]`, rotated) over every
+    /// row cached in `layer` — committed rows plus the in-flight rows
+    /// already written — into `out` (`[n_new, heads*d]`).
+    #[allow(clippy::too_many_arguments)]
+    fn attend(
+        &self,
+        layer: usize,
+        q: &[f32],
+        out: &mut [f32],
+        n_new: usize,
+        heads: usize,
+        kv_heads: usize,
+        d: usize,
+    );
+    /// Finish the in-flight forward: commit the written rows and apply
+    /// window truncation.
+    fn commit(&mut self);
+}
+
 /// One layer's cached keys and values, token-major `[T, Hkv*D]` so an
 /// append is a plain extend and a truncation a front drain.
 #[derive(Clone, Debug, Default)]
@@ -102,6 +161,55 @@ impl KvCache {
     }
 }
 
+impl KvStorage for KvCache {
+    fn layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    fn len(&self) -> usize {
+        KvCache::len(self)
+    }
+
+    fn positions_seen(&self) -> usize {
+        self.next_pos
+    }
+
+    fn kv_bytes(&self) -> usize {
+        self.cache_bytes()
+    }
+
+    fn begin(&mut self, n: usize) -> usize {
+        let start = self.next_pos;
+        self.next_pos += n;
+        start
+    }
+
+    fn write(&mut self, layer: usize, k: &[f32], v: &[f32]) {
+        let l = &mut self.layers[layer];
+        l.k.extend_from_slice(k);
+        l.v.extend_from_slice(v);
+    }
+
+    fn attend(
+        &self,
+        layer: usize,
+        q: &[f32],
+        out: &mut [f32],
+        n_new: usize,
+        heads: usize,
+        kv_heads: usize,
+        d: usize,
+    ) {
+        let l = &self.layers[layer];
+        let t_total = l.k.len() / self.kv_dim;
+        cached_attention(q, &l.k, &l.v, out, n_new, t_total, heads, kv_heads, d);
+    }
+
+    fn commit(&mut self) {
+        self.truncate_to_window();
+    }
+}
+
 /// Scratch-buffer forward pass: everything below works on flat `f32`
 /// rows, reading weights through a [`ForwardParams`] source — the f32
 /// [`ParamStore`] or the int8 [`crate::quant::QuantizedParamStore`],
@@ -158,15 +266,18 @@ impl GptModel {
         self.forward_cached_with(store, tokens, cache)
     }
 
-    /// [`GptModel::forward_cached`] generalised over the weight source:
-    /// `P` supplies dense reads and the matmul kernel, so the same pass
-    /// runs against f32 weights or the int8
-    /// [`crate::quant::QuantizedParamStore`] (fused-dequant matmuls).
-    pub fn forward_cached_with<P: ForwardParams>(
+    /// [`GptModel::forward_cached`] generalised over the weight source
+    /// and the KV storage backend: `P` supplies dense reads and the
+    /// matmul kernel (f32 [`ParamStore`] or the int8
+    /// [`crate::quant::QuantizedParamStore`], fused-dequant matmuls);
+    /// `S` supplies the KV layout the pass attends through (contiguous
+    /// [`KvCache`] or a block-paged view), with bit-identical logits
+    /// across storage backends.
+    pub fn forward_cached_with<P: ForwardParams, S: KvStorage>(
         &self,
         store: &P,
         tokens: &[u32],
-        cache: &mut KvCache,
+        cache: &mut S,
     ) -> Vec<f32> {
         assert!(
             !tokens.is_empty(),
@@ -179,7 +290,7 @@ impl GptModel {
             self.cfg.max_seq
         );
         assert_eq!(
-            cache.layers.len(),
+            cache.layers(),
             self.cfg.layers,
             "cache shaped for another model"
         );
@@ -192,8 +303,8 @@ impl GptModel {
         let kv_dim = kv_heads * d;
         let ctx = Ctx { store };
 
-        let positions: Vec<usize> = (cache.next_pos..cache.next_pos + n).collect();
-        cache.next_pos += n;
+        let start = cache.begin(n);
+        let positions: Vec<usize> = (start..start + n).collect();
 
         // token embeddings -> x [n, h]
         let emb = ctx.w(self.tok_emb);
@@ -205,7 +316,7 @@ impl GptModel {
         }
 
         let mut scratch = vec![0.0f32; n * h];
-        for (layer, kv) in self.layers.iter().zip(&mut cache.layers) {
+        for (li, layer) in self.layers.iter().enumerate() {
             // --- attention block
             self.norm_rows(&ctx, &x, &mut scratch, n, layer.ln1_g, layer.ln1_b);
             let mut q = ctx.linear(&scratch, layer.wq, layer.bq, n, h, h);
@@ -213,11 +324,9 @@ impl GptModel {
             let v = ctx.linear(&scratch, layer.wv, layer.bv, n, h, kv_dim);
             rotary_rows(&mut q, &positions, heads, d, cfg.rope_base);
             rotary_rows(&mut k, &positions, kv_heads, d, cfg.rope_base);
-            kv.k.extend_from_slice(&k);
-            kv.v.extend_from_slice(&v);
-            let t_total = kv.k.len() / kv_dim;
+            cache.write(li, &k, &v);
             let mut att = vec![0.0f32; n * heads * d];
-            cached_attention(&q, &kv.k, &kv.v, &mut att, n, t_total, heads, kv_heads, d);
+            cache.attend(li, &q, &mut att, n, heads, kv_heads, d);
             let proj = ctx.linear(&att, layer.wo, layer.bo, n, h, h);
             for (o, &p) in x.iter_mut().zip(&proj) {
                 *o += p;
@@ -246,7 +355,7 @@ impl GptModel {
                 *o += p;
             }
         }
-        cache.truncate_to_window();
+        cache.commit();
 
         self.norm_rows(&ctx, &x, &mut scratch, n, self.lnf_g, self.lnf_b);
         let mut logits = vec![0.0f32; n * cfg.vocab_size];
@@ -261,12 +370,13 @@ impl GptModel {
         self.forward_cached(store, &[token], cache)
     }
 
-    /// [`GptModel::decode_step`] generalised over the weight source.
-    pub fn decode_step_with<P: ForwardParams>(
+    /// [`GptModel::decode_step`] generalised over the weight source and
+    /// the KV storage backend.
+    pub fn decode_step_with<P: ForwardParams, S: KvStorage>(
         &self,
         store: &P,
         token: u32,
-        cache: &mut KvCache,
+        cache: &mut S,
     ) -> Vec<f32> {
         self.forward_cached_with(store, &[token], cache)
     }

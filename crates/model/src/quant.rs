@@ -185,12 +185,12 @@ impl ModelWeights {
     }
 
     /// [`GptModel::forward_cached_with`] against whichever precision is
-    /// loaded.
-    pub fn forward_cached(
+    /// loaded, over any [`crate::infer::KvStorage`] backend.
+    pub fn forward_cached<S: crate::infer::KvStorage>(
         &self,
         model: &GptModel,
         tokens: &[u32],
-        cache: &mut crate::infer::KvCache,
+        cache: &mut S,
     ) -> Vec<f32> {
         match self {
             ModelWeights::F32(s) => model.forward_cached_with(s, tokens, cache),
@@ -199,11 +199,11 @@ impl ModelWeights {
     }
 
     /// One-token decode against whichever precision is loaded.
-    pub fn decode_step(
+    pub fn decode_step<S: crate::infer::KvStorage>(
         &self,
         model: &GptModel,
         token: u32,
-        cache: &mut crate::infer::KvCache,
+        cache: &mut S,
     ) -> Vec<f32> {
         self.forward_cached(model, &[token], cache)
     }

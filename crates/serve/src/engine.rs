@@ -35,6 +35,17 @@ pub enum EngineError {
     },
     /// The prompt was empty; there is nothing to prefill.
     EmptyPrompt,
+    /// Paged backend only: the request's worst-case KV footprint
+    /// exceeds the whole block pool, so it could never be scheduled —
+    /// not even alone. Raise `num_blocks` or shrink the request.
+    /// (Transient pool pressure is NOT an error: the scheduler evicts
+    /// and preempts to make room.)
+    KvExhausted {
+        /// Blocks the request could need at its longest.
+        needed_blocks: usize,
+        /// Total blocks the pool holds.
+        pool_blocks: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -45,6 +56,14 @@ impl std::fmt::Display for EngineError {
                 write!(f, "queue full: {capacity} requests already in flight")
             }
             EngineError::EmptyPrompt => write!(f, "prompt must be non-empty"),
+            EngineError::KvExhausted {
+                needed_blocks,
+                pool_blocks,
+            } => write!(
+                f,
+                "request needs up to {needed_blocks} KV blocks but the pool \
+                 holds only {pool_blocks}"
+            ),
         }
     }
 }
@@ -64,12 +83,21 @@ pub struct Engine {
     worker: Mutex<Option<JoinHandle<()>>>,
     metrics: Arc<MetricsInner>,
     cfg: EngineConfig,
+    /// `(block_size, num_blocks, max_seq)` when the paged backend is
+    /// configured — the submit-time never-schedulable check.
+    paged_limits: Option<(usize, usize, usize)>,
     next_id: AtomicU64,
 }
 
 impl Engine {
     /// Spawn the scheduler thread over `model` + `store`.
     pub fn new(model: GptModel, store: ParamStore, cfg: EngineConfig) -> Self {
+        let paged_limits = match cfg.kv_backend {
+            crate::scheduler::KvBackend::Contiguous => None,
+            crate::scheduler::KvBackend::Paged(bc) => {
+                Some((bc.block_size, bc.num_blocks, model.cfg.max_seq))
+            }
+        };
         let (tx, rx) = channel::unbounded();
         let metrics = Arc::new(MetricsInner::new(cfg.precision));
         let metrics_for_worker = Arc::clone(&metrics);
@@ -85,6 +113,7 @@ impl Engine {
             worker: Mutex::new(Some(worker)),
             metrics,
             cfg,
+            paged_limits,
             next_id: AtomicU64::new(0),
         }
     }
@@ -108,6 +137,22 @@ impl Engine {
     pub fn submit_request(&self, req: GenRequest) -> Result<ResponseHandle, EngineError> {
         if req.prompt.is_empty() {
             return Err(EngineError::EmptyPrompt);
+        }
+        if let Some((block_size, pool_blocks, max_seq)) = self.paged_limits {
+            // worst-case concurrent block usage of this request alone:
+            // the visible window never exceeds max_seq, plus up to one
+            // partially dropped front block, plus one block of reserve-
+            // ahead margin. A request beyond the whole pool can never
+            // run — reject now instead of livelocking the scheduler.
+            let worst_rows =
+                (req.prompt.len().min(max_seq) + req.opts.max_new_tokens).min(max_seq + block_size);
+            let needed_blocks = worst_rows.div_ceil(block_size) + 1;
+            if needed_blocks > pool_blocks {
+                return Err(EngineError::KvExhausted {
+                    needed_blocks,
+                    pool_blocks,
+                });
+            }
         }
         let tx_guard = self.tx.lock();
         let tx = tx_guard.as_ref().ok_or(EngineError::ShutDown)?;
@@ -365,6 +410,165 @@ mod tests {
             text.contains("precision=\"int8\""),
             "precision label missing:\n{text}"
         );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn paged_engine_matches_contiguous_token_for_token() {
+        let opts = SampleOptions {
+            temperature: 0.0,
+            top_k: 0,
+            max_new_tokens: 6,
+            stop_token: None,
+        };
+        let prompts: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![1, 2, 3, 4, 5], vec![9, 8]];
+        let mut outs: Vec<Vec<Vec<u32>>> = Vec::new();
+        for kv_backend in [
+            crate::KvBackend::Contiguous,
+            crate::KvBackend::Paged(crate::KvBlockConfig {
+                block_size: 4,
+                num_blocks: 64,
+            }),
+        ] {
+            let engine = tiny_engine(EngineConfig {
+                kv_backend,
+                ..EngineConfig::default()
+            });
+            let handles: Vec<_> = prompts
+                .iter()
+                .map(|p| engine.submit(p, opts).expect("admitted"))
+                .collect();
+            outs.push(
+                handles
+                    .into_iter()
+                    .map(|h| h.wait().expect("response").tokens)
+                    .collect(),
+            );
+            engine.shutdown();
+        }
+        assert_eq!(
+            outs[0], outs[1],
+            "paged and contiguous greedy decode differ"
+        );
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_with_kv_exhausted() {
+        let engine = tiny_engine(EngineConfig {
+            kv_backend: crate::KvBackend::Paged(crate::KvBlockConfig {
+                block_size: 4,
+                num_blocks: 4,
+            }),
+            ..EngineConfig::default()
+        });
+        // window 32 + generation far beyond 4 blocks * 4 rows
+        let mut req = GenRequest::new(vec![1, 2, 3]);
+        req.opts.max_new_tokens = 100;
+        match engine.submit_request(req) {
+            Err(EngineError::KvExhausted {
+                needed_blocks,
+                pool_blocks,
+            }) => {
+                assert_eq!(pool_blocks, 4);
+                assert!(needed_blocks > 4);
+            }
+            Err(other) => panic!("expected KvExhausted, got {other:?}"),
+            Ok(_) => panic!("oversized request must not be admitted"),
+        }
+        // a request that fits still serves
+        let mut small = GenRequest::new(vec![1, 2]);
+        small.opts.max_new_tokens = 2;
+        small.opts.temperature = 0.0;
+        let r = engine
+            .submit_request(small)
+            .expect("admitted")
+            .wait()
+            .unwrap();
+        assert_eq!(r.finish, FinishReason::Length);
+        assert_eq!(engine.metrics().backlog, 0);
+    }
+
+    #[test]
+    fn paged_pool_pressure_preempts_and_recomputes_to_completion() {
+        // pool far too small for 8 concurrent worst cases: admission
+        // stalls and decode-time preemption must kick in, yet every
+        // request finishes with its full token count
+        let engine = tiny_engine(EngineConfig {
+            kv_backend: crate::KvBackend::Paged(crate::KvBlockConfig {
+                block_size: 4,
+                num_blocks: 10,
+            }),
+            ..EngineConfig::default()
+        });
+        let opts = SampleOptions {
+            temperature: 0.8,
+            top_k: 5,
+            max_new_tokens: 12,
+            stop_token: None,
+        };
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                engine
+                    .submit(&[1 + i as u32, 2, 3, 4, 5, 6], opts)
+                    .expect("admitted")
+            })
+            .collect();
+        for h in handles {
+            let r = h.wait().expect("response");
+            assert_eq!(r.finish, FinishReason::Length, "{:?}", r.finish);
+            assert_eq!(r.generated, 12);
+            assert_eq!(r.tokens.len(), 18);
+        }
+        let m = engine.metrics();
+        assert_eq!(m.completed, 8);
+        assert_eq!(m.failed, 0);
+        assert_eq!(m.backlog, 0);
+        assert!(m.kv_bytes_peak > 0);
+        engine.shutdown();
+        // preemption happened under this much pressure
+        assert!(
+            engine.metrics().kv_blocks_evicted > 0,
+            "no eviction under a 10-block pool with 8 requests"
+        );
+    }
+
+    #[test]
+    fn shared_prompts_reuse_prefix_blocks() {
+        let engine = tiny_engine(EngineConfig {
+            kv_backend: crate::KvBackend::Paged(crate::KvBlockConfig {
+                block_size: 4,
+                num_blocks: 256,
+            }),
+            ..EngineConfig::default()
+        });
+        let opts = SampleOptions {
+            temperature: 0.0,
+            top_k: 0,
+            max_new_tokens: 2,
+            stop_token: None,
+        };
+        // a shared 8-token (2-block) system prompt with unique tails;
+        // serial paged prefill lets later requests fork the first
+        // request's registered blocks
+        let system: Vec<u32> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let mut p = system.clone();
+                p.push(10 + i as u32);
+                engine.submit(&p, opts).expect("admitted")
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait().expect("response").finish, FinishReason::Length);
+        }
+        engine.shutdown();
+        let m = engine.metrics();
+        assert!(
+            m.kv_block_shares > 0,
+            "no prefix sharing recorded: {}",
+            m.to_json()
+        );
+        assert!(m.kv_block_allocs > 0);
         engine.shutdown();
     }
 

@@ -39,6 +39,10 @@ pub(crate) struct MetricsInner {
     registry: Registry,
     /// Requests admitted but not yet scheduled into the batch.
     pub queue_depth: Gauge,
+    /// High-water mark of `queue_depth` (queued plus preempted) over
+    /// the engine's lifetime — sizing signal the instantaneous gauge
+    /// misses between scrapes.
+    queue_depth_peak: Gauge,
     /// Requests currently decoding.
     pub active: Gauge,
     /// Requests submitted but not yet answered — the admission-control
@@ -69,6 +73,27 @@ pub(crate) struct MetricsInner {
     /// Per-token decode latency again, as a precision-labelled family,
     /// so one scrape can compare f32 and int8 engines side by side.
     decode_latency_hist: Histogram,
+    /// KV-cache bytes currently held across active requests (paged:
+    /// allocated blocks × block bytes; contiguous: summed buffers).
+    kv_bytes: Gauge,
+    /// High-water mark of `kv_bytes` — the number capacity planning
+    /// cares about, and what `ext_paged_bench` gates on.
+    kv_bytes_peak: Gauge,
+    /// KV blocks currently allocated out of the paged pool (0 on the
+    /// contiguous backend).
+    kv_blocks_allocated: Gauge,
+    /// Extra references beyond the first across allocated blocks — the
+    /// block copies prefix sharing is avoiding right now.
+    kv_blocks_shared: Gauge,
+    /// Block references freed by memory-pressure eviction: preempted
+    /// requests' tables plus prefix-cache entries dropped to make room.
+    pub kv_blocks_evicted: Counter,
+    /// Fresh block allocations out of the pool (cumulative).
+    pub kv_block_allocs: Counter,
+    /// Blocks reused through prefix sharing instead of being allocated
+    /// and refilled (cumulative) — the numerator of the reuse ratio
+    /// `ext_paged_bench` reports.
+    pub kv_block_shares: Counter,
 }
 
 impl Default for MetricsInner {
@@ -86,6 +111,10 @@ impl MetricsInner {
         let queue_depth = registry.gauge(
             "serve_queue_depth",
             "requests admitted but not yet scheduled into the batch",
+        );
+        let queue_depth_peak = registry.gauge(
+            "serve_queue_depth_peak",
+            "high-water mark of queue depth (queued plus preempted)",
         );
         let active = registry.gauge("serve_active_requests", "requests currently decoding");
         let backlog_gauge =
@@ -127,9 +156,38 @@ impl MetricsInner {
             "per-token decode latency by weight precision, milliseconds",
             &Histogram::LATENCY_MS_BOUNDS,
         );
+        let kv_bytes = registry.gauge(
+            "serve_kv_bytes",
+            "KV-cache bytes currently held across active requests",
+        );
+        let kv_bytes_peak = registry.gauge(
+            "serve_kv_bytes_peak",
+            "high-water mark of KV-cache bytes held",
+        );
+        let kv_blocks_allocated = registry.gauge(
+            "serve_kv_blocks_allocated",
+            "KV blocks currently allocated out of the paged pool",
+        );
+        let kv_blocks_shared = registry.gauge(
+            "serve_kv_blocks_shared",
+            "extra block references held by copy-on-write prefix sharing",
+        );
+        let kv_blocks_evicted = registry.counter(
+            "serve_kv_blocks_evicted_total",
+            "block references freed by memory-pressure eviction",
+        );
+        let kv_block_allocs = registry.counter(
+            "serve_kv_block_allocs_total",
+            "fresh KV block allocations out of the pool",
+        );
+        let kv_block_shares = registry.counter(
+            "serve_kv_block_shares_total",
+            "KV blocks reused through copy-on-write prefix sharing",
+        );
         Self {
             registry,
             queue_depth,
+            queue_depth_peak,
             active,
             backlog: AtomicUsize::new(0),
             backlog_gauge,
@@ -145,7 +203,39 @@ impl MetricsInner {
             precision,
             quant_weight_bytes,
             decode_latency_hist,
+            kv_bytes,
+            kv_bytes_peak,
+            kv_blocks_allocated,
+            kv_blocks_shared,
+            kv_blocks_evicted,
+            kv_block_allocs,
+            kv_block_shares,
         }
+    }
+
+    /// Record the scheduler's view of pending work (queued plus
+    /// preempted), tracking the lifetime high-water mark alongside the
+    /// instantaneous gauge. Scheduler-thread only, so the read-modify
+    /// on the peak gauge is race-free.
+    pub fn record_queue_depth(&self, depth: usize) {
+        let d = depth as f64;
+        self.queue_depth.set(d);
+        if d > self.queue_depth_peak.get() {
+            self.queue_depth_peak.set(d);
+        }
+    }
+
+    /// Record current KV-cache occupancy (bytes held, pool blocks
+    /// allocated, extra shared references), tracking the bytes peak.
+    /// Scheduler-thread only.
+    pub fn record_kv_usage(&self, bytes: usize, blocks_allocated: usize, blocks_shared: usize) {
+        let b = bytes as f64;
+        self.kv_bytes.set(b);
+        if b > self.kv_bytes_peak.get() {
+            self.kv_bytes_peak.set(b);
+        }
+        self.kv_blocks_allocated.set(blocks_allocated as f64);
+        self.kv_blocks_shared.set(blocks_shared as f64);
     }
 
     /// The engine's metric registry (for Prometheus exposition).
@@ -211,6 +301,7 @@ impl MetricsInner {
         self.tokens_per_sec.set(tokens_per_sec);
         MetricsSnapshot {
             queue_depth: self.queue_depth.get() as usize,
+            queue_depth_peak: self.queue_depth_peak.get() as usize,
             active: self.active.get() as usize,
             backlog: self.backlog.load(Ordering::Relaxed),
             completed: self.completed.get(),
@@ -221,6 +312,13 @@ impl MetricsInner {
             tokens_per_sec,
             precision: self.precision.label().to_string(),
             weight_bytes: self.quant_weight_bytes.get() as u64,
+            kv_bytes: self.kv_bytes.get() as u64,
+            kv_bytes_peak: self.kv_bytes_peak.get() as u64,
+            kv_blocks_allocated: self.kv_blocks_allocated.get() as usize,
+            kv_blocks_shared: self.kv_blocks_shared.get() as usize,
+            kv_blocks_evicted: self.kv_blocks_evicted.get(),
+            kv_block_allocs: self.kv_block_allocs.get(),
+            kv_block_shares: self.kv_block_shares.get(),
         }
     }
 }
@@ -230,6 +328,9 @@ impl MetricsInner {
 pub struct MetricsSnapshot {
     /// Requests admitted but not yet scheduled into the batch.
     pub queue_depth: usize,
+    /// High-water mark of `queue_depth` (queued plus preempted) over
+    /// the engine's lifetime.
+    pub queue_depth_peak: usize,
     /// Requests currently decoding.
     pub active: usize,
     /// Requests in flight anywhere in the engine (submitted, not yet
@@ -253,6 +354,24 @@ pub struct MetricsSnapshot {
     pub precision: String,
     /// Heap bytes of the weight store the scheduler runs against.
     pub weight_bytes: u64,
+    /// KV-cache bytes currently held across active requests.
+    pub kv_bytes: u64,
+    /// High-water mark of `kv_bytes` — the engine's true KV memory
+    /// requirement, independent of when the snapshot was taken.
+    pub kv_bytes_peak: u64,
+    /// KV blocks currently allocated out of the paged pool (0 on the
+    /// contiguous backend).
+    pub kv_blocks_allocated: usize,
+    /// Extra block references held by copy-on-write prefix sharing.
+    pub kv_blocks_shared: usize,
+    /// Block references freed by memory-pressure eviction so far.
+    pub kv_blocks_evicted: u64,
+    /// Fresh KV block allocations out of the pool (cumulative).
+    pub kv_block_allocs: u64,
+    /// KV blocks reused through copy-on-write prefix sharing
+    /// (cumulative) — with `kv_block_allocs`, gives the reuse ratio
+    /// `shares / (allocs + shares)`.
+    pub kv_block_shares: u64,
 }
 
 impl MetricsSnapshot {
@@ -306,6 +425,7 @@ mod tests {
         let families = matgpt_obs::prom::parse(&text).expect("exposition parses");
         for name in [
             "serve_queue_depth",
+            "serve_queue_depth_peak",
             "serve_active_requests",
             "serve_backlog",
             "serve_requests_completed_total",
@@ -314,12 +434,35 @@ mod tests {
             "serve_tokens_per_sec",
             "serve_ttft_ms",
             "serve_token_latency_ms",
+            "serve_kv_bytes",
+            "serve_kv_bytes_peak",
+            "serve_kv_blocks_allocated",
+            "serve_kv_blocks_shared",
+            "serve_kv_blocks_evicted_total",
+            "serve_kv_block_allocs_total",
+            "serve_kv_block_shares_total",
         ] {
             assert!(
                 families.iter().any(|f| f.name == name),
                 "family `{name}` missing:\n{text}"
             );
         }
+    }
+
+    #[test]
+    fn peaks_outlive_the_load_that_set_them() {
+        let inner = MetricsInner::default();
+        inner.record_queue_depth(12);
+        inner.record_kv_usage(4096, 4, 1);
+        inner.record_queue_depth(3);
+        inner.record_kv_usage(1024, 1, 0);
+        let snap = inner.snapshot();
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.queue_depth_peak, 12);
+        assert_eq!(snap.kv_bytes, 1024);
+        assert_eq!(snap.kv_bytes_peak, 4096);
+        assert_eq!(snap.kv_blocks_allocated, 1);
+        assert_eq!(snap.kv_blocks_shared, 0);
     }
 
     #[test]

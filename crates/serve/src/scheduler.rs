@@ -17,6 +17,30 @@
 //! mutated state discarded with it, so no poisoned state survives —
 //! and the rest of the batch continues untouched.
 //!
+//! ## KV backends
+//!
+//! [`SchedulerConfig::kv_backend`] picks the KV storage strategy:
+//!
+//! * [`KvBackend::Contiguous`] (default) — one private
+//!   [`KvCache`] buffer per request; admission is governed by the
+//!   worst-case `token_budget`.
+//! * [`KvBackend::Paged`] — requests draw fixed-size blocks from a
+//!   shared [`crate::kvpool::BlockPool`] as they actually grow, so
+//!   admission is **block-granular**: a request joins when the pool can
+//!   cover its prompt, not its worst case. Prompts that repeat a
+//!   recently served prefix fork its blocks copy-on-write from the
+//!   [`crate::kvpool::PrefixCache`] instead of recomputing the prefill
+//!   (paged prefills run serially at admission so wave-mates can share
+//!   the first prefill's blocks; the forwards themselves stay
+//!   rayon-parallel inside). When a decode step cannot get a block the
+//!   scheduler evicts prefix-cache entries first and then **preempts**
+//!   the youngest active request — its blocks return to the pool, its
+//!   decode progress (tokens, rng stream, ttft) is parked, and it is
+//!   re-admitted ahead of the queue via a recompute prefill that
+//!   reproduces its pre-eviction logits bit-for-bit. Both backends
+//!   produce bit-identical logits for identical request streams (see
+//!   `tests/paged_kv.rs`).
+//!
 //! When the global `matgpt-obs` recorder is enabled, the scheduler
 //! traces itself on [`pids::SERVE`]: RAII spans around each batched
 //! prefill and decode iteration on the scheduler thread's track, and a
@@ -24,10 +48,11 @@
 //! (tid `REQ_TRACK_BASE + id`, named "req N"), emitted from the
 //! captured `Instant`s when the request retires.
 
+use crate::kvpool::{BlockPool, KvBlockConfig, KvExhausted, PagedKv, PrefixCache};
 use crate::metrics::MetricsInner;
 use crate::request::{FinishReason, Response, Submission};
 use crossbeam::channel::{Receiver, TryRecvError};
-use matgpt_model::infer::KvCache;
+use matgpt_model::infer::{KvCache, KvStorage};
 use matgpt_model::{generate::sample_logits, GptModel, ModelWeights, WeightPrecision};
 use matgpt_obs::{pids, Recorder, Span, TraceEvent};
 use matgpt_tensor::ParamStore;
@@ -42,6 +67,29 @@ use std::time::{Duration, Instant};
 /// above the small thread-local track ids the scheduler's own spans
 /// use, so the two can never collide in the trace.
 const REQ_TRACK_BASE: u64 = 1 << 32;
+
+/// Prefix-cache entries the paged scheduler keeps warm. Small and
+/// LRU-rotated: the cache exists to carry a handful of hot system
+/// prompts across request waves, not to memoise every prompt seen.
+const PREFIX_CACHE_CAP: usize = 32;
+
+/// Which KV-cache storage the scheduler runs requests on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KvBackend {
+    /// One private, contiguously grown [`KvCache`] per request.
+    /// Simplest and fastest for small batches; peak KV memory is the
+    /// sum of worst cases, so admission must reserve `token_budget`
+    /// headroom a request may never use.
+    #[default]
+    Contiguous,
+    /// Block-paged KV over a shared [`crate::kvpool::BlockPool`]:
+    /// memory is claimed block-by-block as sequences grow, identical
+    /// prompt prefixes share blocks copy-on-write, and pool exhaustion
+    /// preempts (rather than crashes) the youngest request. Use for
+    /// high request counts with common system prompts — see
+    /// `ext_paged_bench` for the gated peak-memory numbers.
+    Paged(KvBlockConfig),
+}
 
 /// Admission and batching limits.
 #[derive(Clone, Copy, Debug)]
@@ -65,6 +113,14 @@ pub struct SchedulerConfig {
     /// weight memory and measurably faster bandwidth-bound decode; see
     /// `ext_quant` for the gated numbers.
     pub precision: WeightPrecision,
+    /// KV-cache storage backend. [`KvBackend::Contiguous`] (the
+    /// default) gives each request a private buffer and admits against
+    /// `token_budget`; [`KvBackend::Paged`] draws fixed-size blocks
+    /// from a shared pool with copy-on-write prefix sharing, admits at
+    /// block granularity, and preempts under memory pressure. The two
+    /// backends are bit-identical in output — the knob trades peak KV
+    /// memory against per-block bookkeeping overhead.
+    pub kv_backend: KvBackend,
 }
 
 impl Default for SchedulerConfig {
@@ -74,14 +130,128 @@ impl Default for SchedulerConfig {
             token_budget: 4096,
             max_queue: 1024,
             precision: WeightPrecision::F32,
+            kv_backend: KvBackend::Contiguous,
         }
     }
+}
+
+/// The KV storage a request decodes against — one enum so `Active` is
+/// backend-agnostic and the generic model forward monomorphises once
+/// per engine rather than per call site.
+enum ReqKv {
+    /// Private contiguous buffer.
+    Contig(KvCache),
+    /// Block table over the shared pool.
+    Paged(PagedKv),
+}
+
+impl ReqKv {
+    /// Ensure the next decode step's row has a block to land in.
+    /// Contiguous storage grows inline, so only the paged arm can fail.
+    fn reserve_decode(&mut self) -> Result<(), KvExhausted> {
+        match self {
+            ReqKv::Contig(_) => Ok(()),
+            ReqKv::Paged(p) => p.reserve_rows(1),
+        }
+    }
+
+    /// The paged storage, when this is the paged backend.
+    fn paged(&self) -> Option<&PagedKv> {
+        match self {
+            ReqKv::Contig(_) => None,
+            ReqKv::Paged(p) => Some(p),
+        }
+    }
+}
+
+impl KvStorage for ReqKv {
+    fn layers(&self) -> usize {
+        match self {
+            ReqKv::Contig(c) => c.layers(),
+            ReqKv::Paged(p) => p.layers(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ReqKv::Contig(c) => c.len(),
+            ReqKv::Paged(p) => p.len(),
+        }
+    }
+
+    fn positions_seen(&self) -> usize {
+        match self {
+            ReqKv::Contig(c) => c.positions_seen(),
+            ReqKv::Paged(p) => p.positions_seen(),
+        }
+    }
+
+    fn kv_bytes(&self) -> usize {
+        match self {
+            ReqKv::Contig(c) => c.kv_bytes(),
+            ReqKv::Paged(p) => p.kv_bytes(),
+        }
+    }
+
+    fn begin(&mut self, n: usize) -> usize {
+        match self {
+            ReqKv::Contig(c) => c.begin(n),
+            ReqKv::Paged(p) => p.begin(n),
+        }
+    }
+
+    fn write(&mut self, layer: usize, k: &[f32], v: &[f32]) {
+        match self {
+            ReqKv::Contig(c) => c.write(layer, k, v),
+            ReqKv::Paged(p) => p.write(layer, k, v),
+        }
+    }
+
+    fn attend(
+        &self,
+        layer: usize,
+        q: &[f32],
+        out: &mut [f32],
+        n_new: usize,
+        heads: usize,
+        kv_heads: usize,
+        d: usize,
+    ) {
+        match self {
+            ReqKv::Contig(c) => c.attend(layer, q, out, n_new, heads, kv_heads, d),
+            ReqKv::Paged(p) => p.attend(layer, q, out, n_new, heads, kv_heads, d),
+        }
+    }
+
+    fn commit(&mut self) {
+        match self {
+            ReqKv::Contig(c) => c.commit(),
+            ReqKv::Paged(p) => p.commit(),
+        }
+    }
+}
+
+/// Decode progress carried across a preemption: enough to re-admit the
+/// request with a recompute prefill that resumes the exact token and
+/// rng stream it was evicted mid-way through.
+struct ResumeState {
+    tokens: Vec<u32>,
+    generated: usize,
+    rng: ChaCha8Rng,
+    ttft: Option<Duration>,
+}
+
+/// A request evicted from the batch by memory pressure, waiting (ahead
+/// of the queue) to be re-admitted.
+struct Preempted {
+    sub: Submission,
+    state: ResumeState,
 }
 
 /// A request that has been admitted into the decode batch.
 struct Active {
     sub: Submission,
-    cache: KvCache,
+    cache: ReqKv,
     tokens: Vec<u32>,
     generated: usize,
     rng: ChaCha8Rng,
@@ -98,42 +268,64 @@ struct Active {
 }
 
 impl Active {
-    /// Prefill the prompt (trailing `max_seq` window) and stage the
-    /// first logits row. The model forward runs under `catch_unwind`:
-    /// on a panic the submission is handed back so the scheduler can
-    /// retire it as [`FinishReason::Failed`] without losing the batch.
+    /// Prefill into `cache` (trailing `max_seq` window) and stage the
+    /// first logits row. A forked paged cache already holds a shared
+    /// prefix, so only the uncached suffix forwards; a `resume` state
+    /// (preempted request) recomputes over its full prompt+generated
+    /// token stream and picks up the exact rng stream it left off at.
+    /// The model forward runs under `catch_unwind`: on a panic the
+    /// submission is handed back so the scheduler can retire it as
+    /// [`FinishReason::Failed`] without losing the batch.
     fn try_prefill(
         model: &GptModel,
         weights: &ModelWeights,
         sub: Submission,
         reserved: usize,
+        cache: ReqKv,
+        resume: Option<ResumeState>,
     ) -> Result<Self, Box<(Submission, usize)>> {
         let prefill_start = Instant::now();
-        let tokens = sub.req.prompt.clone();
+        let (tokens, generated, rng, ttft) = match resume {
+            Some(r) => (r.tokens, r.generated, r.rng, r.ttft),
+            None => (
+                sub.req.prompt.clone(),
+                0,
+                ChaCha8Rng::seed_from_u64(sub.req.seed),
+                None,
+            ),
+        };
         let ctx_start = tokens.len().saturating_sub(model.cfg.max_seq);
+        // rows the cache already holds (a forked shared prefix) skip
+        // the forward entirely; a fresh cache starts at the window edge
+        let start = if cache.len() > 0 {
+            cache.len()
+        } else {
+            ctx_start
+        };
+        let n_fwd = tokens.len() - start;
         // only the forward is unwind-scoped; `sub` stays outside so a
-        // Failed response can still be delivered
+        // Failed response can still be delivered (the cache rides in
+        // and is dropped — blocks released — if the forward panics)
         let forward = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut cache = model.new_cache();
-            let logits = weights.forward_cached(model, &tokens[ctx_start..], &mut cache);
+            let mut cache = cache;
+            let logits = weights.forward_cached(model, &tokens[start..], &mut cache);
             let v = model.cfg.vocab_size;
-            let last_row = logits[(cache.len() - 1) * v..].to_vec();
+            let last_row = logits[(n_fwd - 1) * v..].to_vec();
             (cache, last_row)
         }));
         let (cache, last_row) = match forward {
             Ok(ok) => ok,
             Err(_) => return Err(Box::new((sub, reserved))),
         };
-        let rng = ChaCha8Rng::seed_from_u64(sub.req.seed);
         let prefill_end = Instant::now();
         Ok(Self {
             sub,
             cache,
             tokens,
-            generated: 0,
+            generated,
             rng,
             last_row,
-            ttft: None,
+            ttft,
             last_token_at: prefill_end,
             reserved,
             done: None,
@@ -238,6 +430,43 @@ fn retire_unstarted(sub: Submission, reason: FinishReason, metrics: &MetricsInne
     let _ = sub.tx.send(resp);
 }
 
+/// Retire a preempted request waiting for re-admission (cancelled,
+/// expired, or unschedulable), answering with the tokens it had
+/// generated before eviction.
+fn retire_preempted(p: Preempted, reason: FinishReason, metrics: &MetricsInner) {
+    let total = p.sub.submitted.elapsed();
+    let resp = Response {
+        id: p.sub.id,
+        tokens: p.state.tokens,
+        generated: p.state.generated,
+        finish: reason,
+        ttft: p.state.ttft.unwrap_or(total),
+        total,
+    };
+    metrics.completed.inc();
+    if reason == FinishReason::Failed {
+        metrics.failed.inc();
+    }
+    metrics.release_slot();
+    let _ = p.sub.tx.send(resp);
+}
+
+/// Paged-backend scheduler state: the shared block pool and the prefix
+/// cache keeping hot prompt prefixes alive over it.
+struct PagedState {
+    pool: BlockPool,
+    prefix: PrefixCache,
+}
+
+/// Drop one prefix-cache entry to relieve pool pressure, counting the
+/// freed block references as evictions. Returns 0 when there is
+/// nothing left to evict.
+fn evict_prefix(ps: &mut PagedState, metrics: &MetricsInner) -> usize {
+    let n = ps.prefix.evict_one();
+    metrics.kv_blocks_evicted.add(n as u64);
+    n
+}
+
 /// Reconstruct a retired request's lifecycle — queued → prefill →
 /// decode — onto its own trace track from the `Instant`s captured
 /// while it ran. No-op while the global recorder is disabled.
@@ -293,6 +522,7 @@ pub(crate) fn run(
     metrics: Arc<MetricsInner>,
 ) {
     let mut queue: VecDeque<Submission> = VecDeque::new();
+    let mut preempted: VecDeque<Preempted> = VecDeque::new();
     let mut active: Vec<Active> = Vec::new();
     let mut used_budget = 0usize;
     let mut disconnected = false;
@@ -303,9 +533,21 @@ pub(crate) fn run(
     let weights = ModelWeights::from_store(&model, store, cfg.precision);
     metrics.record_weight_bytes(weights.weight_bytes());
 
+    // last-seen pool totals, so the cumulative alloc/share counters
+    // advance by per-iteration deltas
+    let (mut prev_allocs, mut prev_shares) = (0u64, 0u64);
+    let mut paged: Option<PagedState> = match cfg.kv_backend {
+        KvBackend::Contiguous => None,
+        KvBackend::Paged(bc) => {
+            let pool = BlockPool::for_model(bc, &model);
+            let prefix = PrefixCache::new(&pool, PREFIX_CACHE_CAP);
+            Some(PagedState { pool, prefix })
+        }
+    };
+
     loop {
         // ---- intake: block when idle, drain opportunistically otherwise
-        if active.is_empty() && queue.is_empty() {
+        if active.is_empty() && queue.is_empty() && preempted.is_empty() {
             if disconnected {
                 break;
             }
@@ -348,47 +590,225 @@ pub(crate) fn run(
             }
         }
 
-        // ---- admission: strict FIFO from the queue head
-        let mut admitted: Vec<(Submission, usize)> = Vec::new();
-        while let Some(front) = queue.front() {
-            if active.len() + admitted.len() >= cfg.max_batch {
-                break;
+        // ---- sweep preempted requests the same way
+        let mut i = 0;
+        while i < preempted.len() {
+            let (cancelled, expired) =
+                (preempted[i].sub.cancelled(), preempted[i].sub.expired(now));
+            if cancelled || expired {
+                let Some(p) = preempted.remove(i) else { break };
+                let reason = if cancelled {
+                    FinishReason::Cancelled
+                } else {
+                    FinishReason::DeadlineExceeded
+                };
+                retire_preempted(p, reason, &metrics);
+            } else {
+                i += 1;
             }
-            let cost = token_cost(front, model.cfg.max_seq);
-            let batch_empty = active.is_empty() && admitted.is_empty();
-            if !batch_empty && used_budget + cost > cfg.token_budget {
-                break;
-            }
-            let Some(sub) = queue.pop_front() else { break };
-            used_budget += cost;
-            admitted.push((sub, cost));
         }
-        if !admitted.is_empty() {
-            let _span = Span::enter(pids::SERVE, "serve", "prefill-batch");
-            // batched prefill: all newly admitted prompts forward together
-            let (model_ref, weights_ref) = (&model, &weights);
-            let fresh: Vec<Result<Active, Box<(Submission, usize)>>> = admitted
-                .into_par_iter()
-                .map(|(sub, cost)| Active::try_prefill(model_ref, weights_ref, sub, cost))
-                .collect_vec();
-            for prefilled in fresh {
-                match prefilled {
-                    Ok(a) => active.push(a),
-                    Err(bounced) => {
-                        let (sub, cost) = *bounced;
-                        // panicked prefill: free its budget, answer Failed
-                        used_budget -= cost;
-                        retire_unstarted(sub, FinishReason::Failed, &metrics);
+
+        // ---- admission
+        match paged.as_mut() {
+            None => {
+                // contiguous: strict FIFO, worst-case token budget,
+                // batched rayon prefill over everything admitted at once
+                let mut admitted: Vec<(Submission, usize)> = Vec::new();
+                while let Some(front) = queue.front() {
+                    if active.len() + admitted.len() >= cfg.max_batch {
+                        break;
+                    }
+                    let cost = token_cost(front, model.cfg.max_seq);
+                    let batch_empty = active.is_empty() && admitted.is_empty();
+                    if !batch_empty && used_budget + cost > cfg.token_budget {
+                        break;
+                    }
+                    let Some(sub) = queue.pop_front() else { break };
+                    used_budget += cost;
+                    admitted.push((sub, cost));
+                }
+                if !admitted.is_empty() {
+                    let _span = Span::enter(pids::SERVE, "serve", "prefill-batch");
+                    // batched prefill: all newly admitted prompts forward together
+                    let (model_ref, weights_ref) = (&model, &weights);
+                    let fresh: Vec<Result<Active, Box<(Submission, usize)>>> = admitted
+                        .into_par_iter()
+                        .map(|(sub, cost)| {
+                            let cache = ReqKv::Contig(model_ref.new_cache());
+                            Active::try_prefill(model_ref, weights_ref, sub, cost, cache, None)
+                        })
+                        .collect_vec();
+                    for prefilled in fresh {
+                        match prefilled {
+                            Ok(a) => active.push(a),
+                            Err(bounced) => {
+                                let (sub, cost) = *bounced;
+                                // panicked prefill: free its budget, answer Failed
+                                used_budget -= cost;
+                                retire_unstarted(sub, FinishReason::Failed, &metrics);
+                            }
+                        }
+                    }
+                }
+            }
+            Some(ps) => {
+                // paged: block-granular admission, preempted requests
+                // re-admitted ahead of the queue. Prefills run serially
+                // so a wave sharing a system prompt forks the blocks
+                // the wave's first prefill just registered (the forward
+                // itself is rayon-parallel inside).
+                let _span = Span::enter(pids::SERVE, "serve", "prefill-paged");
+                let max_seq = model.cfg.max_seq;
+                while active.len() < cfg.max_batch {
+                    let (sub, resume) = if let Some(p) = preempted.pop_front() {
+                        (p.sub, Some(p.state))
+                    } else if let Some(sub) = queue.pop_front() {
+                        (sub, None)
+                    } else {
+                        break;
+                    };
+                    let seq: &[u32] = resume.as_ref().map_or(&sub.req.prompt, |r| &r.tokens);
+                    // sequences that fit the window fork the longest
+                    // cached prefix; longer ones prefill a fresh
+                    // truncated window (nothing block-aligned to share)
+                    let mut kv = if seq.len() <= max_seq {
+                        ps.prefix.fork_longest(seq, max_seq)
+                    } else {
+                        None
+                    }
+                    .unwrap_or_else(|| ps.pool.new_seq(max_seq));
+                    let ctx_start = seq.len().saturating_sub(max_seq);
+                    let start = if kv.len() > 0 { kv.len() } else { ctx_start };
+                    let mut ok = loop {
+                        match kv.reserve_rows(seq.len() - start) {
+                            Ok(()) => break true,
+                            Err(_) => {
+                                if evict_prefix(ps, &metrics) == 0 {
+                                    break false;
+                                }
+                            }
+                        }
+                    };
+                    // headroom: every already-active request may claim
+                    // one more block on the next decode step; admitting
+                    // into that margin would trigger an immediate
+                    // preemption ping-pong
+                    while ok && !active.is_empty() && ps.pool.free_blocks() < active.len() {
+                        if evict_prefix(ps, &metrics) == 0 {
+                            ok = false;
+                        }
+                    }
+                    if !ok {
+                        drop(kv); // release whatever was reserved
+                        if active.is_empty() {
+                            // nothing running will ever free blocks, so
+                            // requeueing would spin: a lone request that
+                            // cannot fit retires typed-Failed.
+                            // `Engine::submit`'s capacity check makes
+                            // this unreachable in practice.
+                            match resume {
+                                Some(state) => retire_preempted(
+                                    Preempted { sub, state },
+                                    FinishReason::Failed,
+                                    &metrics,
+                                ),
+                                None => retire_unstarted(sub, FinishReason::Failed, &metrics),
+                            }
+                            continue;
+                        }
+                        // pool is busy: park the request at the head and
+                        // stop admitting until blocks free up
+                        match resume {
+                            Some(state) => preempted.push_front(Preempted { sub, state }),
+                            None => queue.push_front(sub),
+                        }
+                        break;
+                    }
+                    match Active::try_prefill(&model, &weights, sub, 0, ReqKv::Paged(kv), resume) {
+                        Ok(a) => {
+                            // register the prompt prefix for sharing —
+                            // valid only when the cache holds the prompt
+                            // from position 0 (no window truncation)
+                            if a.tokens.len() <= max_seq {
+                                if let Some(pkv) = a.cache.paged() {
+                                    let plen = a.sub.req.prompt.len();
+                                    ps.prefix.register(&a.tokens[..plen], pkv);
+                                }
+                            }
+                            active.push(a);
+                        }
+                        Err(bounced) => {
+                            let (sub, _) = *bounced;
+                            retire_unstarted(sub, FinishReason::Failed, &metrics);
+                        }
                     }
                 }
             }
         }
 
-        metrics.queue_depth.set(queue.len() as f64);
+        metrics.record_queue_depth(queue.len() + preempted.len());
         metrics.active.set(active.len() as f64);
 
         if active.is_empty() {
             continue;
+        }
+
+        // ---- paged: secure one decode block per live request before
+        // the parallel step; exhaustion evicts prefix-cache entries and
+        // then preempts the youngest request (its blocks return to the
+        // pool, its progress parks for re-admission by recompute)
+        if let Some(ps) = paged.as_mut() {
+            // oldest ids claim first, so the preemption victim (max id,
+            // last element) is always at or after the cursor
+            active.sort_by_key(|a| a.sub.id);
+            let mut i = 0;
+            while i < active.len() {
+                match active[i].cache.reserve_decode() {
+                    Ok(()) => i += 1,
+                    Err(_) => {
+                        if evict_prefix(ps, &metrics) > 0 {
+                            continue;
+                        }
+                        if active.len() == 1 {
+                            // cannot free anything: typed failure
+                            // instead of a livelock (unreachable given
+                            // the submit-time capacity check)
+                            let mut a = active.remove(0);
+                            a.done = Some(FinishReason::Failed);
+                            metrics.failed.inc();
+                            metrics.completed.inc();
+                            metrics.release_slot();
+                            emit_lifecycle(&a);
+                            let (sub, resp) = a.into_response();
+                            let _ = sub.tx.send(resp);
+                            break;
+                        }
+                        let a = active.remove(active.len() - 1);
+                        metrics
+                            .kv_blocks_evicted
+                            .add(a.cache.paged().map_or(0, |p| p.blocks_held()) as u64);
+                        let p = Preempted {
+                            state: ResumeState {
+                                tokens: a.tokens,
+                                generated: a.generated,
+                                rng: a.rng,
+                                ttft: a.ttft,
+                            },
+                            sub: a.sub,
+                        };
+                        // keep the parking lot sorted by id so re-
+                        // admission stays oldest-first
+                        let at = preempted
+                            .iter()
+                            .position(|q| q.sub.id > p.sub.id)
+                            .unwrap_or(preempted.len());
+                        preempted.insert(at, p);
+                    }
+                }
+            }
+            if active.is_empty() {
+                continue;
+            }
         }
 
         // ---- one decode iteration across the whole batch
@@ -409,6 +829,26 @@ pub(crate) fn run(
                     a.done = Some(FinishReason::Failed);
                 }
             });
+        }
+
+        // ---- KV occupancy while every active cache is still held, so
+        // the peak gauge sees the true high-water mark of the iteration
+        match &paged {
+            Some(ps) => {
+                let st = ps.pool.stats();
+                metrics.record_kv_usage(
+                    st.allocated * st.block_bytes,
+                    st.allocated,
+                    st.shared_extra,
+                );
+                metrics.kv_block_allocs.add(st.allocs_total - prev_allocs);
+                metrics.kv_block_shares.add(st.shares_total - prev_shares);
+                (prev_allocs, prev_shares) = (st.allocs_total, st.shares_total);
+            }
+            None => {
+                let bytes: usize = active.iter().map(|a| a.cache.kv_bytes()).sum();
+                metrics.record_kv_usage(bytes, 0, 0);
+            }
         }
 
         // ---- retire finished requests, freeing their budget

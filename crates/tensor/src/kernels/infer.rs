@@ -93,6 +93,75 @@ pub fn cached_attention(
         });
 }
 
+/// [`cached_attention`] over a **block-paged** KV layout.
+///
+/// Instead of one contiguous `[t_total, kv_heads*d]` buffer per layer,
+/// keys and values live in fixed-size blocks of `block_rows` tokens
+/// each (`k_blocks[b]` / `v_blocks[b]` are `[block_rows, kv_heads*d]`
+/// slices, in logical order). Physical row `p` sits in block
+/// `p / block_rows` at slot `p % block_rows`; the first `skip` physical
+/// rows are outside the attention window (front-dropped) and are never
+/// read, so visible row `j` maps to physical row `skip + j`.
+///
+/// The scan visits exactly the same rows in exactly the same order as
+/// [`cached_attention`] and performs the identical float operations
+/// (same dot-product accumulation, same [`OnlineSoftmax`] updates), so
+/// for bitwise-equal inputs the outputs are **bitwise equal** — the
+/// property the paged KV backend's parity guarantee rests on.
+#[allow(clippy::too_many_arguments)]
+pub fn paged_attention(
+    q: &[f32],
+    k_blocks: &[&[f32]],
+    v_blocks: &[&[f32]],
+    block_rows: usize,
+    skip: usize,
+    out: &mut [f32],
+    n_new: usize,
+    t_total: usize,
+    heads: usize,
+    kv_heads: usize,
+    d: usize,
+) {
+    debug_assert_eq!(q.len(), n_new * heads * d, "q layout");
+    debug_assert_eq!(k_blocks.len(), v_blocks.len(), "block table layout");
+    debug_assert!(
+        k_blocks.len() * block_rows >= skip + t_total,
+        "block table too short: {} blocks of {} rows for skip {} + {} visible",
+        k_blocks.len(),
+        block_rows,
+        skip,
+        t_total
+    );
+    debug_assert!(n_new <= t_total, "more new tokens than visible rows");
+    let group = heads / kv_heads;
+    let scale = 1.0 / (d as f32).sqrt();
+    let kv_stride = kv_heads * d;
+    let first = t_total - n_new;
+    out.par_chunks_mut(heads * d)
+        .enumerate()
+        .for_each(|(i, orow)| {
+            let qrow = &q[i * heads * d..(i + 1) * heads * d];
+            let limit = first + i; // inclusive causal horizon (visible rows)
+            for h in 0..heads {
+                let hkv = h / group;
+                let qh = &qrow[h * d..(h + 1) * d];
+                let acc = &mut orow[h * d..(h + 1) * d];
+                let mut os = OnlineSoftmax::default();
+                for j in 0..=limit {
+                    let p = skip + j;
+                    let (b, slot) = (p / block_rows, p % block_rows);
+                    let kj =
+                        &k_blocks[b][slot * kv_stride + hkv * d..slot * kv_stride + (hkv + 1) * d];
+                    let s = qh.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                    let vj =
+                        &v_blocks[b][slot * kv_stride + hkv * d..slot * kv_stride + (hkv + 1) * d];
+                    os.push(s, vj, acc);
+                }
+                os.finish(acc);
+            }
+        });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +322,75 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Scatter a contiguous `[t, kv_dim]` token-major buffer into
+    /// fixed-size blocks of `rows` tokens (last block zero-padded).
+    fn to_blocks(x: &[f32], t: usize, kv_dim: usize, rows: usize) -> Vec<Vec<f32>> {
+        let nb = t.div_ceil(rows);
+        let mut blocks = vec![vec![0.0f32; rows * kv_dim]; nb];
+        for p in 0..t {
+            let (b, slot) = (p / rows, p % rows);
+            blocks[b][slot * kv_dim..(slot + 1) * kv_dim]
+                .copy_from_slice(&x[p * kv_dim..(p + 1) * kv_dim]);
+        }
+        blocks
+    }
+
+    #[test]
+    fn paged_attention_is_bitwise_identical_to_contiguous() {
+        // across prefill (n_new == t) and decode (n_new == 1), GQA, and
+        // block sizes that do and don't divide the sequence length
+        for (t, n_new, h, hkv, d, rows) in [
+            (9, 9, 4, 2, 6, 4),
+            (13, 1, 4, 4, 4, 3),
+            (16, 5, 2, 1, 8, 16),
+            (7, 7, 2, 2, 4, 1),
+        ] {
+            let q = rand_buf(n_new * h * d, 41);
+            let k = rand_buf(t * hkv * d, 42);
+            let v = rand_buf(t * hkv * d, 43);
+            let mut contig = vec![0.0f32; n_new * h * d];
+            cached_attention(&q, &k, &v, &mut contig, n_new, t, h, hkv, d);
+            let kb = to_blocks(&k, t, hkv * d, rows);
+            let vb = to_blocks(&v, t, hkv * d, rows);
+            let kr: Vec<&[f32]> = kb.iter().map(|b| b.as_slice()).collect();
+            let vr: Vec<&[f32]> = vb.iter().map(|b| b.as_slice()).collect();
+            let mut paged = vec![0.0f32; n_new * h * d];
+            paged_attention(&q, &kr, &vr, rows, 0, &mut paged, n_new, t, h, hkv, d);
+            assert_eq!(contig, paged, "t={t} n={n_new} rows={rows}");
+        }
+    }
+
+    #[test]
+    fn paged_attention_skip_matches_front_dropped_contiguous() {
+        // a window that dropped `skip` front rows: the contiguous kernel
+        // over the retained suffix must agree bitwise with the paged
+        // kernel reading the same rows through skip-offset indexing
+        let (t_phys, skip, h, hkv, d, rows) = (11, 3, 2, 1, 4, 4);
+        let t_vis = t_phys - skip;
+        let q = rand_buf(h * d, 51);
+        let k = rand_buf(t_phys * hkv * d, 52);
+        let v = rand_buf(t_phys * hkv * d, 53);
+        let mut contig = vec![0.0f32; h * d];
+        cached_attention(
+            &q,
+            &k[skip * hkv * d..],
+            &v[skip * hkv * d..],
+            &mut contig,
+            1,
+            t_vis,
+            h,
+            hkv,
+            d,
+        );
+        let kb = to_blocks(&k, t_phys, hkv * d, rows);
+        let vb = to_blocks(&v, t_phys, hkv * d, rows);
+        let kr: Vec<&[f32]> = kb.iter().map(|b| b.as_slice()).collect();
+        let vr: Vec<&[f32]> = vb.iter().map(|b| b.as_slice()).collect();
+        let mut paged = vec![0.0f32; h * d];
+        paged_attention(&q, &kr, &vr, rows, skip, &mut paged, 1, t_vis, h, hkv, d);
+        assert_eq!(contig, paged);
     }
 
     #[test]

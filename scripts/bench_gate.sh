@@ -15,17 +15,19 @@ echo "== regenerating fresh bench reports (full scale) =="
 cargo run --release -q -p matgpt-bench --bin ext_quant
 cargo run --release -q -p matgpt-bench --bin ext_serve_bench
 cargo run --release -q -p matgpt-bench --bin ext_parallel
+cargo run --release -q -p matgpt-bench --bin ext_paged_bench
 
 echo
 echo "== diffing against committed baselines (tolerance ${TOLERANCE}) =="
 status=0
-for bench in quant serve parallel; do
+for bench in quant serve parallel paged; do
   fresh="target/bench/BENCH_${bench}.json"
   baseline="benchmarks/BENCH_${bench}.json"
-  # single-core CI makes the data-parallel critical-path ratio noisier
-  # than the kernel-bound benches; give it a wider band
+  # single-core CI makes the data-parallel critical-path ratio and the
+  # paged/contiguous scheduling ratio noisier than the kernel-bound
+  # benches; give them a wider band
   tol="$TOLERANCE"
-  if [[ "$bench" == "parallel" ]]; then
+  if [[ "$bench" == "parallel" || "$bench" == "paged" ]]; then
     tol=$(awk -v a="$TOLERANCE" 'BEGIN { print (a > 0.30) ? a : 0.30 }')
   fi
   if [[ ! -f "$baseline" ]]; then

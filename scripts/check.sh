@@ -35,4 +35,8 @@ echo "== parallelism: data-parallel + ZeRO-1 acceptance gates (smoke scale) =="
 cargo test -q --test parallelism
 cargo run --release -q -p matgpt-bench --bin ext_parallel -- --smoke
 
+echo "== paged KV: bit-identical backends + pool invariants + smoke bench =="
+cargo test -q --test paged_kv
+cargo run --release -q -p matgpt-bench --bin ext_paged_bench -- --smoke
+
 echo "All checks passed."
