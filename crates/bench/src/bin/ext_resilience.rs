@@ -1,0 +1,233 @@
+//! Extension: executed fault tolerance — the measured counterpart of
+//! the simulator's checkpoint-restart goodput model (`ext_fault_tolerance`).
+//!
+//! Where `frontier_sim::faults` *prices* failure-prone training with
+//! Young/Daly analytics, this binary *runs* it: `core::parallel` trains
+//! real replicas under a seeded [`FaultPlan`] sampled from the same
+//! exponential MTBF process the analytic model integrates
+//! ([`FaultModel::sample_failure_schedule`]), recovering via snapshot
+//! rollback. The sweep varies the snapshot interval and measures
+//! goodput; the claim under test is Daly's: the measured optimum lands
+//! within one grid step of [`FaultModel::daly_interval_s`].
+//!
+//! Accounting is in **step units** (one step = one "second" of the
+//! fault model), which makes the sweep fully deterministic and
+//! machine-portable: every run faces the identical seeded kill
+//! schedule, so goodput differences come only from the Young/Daly
+//! tradeoff — snapshot overhead vs. work lost per rollback —
+//! not from wall-clock noise:
+//!
+//! ```text
+//! goodput(i) = useful_steps / (attempted_steps + snapshots·δ + recoveries·R)
+//! ```
+//!
+//! with δ = `checkpoint_write_s` and R = `detect_s + restart_s`, both
+//! expressed in step-seconds.
+//!
+//! The headline numbers land in `target/bench/BENCH_resilience.json`
+//! (schema `matgpt-bench/v1`); `bench_compare` diffs the gated ratios
+//! against the committed `benchmarks/BENCH_resilience.json` baseline.
+
+use matgpt_bench::report::BenchReport;
+use matgpt_bench::{bench_out_dir, compare, print_table, smoke_requested};
+use matgpt_core::parallel::{DataParallel, ParallelConfig};
+use matgpt_core::{
+    FaultPlan, OptChoice, PretrainConfig, RecoveryPolicy, ResilienceConfig, ResilientOutcome,
+    SizeRole,
+};
+use matgpt_corpus::{build_corpus, CorpusConfig};
+use matgpt_frontier_sim::{interval_agreement, FaultModel};
+use matgpt_model::ArchKind;
+use matgpt_tokenizer::TokenizerKind;
+
+const WORKERS: usize = 2;
+
+fn main() {
+    let smoke = smoke_requested();
+    let documents = build_corpus(&CorpusConfig {
+        n_materials: 30,
+        total_docs: 90,
+        offtopic_fraction: 0.2,
+        seed: 23,
+    })
+    .documents;
+    let cfg = PretrainConfig {
+        steps: if smoke { 8 } else { 24 },
+        batch_seqs: 4,
+        seq: 32,
+        ..PretrainConfig::scaled(
+            ArchKind::NeoX,
+            TokenizerKind::Hf,
+            300,
+            OptChoice::Adam,
+            SizeRole::Base,
+        )
+    };
+    // One executed step is one model "second"; the job MTBF is chosen
+    // so the horizon sees a couple of failures, and δ/R are a sizable
+    // fraction of the MTBF so the interval tradeoff has a real peak.
+    let step_s = 1.0;
+    let mtbf_steps = if smoke { 4.0 } else { 12.0 };
+    let model = FaultModel {
+        node_mtbf_hours: mtbf_steps * WORKERS as f64 / 3600.0,
+        gcds_per_node: 1,
+        detect_s: 1.0,
+        restart_s: 2.0,
+        checkpoint_write_s: 2.0,
+        straggler_prob: 0.0,
+        degraded_link_prob: 0.0,
+        seed: if smoke { 0x600d } else { 0x600d_0001 },
+        ..FaultModel::default()
+    };
+    let delta = model.checkpoint_write_s;
+    let repair = model.detect_s + model.restart_s;
+    let daly = model.daly_interval_s(WORKERS);
+    let intervals: &[usize] = if smoke { &[1, 2, 4] } else { &[2, 4, 8, 16] };
+
+    // ---- the executed sweep: identical seeded kill schedule per run,
+    // only the snapshot cadence varies
+    let runs: Vec<ResilientOutcome> = intervals
+        .iter()
+        .map(|&every| {
+            let res = ResilienceConfig {
+                snapshot_every: every,
+                faults: FaultPlan::from_model(&model, WORKERS, cfg.steps, step_s),
+                policy: RecoveryPolicy::Respawn,
+                ..ResilienceConfig::default()
+            };
+            DataParallel::new(ParallelConfig::zero1(WORKERS)).train_resilient(&documents, &cfg, res)
+        })
+        .collect();
+
+    // every run faced the same schedule and recovered every failure
+    let fired = runs[0].resilience.faults_fired;
+    for r in &runs {
+        assert_eq!(
+            r.resilience.faults_fired, fired,
+            "the seeded schedule must fire identically across the sweep"
+        );
+        assert!(
+            r.outcome.pretrained.curves.final_train().is_finite(),
+            "a recovered run must still train to a finite loss"
+        );
+        assert_eq!(
+            r.resilience.final_workers, WORKERS,
+            "respawn recovery keeps the world at full width"
+        );
+    }
+
+    let goodput: Vec<f64> = runs
+        .iter()
+        .map(|r| {
+            let res = &r.resilience;
+            let cost = res.steps_executed as f64
+                + res.snapshots_taken as f64 * delta
+                + res.recoveries.len() as f64 * repair;
+            cfg.steps as f64 / cost
+        })
+        .collect();
+    let grid_s: Vec<f64> = intervals.iter().map(|&i| i as f64 * step_s).collect();
+    let agreement = interval_agreement(&grid_s, &goodput, daly);
+    let best = agreement.measured_idx;
+    let goodput_daly_ratio = goodput[agreement.predicted_idx] / goodput[best];
+
+    print_table(
+        &format!(
+            "Executed resilience sweep (NeoX base, {} steps, {} workers, MTBF {} steps, δ={} R={})",
+            cfg.steps, WORKERS, mtbf_steps, delta, repair
+        ),
+        &[
+            "snapshot every",
+            "goodput",
+            "recoveries",
+            "lost steps",
+            "snapshots",
+        ],
+        &intervals
+            .iter()
+            .zip(&runs)
+            .zip(&goodput)
+            .map(|((&i, r), &g)| {
+                vec![
+                    format!("{i}{}", if i == intervals[best] { " *" } else { "" }),
+                    format!("{g:.3}"),
+                    r.resilience.recoveries.len().to_string(),
+                    r.resilience.lost_steps.to_string(),
+                    r.resilience.snapshots_taken.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nDaly interval {daly:.2} step-s -> grid point {} (idx {}); measured optimum {} (idx {}); \
+         {} kills fired per run",
+        intervals[agreement.predicted_idx],
+        agreement.predicted_idx,
+        intervals[best],
+        best,
+        fired,
+    );
+
+    let mut report = BenchReport::new("resilience", smoke)
+        .config("arch", "NeoX")
+        .config("workers", WORKERS)
+        .config("steps", cfg.steps)
+        .config("mtbf_steps", mtbf_steps)
+        .config("checkpoint_write_steps", delta)
+        .config("repair_steps", repair)
+        .config("intervals", format!("{intervals:?}"))
+        .config("fault_seed", format!("{:#x}", model.seed))
+        .metric("daly_interval_steps", daly)
+        .metric("faults_fired", fired as f64)
+        .metric("goodput_at_optimum", goodput[best])
+        .metric("goodput_daly_ratio", goodput_daly_ratio)
+        .metric(
+            "daly_agreement",
+            if agreement.within_one_step { 1.0 } else { 0.0 },
+        )
+        .gate("goodput_at_optimum")
+        .gate("goodput_daly_ratio")
+        .gate("daly_agreement");
+    for (&i, &g) in intervals.iter().zip(&goodput) {
+        report = report.metric(&format!("goodput_interval_{i}"), g);
+    }
+    let path = report
+        .write_to(&bench_out_dir())
+        .expect("write BENCH_resilience.json");
+    println!("report: {}", path.display());
+
+    println!("\n-- predicted vs measured --");
+    compare(
+        "measured goodput optimum vs Daly interval",
+        "within one grid step",
+        &format!(
+            "idx {} vs idx {} (|Δ| = {})",
+            best,
+            agreement.predicted_idx,
+            best.abs_diff(agreement.predicted_idx)
+        ),
+        if agreement.within_one_step {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
+    );
+    compare(
+        "goodput at the Daly grid point",
+        ">= 0.95x the measured peak",
+        &format!("{goodput_daly_ratio:.3}x"),
+        if goodput_daly_ratio >= 0.95 {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
+    );
+    // the smoke grid is coarser and its horizon shorter, so the
+    // agreement claim is only enforced at full scale
+    let gate_ok = agreement.within_one_step && goodput_daly_ratio >= 0.95;
+    if !smoke && !gate_ok {
+        eprintln!("ext_resilience: FAIL: acceptance gate violated");
+        std::process::exit(1);
+    }
+    println!("ext_resilience: OK");
+}

@@ -18,7 +18,13 @@ pub mod pretrain;
 pub mod recipes;
 pub mod releases;
 
-pub use parallel::{DataParallel, ParallelConfig, ParallelOutcome, ParallelReport};
+pub use parallel::resilience::{
+    FailureCause, FaultKind, FaultPlan, PlannedFault, RecoveryEvent, RecoveryPolicy,
+    ResilienceConfig, ResilienceReport, ResilientOutcome,
+};
+pub use parallel::{
+    CollectiveError, DataParallel, ParallelConfig, ParallelOutcome, ParallelReport, ShardPlanError,
+};
 pub use pipeline::{
     experiment_matrix, pretrain_bert, train_suite, MatGptSuite, SuiteScale, TrainedBert,
 };

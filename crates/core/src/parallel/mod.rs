@@ -43,6 +43,19 @@
 //! * checkpoints are ordinary v2 MGPT images (ZeRO-1 shards are merged
 //!   back with [`OptimizerState::merge_shards`]), so
 //!   [`crate::pretrain::pretrain_resume`] composes with DP runs.
+//!
+//! # Fault tolerance
+//!
+//! The [`resilience`] submodule executes training under injected worker
+//! failures: a seeded [`resilience::FaultPlan`] kills or stalls ranks at
+//! specific steps, the ring detects the loss through bounded-timeout
+//! collectives ([`CollectiveError`]) plus per-rank heartbeats, and
+//! [`DataParallel::train_resilient`] recovers by rolling back to an
+//! in-memory v2 snapshot — optionally **elastically re-sharding** from N
+//! to N−1 survivors. See `PARALLELISM.md` for the state machine and the
+//! determinism contract.
+
+pub mod resilience;
 
 use crate::pretrain::{
     build_model, build_optimizer, train_tokenizer, validation_loss_on, LossCurves, Pretrained,
@@ -56,9 +69,16 @@ use matgpt_model::GptModel;
 use matgpt_obs::{pids, Histogram, Registry, Span};
 use matgpt_optim::{CosineSchedule, LrSchedule, OptimizerState};
 use matgpt_tensor::{checkpoint, ParamStore, Tape};
+use resilience::{FaultKind, FaultPlan, Heartbeats};
 use std::ops::Range;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Ring-receive bound for fault-free runs: long enough that no healthy
+/// worker can trip it, short enough that a genuinely wedged run turns
+/// into a typed error instead of an eternal hang. Resilient runs use
+/// the much tighter `ResilienceConfig::collective_timeout_ms`.
+const DEFAULT_RING_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// How many workers, and how they keep optimizer state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -171,10 +191,47 @@ pub struct ShardPlan {
     pub total: usize,
 }
 
+/// Typed failure for [`ShardPlan::try_new`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardPlanError {
+    /// Zero ranks cannot partition anything.
+    NoRanks,
+}
+
+impl std::fmt::Display for ShardPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardPlanError::NoRanks => write!(f, "shard plan needs at least one rank"),
+        }
+    }
+}
+
+impl std::error::Error for ShardPlanError {}
+
 impl ShardPlan {
     /// Partition tensors of the given sizes across `n` ranks.
+    ///
+    /// Panics when `n == 0` ([`ShardPlan::try_new`] is the
+    /// non-panicking form). Degenerate inputs are clamped, never
+    /// implicit:
+    /// * **more ranks than tensors** (or than scalars) leaves the
+    ///   surplus ranks with empty shards — they own nothing and move
+    ///   zero-length ring chunks;
+    /// * **zero-length tensors** are owned by the rank whose tensor
+    ///   range contains them (trailing ones by the last rank), so
+    ///   [`ShardPlan::owners`] covers every tensor;
+    /// * **`n == 1`** degenerates to one rank owning the whole flat
+    ///   space.
     pub fn new(sizes: &[usize], n: usize) -> Self {
-        assert!(n > 0, "need at least one rank");
+        Self::try_new(sizes, n).expect("need at least one rank")
+    }
+
+    /// As [`ShardPlan::new`], returning a typed error instead of
+    /// panicking on a zero-rank request.
+    pub fn try_new(sizes: &[usize], n: usize) -> Result<Self, ShardPlanError> {
+        if n == 0 {
+            return Err(ShardPlanError::NoRanks);
+        }
         let mut offsets = Vec::with_capacity(sizes.len() + 1);
         let mut acc = 0usize;
         for &s in sizes {
@@ -185,8 +242,16 @@ impl ShardPlan {
         // Snap the ideal equal cuts to tensor boundaries: shard r covers
         // tensors [b_r, b_{r+1}) where b_r is the boundary nearest to
         // r·M/n (rounding to the nearest boundary rather than always up
-        // halves the worst-case skew a large tensor can induce).
+        // halves the worst-case skew a large tensor can induce). The
+        // outer cuts are pinned so the partition always covers all
+        // tensors, including zero-length ones at offset 0 or M.
         let cut = |i: usize| -> usize {
+            if i == 0 {
+                return 0;
+            }
+            if i >= n {
+                return sizes.len();
+            }
             let ideal = i * total / n;
             let hi = offsets.partition_point(|&off| off < ideal);
             if hi == 0 {
@@ -202,20 +267,25 @@ impl ShardPlan {
         };
         let mut tensors = Vec::with_capacity(n);
         let mut flat = Vec::with_capacity(n);
+        let mut prev = 0usize;
         for r in 0..n {
-            let (a, b) = (cut(r), cut(r + 1));
+            // clamp keeps the boundaries monotone when duplicate offsets
+            // (zero-length tensors) make nearest-rounding ambiguous
+            let a = prev;
+            let b = cut(r + 1).clamp(a, sizes.len());
+            prev = b;
             tensors.push(a..b);
             let start = offsets.get(a).copied().unwrap_or(total);
             let end = offsets.get(b).copied().unwrap_or(total);
             flat.push(start..end);
         }
         offsets.push(total);
-        Self {
+        Ok(Self {
             flat,
             tensors,
             offsets,
             total,
-        }
+        })
     }
 
     /// Ownership mask over tensors for `rank` (the
@@ -251,6 +321,40 @@ impl ShardPlan {
 // The ring: deterministic chunked reduce-scatter + allgather.
 // ---------------------------------------------------------------------------
 
+/// Typed failure of a bounded ring collective — what a worker observes
+/// when a peer dies or stalls instead of blocking forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// A ring link disconnected: the named peer dropped its endpoints
+    /// (its thread exited or was killed mid-step).
+    RankLost {
+        /// The peer this rank lost contact with.
+        rank: usize,
+    },
+    /// No traffic from the named peer within the bounded wait — a stall
+    /// longer than the collective timeout is indistinguishable from a
+    /// dead rank and is treated as one.
+    Timeout {
+        /// The peer that went silent.
+        rank: usize,
+        /// How long this rank waited before giving up, milliseconds.
+        waited_ms: u64,
+    },
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::RankLost { rank } => write!(f, "ring peer {rank} lost (disconnected)"),
+            CollectiveError::Timeout { rank, waited_ms } => {
+                write!(f, "ring peer {rank} silent for {waited_ms} ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
 /// One worker's pair of ring links: it only ever sends to its successor
 /// and receives from its predecessor, like one RCCL ring channel.
 struct Ring {
@@ -258,6 +362,7 @@ struct Ring {
     n: usize,
     tx_next: Sender<Vec<f32>>,
     rx_prev: Receiver<Vec<f32>>,
+    timeout: Duration,
     sent_bytes: u64,
     wait_ms: f64,
 }
@@ -266,8 +371,9 @@ struct Ring {
 type RingLink = (Sender<Vec<f32>>, Receiver<Vec<f32>>);
 
 impl Ring {
-    /// Build the n ring endpoints (rank r sends to rank (r+1) mod n).
-    fn build(n: usize) -> Vec<Ring> {
+    /// Build the n ring endpoints (rank r sends to rank (r+1) mod n),
+    /// each bounding its receives by `timeout`.
+    fn build(n: usize, timeout: Duration) -> Vec<Ring> {
         let links: Vec<RingLink> = (0..n).map(|_| unbounded()).collect();
         let mut txs: Vec<Option<Sender<Vec<f32>>>> = Vec::new();
         let mut rxs: Vec<Option<Receiver<Vec<f32>>>> = Vec::new();
@@ -282,20 +388,40 @@ impl Ring {
                 // link r carries r -> r+1 traffic
                 tx_next: txs[r].take().expect("unique sender"),
                 rx_prev: rxs[(r + n - 1) % n].take().expect("unique receiver"),
+                timeout,
                 sent_bytes: 0,
                 wait_ms: 0.0,
             })
             .collect()
     }
 
-    fn send(&mut self, buf: Vec<f32>) {
-        self.sent_bytes += 4 * buf.len() as u64;
-        self.tx_next.send(buf).expect("ring peer alive");
+    fn prev_rank(&self) -> usize {
+        (self.rank + self.n - 1) % self.n
     }
 
-    fn recv(&mut self) -> Vec<f32> {
+    fn send(&mut self, buf: Vec<f32>) -> Result<(), CollectiveError> {
+        self.sent_bytes += 4 * buf.len() as u64;
+        self.tx_next
+            .send(buf)
+            .map_err(|_| CollectiveError::RankLost {
+                rank: (self.rank + 1) % self.n,
+            })
+    }
+
+    fn recv(&mut self) -> Result<Vec<f32>, CollectiveError> {
         let t0 = Instant::now();
-        let got = self.rx_prev.recv().expect("ring peer alive");
+        let got = self.rx_prev.recv_timeout(self.timeout).map_err(|e| {
+            use crossbeam::channel::RecvTimeoutError;
+            match e {
+                RecvTimeoutError::Disconnected => CollectiveError::RankLost {
+                    rank: self.prev_rank(),
+                },
+                RecvTimeoutError::Timeout => CollectiveError::Timeout {
+                    rank: self.prev_rank(),
+                    waited_ms: self.timeout.as_millis() as u64,
+                },
+            }
+        });
         self.wait_ms += t0.elapsed().as_secs_f64() * 1e3;
         got
     }
@@ -304,31 +430,41 @@ impl Ring {
     /// `r` holds the fully reduced chunk `bounds[r]`; other chunks hold
     /// partial sums. Each chunk's additions happen in ring order
     /// starting from rank `r+1` — the order [`ring_fold`] replays.
-    fn reduce_scatter(&mut self, buf: &mut [f32], bounds: &[Range<usize>]) {
+    fn reduce_scatter(
+        &mut self,
+        buf: &mut [f32],
+        bounds: &[Range<usize>],
+    ) -> Result<(), CollectiveError> {
         let n = self.n;
         for s in 0..n.saturating_sub(1) {
             let send_idx = (self.rank + n - 1 - s) % n;
-            self.send(buf[bounds[send_idx].clone()].to_vec());
+            self.send(buf[bounds[send_idx].clone()].to_vec())?;
             let recv_idx = (self.rank + 2 * n - 2 - s) % n;
-            let incoming = self.recv();
+            let incoming = self.recv()?;
             for (dst, src) in buf[bounds[recv_idx].clone()].iter_mut().zip(&incoming) {
                 *dst += *src;
             }
         }
+        Ok(())
     }
 
     /// Chunked ring allgather over `bounds`: rank `r` starts with the
     /// authoritative `bounds[r]` and after N−1 steps every rank holds
     /// every chunk.
-    fn allgather(&mut self, buf: &mut [f32], bounds: &[Range<usize>]) {
+    fn allgather(
+        &mut self,
+        buf: &mut [f32],
+        bounds: &[Range<usize>],
+    ) -> Result<(), CollectiveError> {
         let n = self.n;
         for s in 0..n.saturating_sub(1) {
             let send_idx = (self.rank + n - s) % n;
-            self.send(buf[bounds[send_idx].clone()].to_vec());
+            self.send(buf[bounds[send_idx].clone()].to_vec())?;
             let recv_idx = (self.rank + n - 1 - s) % n;
-            let incoming = self.recv();
+            let incoming = self.recv()?;
             buf[bounds[recv_idx].clone()].copy_from_slice(&incoming);
         }
+        Ok(())
     }
 }
 
@@ -359,34 +495,37 @@ pub fn ring_fold(parts: &[Vec<f32>], bounds: &[Range<usize>]) -> Vec<f32> {
 /// Run a real threaded ring allreduce (sum) over the given per-rank
 /// buffers and chunk bounds. Returns each rank's resulting buffer plus
 /// the bytes each rank sent — the unit-testable surface of the ring.
+///
+/// Receives are bounded: a dead or wedged participant surfaces as a
+/// typed [`CollectiveError`] instead of blocking the caller forever.
 pub fn ring_allreduce_sum(
     parts: Vec<Vec<f32>>,
     bounds: &[Range<usize>],
-) -> (Vec<Vec<f32>>, Vec<u64>) {
+) -> Result<(Vec<Vec<f32>>, Vec<u64>), CollectiveError> {
     let n = parts.len();
     assert!(n > 0, "need at least one rank");
     assert_eq!(bounds.len(), n, "one chunk per rank");
-    let rings = Ring::build(n);
+    let rings = Ring::build(n, DEFAULT_RING_TIMEOUT);
     std::thread::scope(|scope| {
         let handles: Vec<_> = rings
             .into_iter()
             .zip(parts)
             .map(|(mut ring, mut buf)| {
-                scope.spawn(move || {
-                    ring.reduce_scatter(&mut buf, bounds);
-                    ring.allgather(&mut buf, bounds);
-                    (buf, ring.sent_bytes)
+                scope.spawn(move || -> Result<(Vec<f32>, u64), CollectiveError> {
+                    ring.reduce_scatter(&mut buf, bounds)?;
+                    ring.allgather(&mut buf, bounds)?;
+                    Ok((buf, ring.sent_bytes))
                 })
             })
             .collect();
         let mut bufs = Vec::with_capacity(n);
         let mut bytes = Vec::with_capacity(n);
         for h in handles {
-            let (b, sent) = h.join().expect("ring worker");
+            let (b, sent) = h.join().expect("ring worker")?;
             bufs.push(b);
             bytes.push(sent);
         }
-        (bufs, bytes)
+        Ok((bufs, bytes))
     })
 }
 
@@ -489,6 +628,7 @@ fn owned_sq_norms(flat: &[f32], plan: &ShardPlan, tensors: &Range<usize>, out: &
 #[derive(Debug)]
 enum ToWorker {
     Step {
+        step: usize,
         micro: Batch,
         lr: f32,
         eval: bool,
@@ -512,33 +652,14 @@ enum FromWorker {
         sent_bytes: u64,
         opt_bytes: usize,
     },
+    /// A collective failed under this rank: it reports the typed error
+    /// and exits — the coordinator decides who actually died.
+    StepFailed {
+        rank: usize,
+        err: CollectiveError,
+    },
     Opt(usize, OptimizerState),
     Image(Vec<u8>),
-}
-
-/// Keep only the parameters `mask` owns from a full optimizer state —
-/// what a ZeRO-1 worker imports when resuming from a consolidated
-/// checkpoint.
-fn shard_state(full: &OptimizerState, mask: &[bool]) -> OptimizerState {
-    OptimizerState {
-        step: full.step,
-        slots: full
-            .slots
-            .iter()
-            .map(|slot| {
-                slot.iter()
-                    .enumerate()
-                    .map(|(i, p)| {
-                        if mask.get(i).copied().unwrap_or(false) {
-                            p.clone()
-                        } else {
-                            Vec::new()
-                        }
-                    })
-                    .collect()
-            })
-            .collect(),
-    }
 }
 
 struct WorkerSeat {
@@ -546,6 +667,10 @@ struct WorkerSeat {
     ring: Ring,
     rx: Receiver<ToWorker>,
     tx: Sender<FromWorker>,
+    /// Injected faults this worker consults at each step.
+    faults: Arc<FaultPlan>,
+    /// Liveness board the coordinator reads for failure detection.
+    beats: Arc<Heartbeats>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -564,6 +689,8 @@ fn worker_main(
         mut ring,
         rx,
         tx,
+        faults,
+        beats,
     } = seat;
     let n = ring.n;
     let (model, mut store) = build_model(cfg, vocab);
@@ -575,7 +702,7 @@ fn worker_main(
     let mask = plan.owned_mask(rank);
     if let Some(full) = opt_restore {
         opt.import_state(if zero1 {
-            shard_state(full, &mask)
+            full.shard(&mask)
         } else {
             full.clone()
         });
@@ -602,61 +729,95 @@ fn worker_main(
     );
 
     let n_tensors = plan.offsets.len() - 1;
-    loop {
-        match rx.recv().expect("coordinator alive") {
-            ToWorker::Step { micro, lr, eval } => {
+    // A vanished coordinator (failure teardown) ends the worker
+    // gracefully instead of poisoning the thread scope.
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            ToWorker::Step {
+                step,
+                micro,
+                lr,
+                eval,
+            } => {
+                beats.beat(rank);
                 let _step_span = Span::enter(pids::PARALLEL, "dp", "worker-step");
+                match faults.take(rank, step) {
+                    Some(FaultKind::Kill) => {
+                        // Die mid-step: the gradients are computed but
+                        // this rank's ring endpoints drop before its
+                        // first send — peers observe exactly what a
+                        // vanished node looks like.
+                        let _ = micro_grads(cfg, &model, &mut store, &micro);
+                        return None;
+                    }
+                    Some(FaultKind::Stall { ms }) => std::thread::sleep(Duration::from_millis(ms)),
+                    None => {}
+                }
                 let bytes_before = ring.sent_bytes;
                 let wait_before = ring.wait_ms;
                 let t0 = Instant::now();
                 let micro_loss = micro_grads(cfg, &model, &mut store, &micro);
+                beats.beat(rank);
                 let mut flat = store.flat_grads();
 
-                {
-                    let _s = Span::enter(pids::PARALLEL, "dp", "reduce-scatter");
-                    ring.reduce_scatter(&mut flat, &plan.flat);
-                }
-                scale_owned(&mut flat, &plan.flat[rank], n);
+                let synced = (|| -> Result<(), CollectiveError> {
+                    {
+                        let _s = Span::enter(pids::PARALLEL, "dp", "reduce-scatter");
+                        ring.reduce_scatter(&mut flat, &plan.flat)?;
+                    }
+                    beats.beat(rank);
+                    scale_owned(&mut flat, &plan.flat[rank], n);
 
-                if zero1 {
-                    // Global-norm clip from allgathered per-tensor norms,
-                    // folded in tensor order like `ParamStore::grad_norm`.
-                    let mut norms = vec![0.0f32; n_tensors];
-                    owned_sq_norms(&flat, plan, &plan.tensors[rank], &mut norms);
-                    {
-                        let _s = Span::enter(pids::PARALLEL, "dp", "allgather-norms");
-                        ring.allgather(&mut norms, &plan.tensors);
-                    }
-                    let norm = norms.iter().sum::<f32>().sqrt();
-                    if norm > 1.0 {
-                        let s = 1.0 / norm;
-                        for x in &mut flat[plan.flat[rank].clone()] {
-                            *x *= s;
+                    if zero1 {
+                        // Global-norm clip from allgathered per-tensor norms,
+                        // folded in tensor order like `ParamStore::grad_norm`.
+                        let mut norms = vec![0.0f32; n_tensors];
+                        owned_sq_norms(&flat, plan, &plan.tensors[rank], &mut norms);
+                        {
+                            let _s = Span::enter(pids::PARALLEL, "dp", "allgather-norms");
+                            ring.allgather(&mut norms, &plan.tensors)?;
                         }
-                    }
-                    store.load_flat_grads(&flat);
-                    {
+                        let norm = norms.iter().sum::<f32>().sqrt();
+                        if norm > 1.0 {
+                            let s = 1.0 / norm;
+                            for x in &mut flat[plan.flat[rank].clone()] {
+                                *x *= s;
+                            }
+                        }
+                        store.load_flat_grads(&flat);
+                        {
+                            let _s = Span::enter(pids::PARALLEL, "dp", "optimizer");
+                            opt.step_masked(&mut store, lr, &mask);
+                        }
+                        beats.beat(rank);
+                        let mut vals = store.flat_values();
+                        {
+                            let _s = Span::enter(pids::PARALLEL, "dp", "allgather-params");
+                            ring.allgather(&mut vals, &plan.flat)?;
+                        }
+                        store.load_flat_values(&vals);
+                    } else {
+                        {
+                            let _s = Span::enter(pids::PARALLEL, "dp", "allgather-grads");
+                            ring.allgather(&mut flat, &plan.flat)?;
+                        }
+                        store.load_flat_grads(&flat);
                         let _s = Span::enter(pids::PARALLEL, "dp", "optimizer");
-                        opt.step_masked(&mut store, lr, &mask);
+                        store.clip_grad_norm(1.0);
+                        opt.step(&mut store, lr);
                     }
-                    let mut vals = store.flat_values();
-                    {
-                        let _s = Span::enter(pids::PARALLEL, "dp", "allgather-params");
-                        ring.allgather(&mut vals, &plan.flat);
-                    }
-                    store.load_flat_values(&vals);
-                } else {
-                    {
-                        let _s = Span::enter(pids::PARALLEL, "dp", "allgather-grads");
-                        ring.allgather(&mut flat, &plan.flat);
-                    }
-                    store.load_flat_grads(&flat);
-                    let _s = Span::enter(pids::PARALLEL, "dp", "optimizer");
-                    store.clip_grad_norm(1.0);
-                    opt.step(&mut store, lr);
+                    Ok(())
+                })();
+                if let Err(err) = synced {
+                    // Report the typed failure (best-effort: the
+                    // coordinator may already be tearing down) and exit;
+                    // dropping the ring wakes any peer still blocked.
+                    let _ = tx.send(FromWorker::StepFailed { rank, err });
+                    return None;
                 }
                 // Compute = wall time not blocked on ring receives.
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                beats.beat(rank);
 
                 let val_loss =
                     (eval && rank == 0).then(|| validation_loss_on(&model, &store, val_batches));
@@ -666,7 +827,7 @@ fn worker_main(
                 bytes_total.add(sent);
                 sync_wait.observe(waited);
                 steps_total.inc();
-                tx.send(FromWorker::StepDone {
+                let done = FromWorker::StepDone {
                     rank,
                     micro_loss,
                     val_loss,
@@ -674,18 +835,22 @@ fn worker_main(
                     comm_ms: waited,
                     sent_bytes: sent,
                     opt_bytes: opt.state_bytes(),
-                })
-                .expect("coordinator alive");
+                };
+                if tx.send(done).is_err() {
+                    break;
+                }
             }
             ToWorker::ExportOpt => {
-                tx.send(FromWorker::Opt(rank, opt.export_state()))
-                    .expect("coordinator alive");
+                if tx.send(FromWorker::Opt(rank, opt.export_state())).is_err() {
+                    break;
+                }
             }
             ToWorker::Assemble(sections) => {
                 let _s = Span::enter(pids::PARALLEL, "dp", "checkpoint");
                 let image = checkpoint::save_with_sections(&store, &sections).to_vec();
-                tx.send(FromWorker::Image(image))
-                    .expect("coordinator alive");
+                if tx.send(FromWorker::Image(image)).is_err() {
+                    break;
+                }
             }
             ToWorker::Finish => break,
         }
@@ -928,7 +1093,9 @@ impl DataParallel {
         let schedule = CosineSchedule::paper(cfg.lr, cfg.steps);
         let eval_every = (cfg.steps / 10).max(1);
 
-        let rings = Ring::build(n);
+        let rings = Ring::build(n, DEFAULT_RING_TIMEOUT);
+        let faults = Arc::new(FaultPlan::none());
+        let beats = Arc::new(Heartbeats::new(n));
         let (tx_out, rx_out) = unbounded::<FromWorker>();
         let mut cmd_txs: Vec<Sender<ToWorker>> = Vec::with_capacity(n);
         let mut seats: Vec<WorkerSeat> = Vec::with_capacity(n);
@@ -940,6 +1107,8 @@ impl DataParallel {
                 ring,
                 rx: rx_cmd,
                 tx: tx_out.clone(),
+                faults: Arc::clone(&faults),
+                beats: Arc::clone(&beats),
             });
         }
         drop(tx_out);
@@ -980,7 +1149,12 @@ impl DataParallel {
                 let batch = dataset.sample_batch(cfg.batch_seqs, cfg.seq);
                 for (rank, micro) in split_batch(&batch, n).into_iter().enumerate() {
                     cmd_txs[rank]
-                        .send(ToWorker::Step { micro, lr, eval })
+                        .send(ToWorker::Step {
+                            step,
+                            micro,
+                            lr,
+                            eval,
+                        })
                         .expect("worker alive");
                 }
                 let mut losses = vec![0.0f32; n];
@@ -1004,6 +1178,9 @@ impl DataParallel {
                             slowest = slowest.max(compute_ms);
                             bytes_accum += sent_bytes;
                             opt_bytes[rank] = ob;
+                        }
+                        FromWorker::StepFailed { rank, err } => {
+                            unreachable!("rank {rank} failed a fault-free run: {err}")
                         }
                         _ => unreachable!("only StepDone during a step"),
                     }
@@ -1247,7 +1424,7 @@ mod tests {
             .collect();
         let bounds = ring_chunks(11, 3); // non-divisible remainder chunks
         let expect = ring_fold(&parts, &bounds);
-        let (results, bytes) = ring_allreduce_sum(parts, &bounds);
+        let (results, bytes) = ring_allreduce_sum(parts, &bounds).expect("healthy ring");
         for buf in &results {
             let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(buf), bits(&expect));
@@ -1256,6 +1433,121 @@ mod tests {
         let mean = bytes.iter().sum::<u64>() as f64 / bytes.len() as f64;
         let formula = wire_bytes(Collective::AllReduce, 11.0 * 4.0, 3);
         assert!((mean - formula).abs() < 1e-9, "{mean} vs {formula}");
+    }
+
+    #[test]
+    fn shard_plan_more_ranks_than_tensors_leaves_empty_shards() {
+        let sizes = vec![8, 4];
+        let plan = ShardPlan::new(&sizes, 5);
+        assert_eq!(plan.flat.len(), 5);
+        assert_eq!(plan.shard_scalars().iter().sum::<usize>(), 12);
+        // coverage is contiguous even through the empty shards
+        assert_eq!(plan.flat[0].start, 0);
+        assert_eq!(plan.flat[4].end, 12);
+        for w in plan.flat.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let owners = plan.owners();
+        assert_eq!(owners.len(), 2);
+        for (t, &o) in owners.iter().enumerate() {
+            assert!(plan.owned_mask(o)[t]);
+        }
+        assert!(
+            plan.shard_scalars().contains(&0),
+            "surplus ranks own nothing"
+        );
+    }
+
+    #[test]
+    fn shard_plan_zero_length_tensors_are_always_owned() {
+        // zero-length tensors at the head, middle and tail — every one
+        // must still have exactly one owner, whatever the rank count
+        let sizes = vec![0, 5, 0, 7, 0, 0];
+        for n in 1..=5 {
+            let plan = ShardPlan::new(&sizes, n);
+            assert_eq!(plan.total, 12);
+            let owners = plan.owners();
+            assert_eq!(owners.len(), sizes.len());
+            for (t, &o) in owners.iter().enumerate() {
+                assert!(plan.owned_mask(o)[t], "tensor {t} owned at n={n}");
+            }
+            assert_eq!(plan.flat[0].start, 0);
+            assert_eq!(plan.flat[n - 1].end, 12);
+        }
+    }
+
+    #[test]
+    fn shard_plan_degenerate_all_zero_and_empty_inputs() {
+        for sizes in [vec![], vec![0, 0, 0]] {
+            for n in 1..=3 {
+                let plan = ShardPlan::new(&sizes, n);
+                assert_eq!(plan.total, 0);
+                assert_eq!(plan.owners().len(), sizes.len());
+                assert!(plan.flat.iter().all(|r| r.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_single_worker_owns_everything() {
+        let plan = ShardPlan::new(&[3, 0, 9], 1);
+        assert_eq!(plan.flat, vec![0..12]);
+        assert_eq!(plan.tensors, vec![0..3]);
+        assert_eq!(plan.owners(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn shard_plan_zero_ranks_is_a_typed_error() {
+        assert!(matches!(
+            ShardPlan::try_new(&[4], 0),
+            Err(ShardPlanError::NoRanks)
+        ));
+    }
+
+    #[test]
+    fn ring_recv_from_dropped_peer_is_rank_lost_not_a_hang() {
+        // rank 1's endpoints are dropped before it ever sends: rank 0's
+        // reduce-scatter must come back with a typed RankLost, and rank
+        // 1's vanishing must cascade to rank 2 rather than deadlock.
+        let mut rings = Ring::build(3, Duration::from_secs(5));
+        let r2 = rings.pop().expect("rank 2");
+        let r1 = rings.pop().expect("rank 1");
+        let r0 = rings.pop().expect("rank 0");
+        drop(r1);
+        let bounds = ring_chunks(9, 3);
+        std::thread::scope(|scope| {
+            for mut ring in [r0, r2] {
+                let bounds = &bounds;
+                scope.spawn(move || {
+                    let mut buf = vec![1.0f32; 9];
+                    let err = ring
+                        .reduce_scatter(&mut buf, bounds)
+                        .expect_err("peer is gone");
+                    assert!(matches!(err, CollectiveError::RankLost { .. }), "{err}");
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn ring_recv_from_silent_peer_times_out() {
+        // rank 1 stays alive but never participates: rank 0 must give
+        // up after the bounded wait and name the silent predecessor.
+        let mut rings = Ring::build(2, Duration::from_millis(50));
+        let _r1 = rings.pop().expect("rank 1 held alive, silent");
+        let mut r0 = rings.pop().expect("rank 0");
+        let bounds = ring_chunks(4, 2);
+        let mut buf = vec![1.0f32; 4];
+        let err = r0
+            .reduce_scatter(&mut buf, &bounds)
+            .expect_err("peer never sends");
+        assert_eq!(
+            err,
+            CollectiveError::Timeout {
+                rank: 1,
+                waited_ms: 50
+            }
+        );
     }
 
     #[test]

@@ -87,6 +87,85 @@ impl FaultModel {
         let x = delta / (2.0 * m);
         (2.0 * delta * m).sqrt() * (1.0 + x.sqrt() / 3.0 + x / 9.0) - delta
     }
+
+    /// Sample the seeded failure schedule one executed run would see:
+    /// exponential arrivals at the job MTBF over `horizon_steps` steps
+    /// of `step_s` seconds each, each failure killing a uniformly drawn
+    /// rank in `0..workers`. Returned as `(step, rank)` pairs sorted by
+    /// step — the input an executed-training fault injector replays, so
+    /// measured goodput and [`resilient_training_run`] face the same
+    /// failure process.
+    pub fn sample_failure_schedule(
+        &self,
+        workers: usize,
+        horizon_steps: usize,
+        step_s: f64,
+    ) -> Vec<(usize, usize)> {
+        assert!(workers > 0, "need at least one rank");
+        assert!(step_s > 0.0, "steps take positive time");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xfa17_5eed);
+        let mtbf = self.job_mtbf_s(workers);
+        let mut out = Vec::new();
+        if !mtbf.is_finite() {
+            return out;
+        }
+        let horizon_s = horizon_steps as f64 * step_s;
+        let mut t = -mtbf * (1.0 - rng.gen::<f64>()).ln();
+        while t < horizon_s {
+            let step = (t / step_s) as usize;
+            let rank = rng.gen_range(0..workers);
+            out.push((step.min(horizon_steps.saturating_sub(1)), rank));
+            t += -mtbf * (1.0 - rng.gen::<f64>()).ln();
+        }
+        out
+    }
+}
+
+/// Executed-vs-predicted agreement on the goodput-vs-interval curve.
+///
+/// Given a measured sweep (`intervals` with their `goodput` values) and
+/// a predicted optimal interval (e.g. [`FaultModel::daly_interval_s`]),
+/// reports where the measured optimum landed, which grid point the
+/// prediction names, and whether they are within one grid step of each
+/// other — the acceptance form of the executed-vs-simulated claim.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IntervalAgreement {
+    /// Index of the measured goodput maximum in the sweep grid.
+    pub measured_idx: usize,
+    /// Index of the grid interval closest to the predicted optimum.
+    pub predicted_idx: usize,
+    /// `|measured_idx − predicted_idx| ≤ 1`.
+    pub within_one_step: bool,
+}
+
+/// Compare a measured goodput sweep against a predicted optimal
+/// interval. Panics on empty or mismatched inputs — the sweep is
+/// caller-constructed, so shape errors are bugs, not data.
+pub fn interval_agreement(intervals: &[f64], goodput: &[f64], predicted: f64) -> IntervalAgreement {
+    assert!(!intervals.is_empty(), "sweep needs at least one interval");
+    assert_eq!(intervals.len(), goodput.len(), "one goodput per interval");
+    let argbest = |vals: &mut dyn Iterator<Item = (usize, f64)>| -> usize {
+        vals.fold((0usize, f64::NEG_INFINITY), |best, (i, v)| {
+            if v > best.1 {
+                (i, v)
+            } else {
+                best
+            }
+        })
+        .0
+    };
+    let measured_idx = argbest(&mut goodput.iter().copied().enumerate());
+    let predicted_idx = argbest(
+        &mut intervals
+            .iter()
+            .map(|&i| -(i - predicted).abs())
+            .enumerate(),
+    );
+    IntervalAgreement {
+        measured_idx,
+        predicted_idx,
+        within_one_step: measured_idx.abs_diff(predicted_idx) <= 1,
+    }
 }
 
 /// Aggregate accounting of a failure-prone run (means over replications).
@@ -393,6 +472,40 @@ mod tests {
             "tally {sum} vs wall {}",
             run.wall_hours
         );
+    }
+
+    #[test]
+    fn failure_schedule_is_seeded_and_respects_mtbf() {
+        let fm = harsh();
+        let a = fm.sample_failure_schedule(4, 1000, 60.0);
+        let b = fm.sample_failure_schedule(4, 1000, 60.0);
+        assert_eq!(a, b, "same seed, same schedule");
+        // 1000 steps × 60 s at ~1.1 h job MTBF (4 GCDs on one node):
+        // expect failures, all in range and sorted
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        for &(step, rank) in &a {
+            assert!(step < 1000 && rank < 4);
+        }
+        let infallible = FaultModel {
+            node_mtbf_hours: f64::INFINITY,
+            ..FaultModel::default()
+        };
+        assert!(infallible.sample_failure_schedule(4, 1000, 60.0).is_empty());
+    }
+
+    #[test]
+    fn interval_agreement_flags_adjacent_and_distant_optima() {
+        let grid = [2.0, 4.0, 8.0, 16.0];
+        // measured peak at 8, predicted 5.6 → nearest grid 4: adjacent
+        let a = interval_agreement(&grid, &[0.4, 0.5, 0.55, 0.45], 5.6);
+        assert_eq!((a.measured_idx, a.predicted_idx), (2, 1));
+        assert!(a.within_one_step);
+        // measured peak at 2, predicted 16: two grid steps apart
+        let b = interval_agreement(&grid, &[0.6, 0.5, 0.4, 0.3], 16.0);
+        assert!(!b.within_one_step);
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub mod power;
 pub mod trace;
 
 pub use collectives::{collective_time, Collective};
-pub use faults::{goodput_sweep, resilient_training_run, FaultModel, ResilientTrainingRun};
+pub use faults::{
+    goodput_sweep, interval_agreement, resilient_training_run, FaultModel, IntervalAgreement,
+    ResilientTrainingRun,
+};
 pub use gridsearch::{one_b_grid, Constraints, GridCell};
 pub use inference::{simulate_inference, InferenceReport, InferenceSetup};
 pub use kernels::{FlashVersion, KernelModel};

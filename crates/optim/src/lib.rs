@@ -169,6 +169,35 @@ impl OptimizerState {
         })
     }
 
+    /// Restrict a full state to the parameters `owned` flags — the
+    /// inverse of [`OptimizerState::merge_shards`], and the ZeRO-1
+    /// redistribution primitive: re-sharding a consolidated state onto
+    /// a different worker count is `shard` under the new plan's masks.
+    /// Unowned entries become empty vectors (the shape
+    /// [`Optimizer::import_state`] expects for lazily-sized moments);
+    /// parameters beyond `owned.len()` are treated as unowned.
+    pub fn shard(&self, owned: &[bool]) -> OptimizerState {
+        OptimizerState {
+            step: self.step,
+            slots: self
+                .slots
+                .iter()
+                .map(|slot| {
+                    slot.iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            if owned.get(i).copied().unwrap_or(false) {
+                                p.clone()
+                            } else {
+                                Vec::new()
+                            }
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
     /// Payload bytes of this state (4 per f32 plus the step counter) —
     /// the same accounting as [`Optimizer::state_bytes`].
     pub fn payload_bytes(&self) -> usize {
@@ -585,6 +614,39 @@ mod tests {
     #[test]
     fn lamb_converges_on_quadratic() {
         assert!(run(Lamb::new(AdamConfig::paper_lamb()), 300, 0.05) < 1e-1);
+    }
+
+    #[test]
+    fn shard_then_merge_round_trips_and_reshards() {
+        // A full 4-parameter state, sharded across 3 owners, merged
+        // back, then re-sharded for a 2-owner world: every path must be
+        // bit-exact, and re-sharding the merged state must equal
+        // sharding the original directly — the elastic N→N−1 contract.
+        let full = OptimizerState {
+            step: 7,
+            slots: vec![
+                vec![vec![1.0, 2.0], vec![3.0], vec![4.0, 5.0, 6.0], vec![7.0]],
+                vec![vec![0.1, 0.2], vec![0.3], vec![0.4, 0.5, 0.6], vec![0.7]],
+            ],
+        };
+        let owner3 = [0usize, 1, 1, 2];
+        let shards: Vec<OptimizerState> = (0..3)
+            .map(|r| {
+                let mask: Vec<bool> = owner3.iter().map(|&o| o == r).collect();
+                full.shard(&mask)
+            })
+            .collect();
+        // unowned entries are empty, owned are intact
+        assert!(shards[0].slots[0][1].is_empty());
+        assert_eq!(shards[1].slots[0][2], vec![4.0, 5.0, 6.0]);
+        let merged = OptimizerState::merge_shards(&shards, &owner3).expect("consistent shards");
+        assert_eq!(merged, full);
+        // elastic redistribution: shard(merge(shards(full))) == shard(full)
+        let owner2 = [0usize, 0, 1, 1];
+        for r in 0..2 {
+            let mask: Vec<bool> = owner2.iter().map(|&o| o == r).collect();
+            assert_eq!(merged.shard(&mask), full.shard(&mask));
+        }
     }
 
     #[test]

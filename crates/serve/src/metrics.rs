@@ -94,6 +94,12 @@ pub(crate) struct MetricsInner {
     /// and refilled (cumulative) — the numerator of the reuse ratio
     /// `ext_paged_bench` reports.
     pub kv_block_shares: Counter,
+    /// Actively decoding requests bumped back to the parking lot by
+    /// paged KV-pool exhaustion (cumulative). Preempted work is
+    /// re-prefilled on readmission, so this counter is the "wasted
+    /// prefill" signal capacity planning reads next to
+    /// `kv_blocks_evicted` (which counts the blocks each bump freed).
+    pub preemptions: Counter,
 }
 
 impl Default for MetricsInner {
@@ -184,6 +190,10 @@ impl MetricsInner {
             "serve_kv_block_shares_total",
             "KV blocks reused through copy-on-write prefix sharing",
         );
+        let preemptions = registry.counter(
+            "serve_preemptions_total",
+            "active requests bumped back to the parking lot",
+        );
         Self {
             registry,
             queue_depth,
@@ -210,6 +220,7 @@ impl MetricsInner {
             kv_blocks_evicted,
             kv_block_allocs,
             kv_block_shares,
+            preemptions,
         }
     }
 
@@ -319,6 +330,7 @@ impl MetricsInner {
             kv_blocks_evicted: self.kv_blocks_evicted.get(),
             kv_block_allocs: self.kv_block_allocs.get(),
             kv_block_shares: self.kv_block_shares.get(),
+            preemptions: self.preemptions.get(),
         }
     }
 }
@@ -372,6 +384,10 @@ pub struct MetricsSnapshot {
     /// (cumulative) — with `kv_block_allocs`, gives the reuse ratio
     /// `shares / (allocs + shares)`.
     pub kv_block_shares: u64,
+    /// Actively decoding requests bumped back to the parking lot by
+    /// paged KV-pool exhaustion (cumulative), each of which will
+    /// re-prefill on readmission.
+    pub preemptions: u64,
 }
 
 impl MetricsSnapshot {
@@ -441,6 +457,7 @@ mod tests {
             "serve_kv_blocks_evicted_total",
             "serve_kv_block_allocs_total",
             "serve_kv_block_shares_total",
+            "serve_preemptions_total",
         ] {
             assert!(
                 families.iter().any(|f| f.name == name),

@@ -784,6 +784,7 @@ pub(crate) fn run(
                             break;
                         }
                         let a = active.remove(active.len() - 1);
+                        metrics.preemptions.inc();
                         metrics
                             .kv_blocks_evicted
                             .add(a.cache.paged().map_or(0, |p| p.blocks_held()) as u64);

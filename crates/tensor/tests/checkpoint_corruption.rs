@@ -8,18 +8,44 @@ use matgpt_tensor::checkpoint::{load, load_full, save_with_sections, CheckpointE
 use matgpt_tensor::{init, ParamStore, Tensor};
 use proptest::prelude::*;
 
-fn sample_bytes() -> Vec<u8> {
+fn sample_store() -> ParamStore {
     let mut rng = init::rng(21);
     let mut s = ParamStore::new();
     s.add("wte", init::randn(&[5, 3], 0.3, &mut rng));
     s.add("ln.g", init::randn(&[3], 1.0, &mut rng));
     s.add("head", init::randn(&[3, 5], 0.3, &mut rng));
     s.add("step_scalar", Tensor::scalar(12.0));
-    let sections = vec![
-        ("opt_state".to_string(), (0u8..32).collect::<Vec<u8>>()),
+    s
+}
+
+/// Sections shaped like the ones the trainer's resumable checkpoints
+/// actually carry: a moment-vector blob, a step counter, a loader
+/// cursor, and recorded loss curves.
+fn sample_sections() -> Vec<(String, Vec<u8>)> {
+    let opt_state: Vec<u8> = (0..256u32)
+        .flat_map(|i| (i as f32 * 0.01).to_le_bytes())
+        .collect();
+    let curves: Vec<u8> = (0..24u32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+    vec![
+        ("opt_state".to_string(), opt_state),
+        ("step".to_string(), 12u64.to_le_bytes().to_vec()),
         ("data_cursor".to_string(), vec![9u8; 16]),
-    ];
-    save_with_sections(&s, &sections).to_vec()
+        ("curves".to_string(), curves),
+    ]
+}
+
+fn sample_bytes() -> Vec<u8> {
+    save_with_sections(&sample_store(), &sample_sections()).to_vec()
+}
+
+/// Byte offset where the v2 section table (the `n_sections` count)
+/// begins: everything before it is the v1-compatible weight table.
+fn sections_start(full_len: usize) -> usize {
+    let trailer: usize = 4 + sample_sections()
+        .iter()
+        .map(|(n, b)| 12 + n.len() + b.len())
+        .sum::<usize>();
+    full_len - trailer
 }
 
 proptest! {
@@ -79,6 +105,71 @@ proptest! {
         }
         let _ = load(&bytes); // must return, not panic
     }
+
+    /// Corruption confined to the v2 section region (names, lengths, or
+    /// payload of `opt_state`/`step`/`data_cursor`/`curves`) can never
+    /// damage the weights: decoding returns a typed error or a store
+    /// that is bit-exact to the original — the property the resilience
+    /// layer's rollback leans on when it replays a snapshot whose
+    /// trailer went bad.
+    #[test]
+    fn section_region_corruption_cannot_touch_the_weights(
+        pos_frac in 0.0f64..1.0,
+        len in 1usize..32,
+        mask in 1u8..=255,
+    ) {
+        let clean = sample_store();
+        let mut bytes = sample_bytes();
+        let start = sections_start(bytes.len());
+        let pos = start + ((bytes.len() - start - 1) as f64 * pos_frac) as usize;
+        let end = (pos + len).min(bytes.len());
+        for b in &mut bytes[pos..end] {
+            *b ^= mask;
+        }
+        match load_full(&bytes) {
+            Ok(ck) => prop_assert_eq!(
+                ck.store.flat_values(),
+                clean.flat_values(),
+                "section corruption leaked into the weight table"
+            ),
+            Err(
+                CheckpointError::BadMagic
+                | CheckpointError::BadVersion(_)
+                | CheckpointError::Truncated
+                | CheckpointError::ShapeMismatch,
+            ) => {}
+        }
+    }
+
+    /// Truncating anywhere inside the section region is a typed error
+    /// (the section table is declared up front), never a panic, and the
+    /// weight prefix stays recoverable via the v1 path below.
+    #[test]
+    fn section_region_truncation_is_a_typed_error(frac in 0.0f64..1.0) {
+        let bytes = sample_bytes();
+        let start = sections_start(bytes.len());
+        let cut = start + ((bytes.len() - start - 1) as f64 * frac) as usize;
+        prop_assert!(matches!(
+            load_full(&bytes[..cut]),
+            Err(CheckpointError::Truncated)
+        ));
+    }
+}
+
+/// The weight table of a v2 checkpoint IS a v1 checkpoint: cutting the
+/// buffer at the section table and patching the version field back to 1
+/// must load the store bit-exactly — forward-written images keep a
+/// prefix that older readers can still use.
+#[test]
+fn v2_weight_prefix_is_v1_readable_bit_exact() {
+    let clean = sample_store();
+    let bytes = sample_bytes();
+    let mut v1 = bytes[..sections_start(bytes.len())].to_vec();
+    v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+    let store = load(&v1).expect("v1 prefix loads");
+    assert_eq!(store.flat_values(), clean.flat_values());
+    let full = load_full(&v1).expect("v1 prefix loads fully");
+    assert!(full.sections.is_empty(), "v1 has no section table");
 }
 
 /// Deterministic regression: a dim flipped to a huge value must be

@@ -16,11 +16,12 @@ cargo run --release -q -p matgpt-bench --bin ext_quant
 cargo run --release -q -p matgpt-bench --bin ext_serve_bench
 cargo run --release -q -p matgpt-bench --bin ext_parallel
 cargo run --release -q -p matgpt-bench --bin ext_paged_bench
+cargo run --release -q -p matgpt-bench --bin ext_resilience
 
 echo
 echo "== diffing against committed baselines (tolerance ${TOLERANCE}) =="
 status=0
-for bench in quant serve parallel paged; do
+for bench in quant serve parallel paged resilience; do
   fresh="target/bench/BENCH_${bench}.json"
   baseline="benchmarks/BENCH_${bench}.json"
   # single-core CI makes the data-parallel critical-path ratio and the

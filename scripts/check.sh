@@ -16,7 +16,22 @@ cargo test -q
 
 echo "== fault-tolerance: checkpoint-restart + failure injection =="
 cargo test -q --test fault_tolerance
-cargo test -q -p matgpt-tensor --test checkpoint_corruption
+# corruption properties get a deeper sweep than the proptest default —
+# the v2 section region (optimizer state, cursor, curves) is what the
+# resilience rollback path trusts
+PROPTEST_CASES=512 cargo test -q -p matgpt-tensor --test checkpoint_corruption
+
+echo "== resilience: executed fault tolerance (kill/stall/elastic re-shard) =="
+cargo test -q --test resilience
+# seeded chaos matrix: each seed draws a different kill schedule from
+# the simulator's MTBF process; every run must stay bit-identical to
+# the sequential reference
+for seed in 3 11 1337; do
+  echo "-- chaos seed ${seed} --"
+  MATGPT_CHAOS_SEED="$seed" cargo test -q --test resilience \
+    seeded_chaos_run_still_matches_the_sequential_reference
+done
+cargo run --release -q -p matgpt-bench --bin ext_resilience -- --smoke
 
 echo "== observability: matgpt-obs suite + unified-trace smoke gate =="
 cargo test -q -p matgpt-obs

@@ -150,7 +150,11 @@ pub mod channel {
 
         /// Dequeue, blocking at most `timeout`.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            let deadline = Instant::now() + timeout;
+            self.recv_deadline(Instant::now() + timeout)
+        }
+
+        /// Dequeue, blocking until `deadline` at the latest.
+        pub fn recv_deadline(&self, deadline: Instant) -> Result<T, RecvTimeoutError> {
             let mut state = self.0.queue.lock().unwrap();
             loop {
                 if let Some(item) = state.items.pop_front() {

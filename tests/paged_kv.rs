@@ -240,7 +240,7 @@ fn blocks_return_after_retire_cancel_and_failure() {
 /// large enough to never evict.
 #[test]
 fn eviction_recompute_reproduces_preeviction_decode() {
-    let run = |num_blocks: usize| -> (Vec<Vec<u32>>, u64) {
+    let run = |num_blocks: usize| -> (Vec<Vec<u32>>, u64, u64) {
         let engine = tiny_engine(KvBackend::Paged(KvBlockConfig {
             block_size: 4,
             num_blocks,
@@ -267,15 +267,21 @@ fn eviction_recompute_reproduces_preeviction_decode() {
             })
             .collect();
         engine.shutdown();
-        (outs, engine.metrics().kv_blocks_evicted)
+        let m = engine.metrics();
+        (outs, m.kv_blocks_evicted, m.preemptions)
     };
-    let (tight_outs, tight_evicted) = run(10);
-    let (ample_outs, ample_evicted) = run(256);
+    let (tight_outs, tight_evicted, tight_preempted) = run(10);
+    let (ample_outs, ample_evicted, ample_preempted) = run(256);
     assert!(
         tight_evicted > 0,
         "a 10-block pool under 8 requests must evict"
     );
+    assert!(
+        tight_preempted > 0,
+        "pool exhaustion mid-decode must park active requests"
+    );
     assert_eq!(ample_evicted, 0, "an ample pool must not evict");
+    assert_eq!(ample_preempted, 0, "an ample pool must not preempt");
     assert_eq!(
         tight_outs, ample_outs,
         "recompute after eviction changed a token stream"
