@@ -1,0 +1,257 @@
+//! Extension: the always-on flight recorder's cost, and the fault
+//! postmortem it buys.
+//!
+//! Two modes:
+//!
+//! * **default** — measures the flight recorder's overhead two ways:
+//!   a microbenchmark (events/sec through [`flight::record`] on a
+//!   registered thread ring) and a macrobenchmark (2-worker
+//!   data-parallel training throughput with the recorder on vs
+//!   [`flight::set_enabled`]`(false)`, interleaved best-of trials).
+//!   The headline `flight_overhead_ratio` — flight-on steps/sec over
+//!   flight-off — lands gated in `target/bench/BENCH_obs.json`; the
+//!   acceptance bar is ≥ 0.95×, i.e. the black box may cost at most
+//!   5% of training throughput.
+//! * **`--postmortem`** — the forensic path end-to-end: a 4-worker
+//!   resilient epoch under a seeded kill dumps a postmortem bundle to
+//!   `target/obs/postmortem/recovery-0`, which is then validated from
+//!   disk — manifest schema, victim flagged, `trace.json` passes
+//!   [`chrome::validate`] with every retained flow arrow complete
+//!   (send→recv ids bind), victim's final collective events present,
+//!   `metrics.prom` parses. `scripts/check.sh` runs this as a smoke
+//!   gate.
+
+use matgpt_bench::report::BenchReport;
+use matgpt_bench::{bench_out_dir, compare, print_table, smoke_requested};
+use matgpt_core::parallel::{DataParallel, ParallelConfig};
+use matgpt_core::{
+    FaultPlan, OptChoice, PretrainConfig, RecoveryPolicy, ResilienceConfig, SizeRole,
+};
+use matgpt_corpus::{build_corpus, CorpusConfig};
+use matgpt_model::ArchKind;
+use matgpt_obs::flight::{self, FlightEvent};
+use matgpt_obs::{chrome, pids, prom};
+use matgpt_tokenizer::TokenizerKind;
+use std::path::Path;
+use std::time::Instant;
+
+const WORKERS: usize = 2;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("ext_obs_flight: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn train_documents() -> Vec<String> {
+    build_corpus(&CorpusConfig {
+        n_materials: 30,
+        total_docs: 90,
+        offtopic_fraction: 0.2,
+        seed: 29,
+    })
+    .documents
+}
+
+fn train_cfg(steps: usize) -> PretrainConfig {
+    PretrainConfig {
+        steps,
+        batch_seqs: 4,
+        seq: 32,
+        ..PretrainConfig::scaled(
+            ArchKind::Llama,
+            TokenizerKind::Hf,
+            300,
+            OptChoice::Adam,
+            SizeRole::Base,
+        )
+    }
+}
+
+/// `--postmortem`: seeded kill, dumped bundle, validated from disk.
+fn postmortem_gate(smoke: bool) -> ! {
+    let dir = Path::new("target/obs/postmortem");
+    let _ = std::fs::remove_dir_all(dir);
+    // set before any worker thread exists; resilience reads it at dump
+    // time on the coordinator thread
+    std::env::set_var("MATGPT_POSTMORTEM_DIR", dir);
+
+    let documents = train_documents();
+    let cfg = train_cfg(if smoke { 6 } else { 10 });
+    let res = ResilienceConfig {
+        snapshot_every: 2,
+        faults: FaultPlan::kill(2, 3),
+        policy: RecoveryPolicy::Respawn,
+        ..ResilienceConfig::default()
+    };
+    let out = DataParallel::new(ParallelConfig::zero1(4)).train_resilient(&documents, &cfg, res);
+    if out.resilience.faults_fired != 1 {
+        fail("the seeded kill did not fire");
+    }
+    if out.resilience.postmortems.len() != 1 {
+        fail(&format!(
+            "expected exactly one postmortem, got {}",
+            out.resilience.postmortems.len()
+        ));
+    }
+    let pm = &out.resilience.postmortems[0];
+    if pm.victims != vec![2] {
+        fail(&format!("victim ranks {:?}, expected [2]", pm.victims));
+    }
+    if !pm.cause.contains("RankLost") && !pm.cause.contains("Stalled") {
+        fail(&format!("cause `{}` names no failure kind", pm.cause));
+    }
+
+    // ---- re-validate the on-disk bundle, exactly as an operator would
+    let bundle = dir.join("recovery-0");
+    let read = |name: &str| {
+        std::fs::read_to_string(bundle.join(name))
+            .unwrap_or_else(|e| fail(&format!("read {}/{name}: {e}", bundle.display())))
+    };
+    let manifest = read("manifest.json");
+    if !manifest.contains("matgpt-postmortem/v1") {
+        fail("manifest lacks the matgpt-postmortem/v1 schema tag");
+    }
+    let trace = read("trace.json");
+    let stats = match chrome::validate(&trace) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("postmortem trace.json invalid: {e}")),
+    };
+    if stats.complete_events == 0 {
+        fail("postmortem trace holds no events");
+    }
+    if stats.flow_ids == 0 {
+        fail("postmortem trace holds no flow arrows");
+    }
+    if stats.flow_ids_complete != stats.flow_ids {
+        fail(&format!(
+            "postmortem keeps incomplete arrows: {}/{} complete",
+            stats.flow_ids_complete, stats.flow_ids
+        ));
+    }
+    // the victim's track is flagged and its final collective events —
+    // the ring hops of the steps before the kill — made it into the dump
+    if !trace.contains("rank 2 (victim)") {
+        fail("victim track `rank 2 (victim)` missing from postmortem trace");
+    }
+    if !trace.contains("ring.send") || !trace.contains("ring.recv") {
+        fail("postmortem trace lacks ring collective events");
+    }
+    if let Err(e) = prom::parse(&read("metrics.prom")) {
+        fail(&format!("postmortem metrics.prom invalid: {e}"));
+    }
+    println!(
+        "postmortem bundle OK: cause `{}`, {} threads, {} events, \
+         {} flow arrows (all complete), victim rank 2 flagged",
+        pm.cause,
+        pm.threads.len(),
+        stats.complete_events,
+        stats.flow_ids
+    );
+    println!("ext_obs_flight --postmortem: OK");
+    std::process::exit(0)
+}
+
+fn main() {
+    let smoke = smoke_requested();
+    if std::env::args().any(|a| a == "--postmortem") {
+        postmortem_gate(smoke);
+    }
+
+    // ---- microbenchmark: raw cost of one flight event
+    let n_events = if smoke { 200_000 } else { 2_000_000 };
+    let t0 = Instant::now();
+    for i in 0..n_events {
+        flight::record(FlightEvent::span(
+            pids::PARALLEL,
+            "bench",
+            "tick",
+            i as f64,
+            1.0,
+        ));
+    }
+    let micro_s = t0.elapsed().as_secs_f64();
+    let events_per_sec = n_events as f64 / micro_s;
+
+    // ---- macrobenchmark: training throughput, flight on vs off,
+    // interleaved best-of trials so drift hits both modes equally
+    let documents = train_documents();
+    let cfg = train_cfg(if smoke { 4 } else { 12 });
+    let trials = if smoke { 2 } else { 3 };
+    let mut best_on = f64::INFINITY;
+    let mut best_off = f64::INFINITY;
+    for _ in 0..trials {
+        flight::set_enabled(false);
+        let t = Instant::now();
+        DataParallel::new(ParallelConfig::zero1(WORKERS)).train(&documents, &cfg);
+        best_off = best_off.min(t.elapsed().as_secs_f64());
+
+        flight::set_enabled(true);
+        let t = Instant::now();
+        DataParallel::new(ParallelConfig::zero1(WORKERS)).train(&documents, &cfg);
+        best_on = best_on.min(t.elapsed().as_secs_f64());
+    }
+    let steps_per_sec_on = cfg.steps as f64 / best_on;
+    let steps_per_sec_off = cfg.steps as f64 / best_off;
+    let overhead_ratio = steps_per_sec_on / steps_per_sec_off;
+
+    print_table(
+        &format!(
+            "Flight-recorder overhead (Llama base, {} steps, {} workers, best of {})",
+            cfg.steps, WORKERS, trials
+        ),
+        &["mode", "wall s", "steps/s"],
+        &[
+            vec![
+                "flight off".into(),
+                format!("{best_off:.3}"),
+                format!("{steps_per_sec_off:.2}"),
+            ],
+            vec![
+                "flight on".into(),
+                format!("{best_on:.3}"),
+                format!("{steps_per_sec_on:.2}"),
+            ],
+        ],
+    );
+    println!(
+        "\nmicro: {n_events} events in {micro_s:.3}s = {:.1}M events/s; \
+         macro ratio (on/off) {overhead_ratio:.3}x",
+        events_per_sec / 1e6
+    );
+
+    let report = BenchReport::new("obs", smoke)
+        .config("arch", "Llama")
+        .config("workers", WORKERS)
+        .config("steps", cfg.steps)
+        .config("trials", trials)
+        .config("micro_events", n_events)
+        .metric("flight_overhead_ratio", overhead_ratio)
+        .metric("flight_events_per_sec", events_per_sec)
+        .metric("steps_per_sec_flight_on", steps_per_sec_on)
+        .metric("steps_per_sec_flight_off", steps_per_sec_off)
+        .gate("flight_overhead_ratio")
+        .gate("flight_events_per_sec");
+    let path = report
+        .write_to(&bench_out_dir())
+        .expect("write BENCH_obs.json");
+    println!("report: {}", path.display());
+
+    println!("\n-- acceptance --");
+    compare(
+        "training throughput with the flight recorder on",
+        ">= 0.95x flight-off",
+        &format!("{overhead_ratio:.3}x"),
+        if overhead_ratio >= 0.95 {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
+    );
+    // wall-clock ratios on a loaded machine are noisy at smoke scale;
+    // the hard bar is enforced at full scale only
+    if !smoke && overhead_ratio < 0.95 {
+        eprintln!("ext_obs_flight: FAIL: flight recorder costs more than 5% of throughput");
+        std::process::exit(1);
+    }
+    println!("ext_obs_flight: OK");
+}

@@ -47,15 +47,29 @@ fn validate_artifacts() -> ! {
     if stats.complete_events == 0 {
         fail("trace.json parsed but holds no complete events");
     }
+    // flow re-validation: chrome::validate already proved every flow
+    // id binds to an enclosing slice and starts before it finishes;
+    // here we additionally require the causal arrows to exist at all
+    // (serve request lifecycles always emit them)
+    if stats.flow_events == 0 {
+        fail("trace.json holds no flow events — causal arrows missing");
+    }
+    if stats.flow_ids_complete == 0 {
+        fail("no flow id is complete (start + finish)");
+    }
     let families = match prom::parse(&read("metrics.prom")) {
         Ok(f) => f,
         Err(e) => fail(&format!("metrics.prom invalid: {e}")),
     };
     println!(
-        "trace.json OK: {} complete events across {} tracks; \
+        "trace.json OK: {} complete events across {} tracks, \
+         {} flow events ({}/{} arrows complete); \
          metrics.prom OK: {} families",
         stats.complete_events,
         stats.tracks,
+        stats.flow_events,
+        stats.flow_ids_complete,
+        stats.flow_ids,
         families.len()
     );
     println!("ext_observability --validate: OK");
@@ -161,7 +175,8 @@ fn main() {
     let registries: Vec<&Registry> = std::iter::once(Registry::global())
         .chain(engines.iter().map(|e| e.registry()))
         .collect();
-    let text = prom::render_all(&registries);
+    let text = prom::render_all(&registries)
+        .unwrap_or_else(|e| fail(&format!("merged exposition invalid: {e}")));
     let out_dir = Path::new("target/obs");
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         fail(&format!("create {}: {e}", out_dir.display()));
@@ -186,6 +201,15 @@ fn main() {
         if stats.events_per_pid.get(&pid).copied().unwrap_or(0) == 0 {
             fail(&format!("no events from source `{}`", pids::name(pid)));
         }
+    }
+    // every serve request carried a causal flow arrow through its
+    // queued → prefill → decode lifecycle; all must be complete
+    if stats.flow_ids_complete < 2 * n_req {
+        fail(&format!(
+            "expected ≥{} complete flow arrows (one per request), got {}",
+            2 * n_req,
+            stats.flow_ids_complete
+        ));
     }
 
     // ---- and the exposition parses with every expected family present

@@ -66,11 +66,13 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use matgpt_corpus::{Batch, TokenDataset};
 use matgpt_frontier_sim::collectives::{wire_bytes, Collective};
 use matgpt_model::GptModel;
-use matgpt_obs::{pids, Histogram, Registry, Span};
+use matgpt_obs::flow::{self, Domain, FlowScope};
+use matgpt_obs::{flight, pids, FlowPhase, Histogram, Registry, Span};
 use matgpt_optim::{CosineSchedule, LrSchedule, OptimizerState};
 use matgpt_tensor::{checkpoint, ParamStore, Tape};
 use resilience::{FaultKind, FaultPlan, Heartbeats};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -365,6 +367,14 @@ struct Ring {
     timeout: Duration,
     sent_bytes: u64,
     wait_ms: f64,
+    /// Collective sequence number for flow-id scoping. Every rank of a
+    /// ring group runs the same collectives in the same order, so the
+    /// counters stay in lockstep and both ends of a hop derive the
+    /// same flow id without communicating.
+    flow_seq: u64,
+    /// Current training step, for tagging flow events (`u64::MAX` =
+    /// outside a step).
+    step: u64,
 }
 
 /// One directed ring link: the channel carrying rank r's sends to r+1.
@@ -374,6 +384,11 @@ impl Ring {
     /// Build the n ring endpoints (rank r sends to rank (r+1) mod n),
     /// each bounding its receives by `timeout`.
     fn build(n: usize, timeout: Duration) -> Vec<Ring> {
+        // Each ring group gets a disjoint block of collective sequence
+        // numbers, so flow ids from different pools (reruns, elastic
+        // re-shards) never collide in one process-wide trace.
+        static RING_GROUP: AtomicU64 = AtomicU64::new(0);
+        let seq_base = RING_GROUP.fetch_add(1, Ordering::Relaxed) << 20;
         let links: Vec<RingLink> = (0..n).map(|_| unbounded()).collect();
         let mut txs: Vec<Option<Sender<Vec<f32>>>> = Vec::new();
         let mut rxs: Vec<Option<Receiver<Vec<f32>>>> = Vec::new();
@@ -391,8 +406,18 @@ impl Ring {
                 timeout,
                 sent_bytes: 0,
                 wait_ms: 0.0,
+                flow_seq: seq_base,
+                step: u64::MAX,
             })
             .collect()
+    }
+
+    /// Open the next collective's flow scope (same number on every
+    /// rank — see `flow_seq`).
+    fn begin_collective(&mut self) -> FlowScope {
+        let scope = FlowScope::new(Domain::Ring, self.flow_seq);
+        self.flow_seq += 1;
+        scope
     }
 
     fn prev_rank(&self) -> usize {
@@ -435,12 +460,33 @@ impl Ring {
         buf: &mut [f32],
         bounds: &[Range<usize>],
     ) -> Result<(), CollectiveError> {
+        let scope = self.begin_collective();
         let n = self.n;
         for s in 0..n.saturating_sub(1) {
             let send_idx = (self.rank + n - 1 - s) % n;
+            let t_send = Instant::now();
             self.send(buf[bounds[send_idx].clone()].to_vec())?;
+            flow::emit(
+                FlowPhase::Start,
+                pids::PARALLEL,
+                "ring",
+                "ring.send",
+                scope.ring_edge(s as u64, self.rank as u64),
+                t_send,
+                self.step,
+            );
             let recv_idx = (self.rank + 2 * n - 2 - s) % n;
+            let t_recv = Instant::now();
             let incoming = self.recv()?;
+            flow::emit(
+                FlowPhase::Finish,
+                pids::PARALLEL,
+                "ring",
+                "ring.recv",
+                scope.ring_edge(s as u64, self.prev_rank() as u64),
+                t_recv,
+                self.step,
+            );
             for (dst, src) in buf[bounds[recv_idx].clone()].iter_mut().zip(&incoming) {
                 *dst += *src;
             }
@@ -456,12 +502,33 @@ impl Ring {
         buf: &mut [f32],
         bounds: &[Range<usize>],
     ) -> Result<(), CollectiveError> {
+        let scope = self.begin_collective();
         let n = self.n;
         for s in 0..n.saturating_sub(1) {
             let send_idx = (self.rank + n - s) % n;
+            let t_send = Instant::now();
             self.send(buf[bounds[send_idx].clone()].to_vec())?;
+            flow::emit(
+                FlowPhase::Start,
+                pids::PARALLEL,
+                "ring",
+                "ring.send",
+                scope.ring_edge(s as u64, self.rank as u64),
+                t_send,
+                self.step,
+            );
             let recv_idx = (self.rank + n - 1 - s) % n;
+            let t_recv = Instant::now();
             let incoming = self.recv()?;
+            flow::emit(
+                FlowPhase::Finish,
+                pids::PARALLEL,
+                "ring",
+                "ring.recv",
+                scope.ring_edge(s as u64, self.prev_rank() as u64),
+                t_recv,
+                self.step,
+            );
             buf[bounds[recv_idx].clone()].copy_from_slice(&incoming);
         }
         Ok(())
@@ -708,6 +775,16 @@ fn worker_main(
         });
     }
 
+    // Identify this thread everywhere observability looks: the flight
+    // ring (postmortems flag the victim by rank), and the global
+    // recorder's track names (critical-path attribution parses them).
+    flight::label_thread(format!("rank {rank}"), Some(rank as u64));
+    matgpt_obs::Recorder::global().set_track_name(
+        pids::PARALLEL,
+        matgpt_obs::thread_tid(),
+        format!("rank {rank}"),
+    );
+
     let rank_label = rank.to_string();
     let reg = Registry::global();
     let labels = [("worker", rank_label.as_str())];
@@ -740,6 +817,7 @@ fn worker_main(
                 eval,
             } => {
                 beats.beat(rank);
+                ring.step = step as u64;
                 let _step_span = Span::enter(pids::PARALLEL, "dp", "worker-step");
                 match faults.take(rank, step) {
                     Some(FaultKind::Kill) => {
@@ -819,8 +897,15 @@ fn worker_main(
                 let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
                 beats.beat(rank);
 
-                let val_loss =
-                    (eval && rank == 0).then(|| validation_loss_on(&model, &store, val_batches));
+                // The training step proper ends here. Validation is
+                // rank-0 bookkeeping no peer waits on within this step,
+                // so it gets its own slice instead of padding the
+                // step's critical path.
+                drop(_step_span);
+                let val_loss = (eval && rank == 0).then(|| {
+                    let _s = Span::enter(pids::PARALLEL, "dp", "validation");
+                    validation_loss_on(&model, &store, val_batches)
+                });
 
                 let sent = ring.sent_bytes - bytes_before;
                 let waited = ring.wait_ms - wait_before;

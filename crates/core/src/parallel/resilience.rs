@@ -375,6 +375,11 @@ pub struct ResilienceReport {
     /// Shrink requests that fell back to respawn (indivisible batch or
     /// unidentifiable rank).
     pub respawn_fallbacks: usize,
+    /// Flight-recorder postmortem bundles, one per detected failure —
+    /// the victim's final collective events, survivors' state, and a
+    /// metrics snapshot. Persisted under `$MATGPT_POSTMORTEM_DIR`
+    /// (subdirectory `recovery-<i>`) when that variable is set.
+    pub postmortems: Vec<matgpt_obs::flight::Postmortem>,
 }
 
 /// A resilient run's result: the ordinary [`ParallelOutcome`] (its
@@ -546,6 +551,25 @@ impl DataParallel {
                         FailureCause::RankLost => faults_lost.inc(),
                         FailureCause::Stalled => faults_stalled.inc(),
                     }
+                    // Black-box dump the moment the failure is
+                    // classified: the victim's last collective events
+                    // are still in its flight ring (the registry keeps
+                    // dead threads' rings readable).
+                    let victims: Vec<u64> = dead.iter().map(|&r| r as u64).collect();
+                    let pm = matgpt_obs::flight::Postmortem::capture(
+                        &format!("{cause:?} at step {at_step} (dead ranks {dead:?})"),
+                        &victims,
+                        256,
+                        &[Registry::global()],
+                    );
+                    if let Ok(dir) = std::env::var("MATGPT_POSTMORTEM_DIR") {
+                        let path = std::path::Path::new(&dir)
+                            .join(format!("recovery-{}", resilience.recoveries.len()));
+                        if let Err(e) = pm.write_to(&path) {
+                            eprintln!("postmortem write to {} failed: {e}", path.display());
+                        }
+                    }
+                    resilience.postmortems.push(pm);
                     let rolled_back_to = last_snapshot.as_ref().map_or(0, |(s, _)| *s);
                     let lost_steps = at_step - rolled_back_to;
                     let lost_tokens = (lost_steps * cfg.batch_seqs * cfg.seq) as u64;

@@ -100,6 +100,28 @@ pub fn step_timeline(setup: &TrainSetup, report: &StepReport) -> Vec<TraceEvent>
     events
 }
 
+/// The Fig. 9 step timeline's phase ordering in the *measured* trace
+/// analyzer's vocabulary ([`matgpt_obs::critical_path::PhaseClass`]),
+/// deduplicated to its shape — normally forward → backward →
+/// communication → io. This is the simulated reference a measured
+/// critical path's `phase_order` is cross-checked against: the trainer
+/// and the simulator describing the same step must agree on what
+/// happens in what order, even though one is clocked and one is priced.
+pub fn phase_order(
+    setup: &TrainSetup,
+    report: &StepReport,
+) -> Vec<matgpt_obs::critical_path::PhaseClass> {
+    use matgpt_obs::critical_path::PhaseClass;
+    matgpt_obs::critical_path::dedup_order(step_timeline(setup, report).iter().map(
+        |e| match e.kind {
+            PhaseKind::Forward => PhaseClass::Forward,
+            PhaseKind::Backward => PhaseClass::Backward,
+            PhaseKind::Communication => PhaseClass::Communication,
+            PhaseKind::Io => PhaseClass::Io,
+        },
+    ))
+}
+
 /// One kernel-class interval inside a single layer's forward pass — the
 /// Fig. 9 "boxed snapshot" zoom.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -378,6 +400,19 @@ mod tests {
         }
         let total = tl.last().unwrap().end_s;
         assert!((total - r.step_s).abs() / r.step_s < 1e-6);
+    }
+
+    #[test]
+    fn phase_order_matches_fig9_shape() {
+        use matgpt_obs::critical_path::PhaseClass;
+        let (s, r) = setup_67b();
+        let order = phase_order(&s, &r);
+        assert_eq!(order[..2], [PhaseClass::Forward, PhaseClass::Backward]);
+        assert_eq!(*order.last().unwrap(), PhaseClass::Io, "io closes the step");
+        assert!(
+            order.len() <= 4,
+            "dedup keeps at most one entry per class: {order:?}"
+        );
     }
 
     #[test]

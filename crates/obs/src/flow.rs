@@ -1,0 +1,172 @@
+//! Step-scoped correlation ids and causal flow emission.
+//!
+//! A *flow* is one causal arrow in the Chrome trace — ring send→recv
+//! across ranks, or a request's queued→prefill→decode journey — drawn
+//! by Perfetto between the slices that share a flow `id`. Correctness
+//! therefore rests entirely on the id scheme: both endpoints must
+//! derive the same id **without communicating**, and no two arrows may
+//! collide.
+//!
+//! The 64-bit id packs as
+//!
+//! ```text
+//! | domain: 8 | scope: 40 | edge: 16 |      scoped ids  (bit 55 = 0)
+//! | domain: 8 | 1 | process counter: 55 |  fresh ids    (bit 55 = 1)
+//! ```
+//!
+//! * **Scoped ids** ([`FlowScope`]): the scope is a step- or
+//!   collective-sequence number every participant counts identically
+//!   (ranks run the same program), and the edge encodes
+//!   `(round, sender)` — so a receiver can name the id of the message
+//!   it just consumed purely from its own loop indices.
+//! * **Fresh ids** ([`fresh`]): a process-wide counter for flows with
+//!   a natural owner (a serve request allocates one at submission and
+//!   carries it through its lifecycle). Bit 55 separates the two
+//!   namespaces so a scoped id can never alias a fresh one.
+
+use crate::flight::{self, FlightEvent, FlightKind};
+use crate::trace::FlowPhase;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Which subsystem an id belongs to (the top 8 bits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Domain {
+    /// `core::parallel` ring collectives.
+    Ring = 1,
+    /// `matgpt-serve` request lifecycles.
+    Serve = 2,
+}
+
+const SCOPE_BITS: u32 = 40;
+const EDGE_BITS: u32 = 16;
+const FRESH_FLAG: u64 = 1 << 55;
+
+/// A family of flow ids sharing one scope (a step or collective
+/// sequence number). Cheap and `Copy`: participants rebuild it from
+/// their own counters each step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowScope {
+    base: u64,
+}
+
+impl FlowScope {
+    /// Scope `seq` within `domain`. `seq` is masked to 40 bits and
+    /// must not have bit 39 set in practice (2^39 steps ≫ any run).
+    pub fn new(domain: Domain, seq: u64) -> Self {
+        let scope = seq & ((1 << (SCOPE_BITS - 1)) - 1); // keep bit 55 clear
+        Self {
+            base: ((domain as u64) << (SCOPE_BITS + EDGE_BITS)) | (scope << EDGE_BITS),
+        }
+    }
+
+    /// The id of edge `edge` (masked to 16 bits) within this scope.
+    pub fn edge(self, edge: u64) -> u64 {
+        self.base | (edge & ((1 << EDGE_BITS) - 1))
+    }
+
+    /// Pack a ring edge: `round` and `sender` rank share the 16 edge
+    /// bits (8 each) — both sides of a ring hop know both numbers.
+    pub fn ring_edge(self, round: u64, sender: u64) -> u64 {
+        self.edge(((round & 0xFF) << 8) | (sender & 0xFF))
+    }
+}
+
+/// A process-unique id in `domain` (never collides with scoped ids).
+pub fn fresh(domain: Domain) -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed) & (FRESH_FLAG - 1);
+    ((domain as u64) << (SCOPE_BITS + EDGE_BITS)) | FRESH_FLAG | n
+}
+
+/// The domain an id was allocated in, if recognisable.
+pub fn domain_of(id: u64) -> Option<Domain> {
+    match id >> (SCOPE_BITS + EDGE_BITS) {
+        1 => Some(Domain::Ring),
+        2 => Some(Domain::Serve),
+        _ => None,
+    }
+}
+
+/// Emit one endpoint of a causal arrow for work that ran from `start`
+/// to now on the calling thread: a compact copy goes to the always-on
+/// [`flight`] ring, and — when the global recorder is enabled — a
+/// slice plus Chrome flow event pair goes to the trace, so the arrow
+/// always binds to an enclosing slice.
+///
+/// `Start`/`Step` arrows leave from the slice's start, `Finish`
+/// arrows land at its end: a receive that began waiting before the
+/// send started still orders after it.
+pub fn emit(
+    phase: FlowPhase,
+    pid: u64,
+    cat: &'static str,
+    name: &'static str,
+    id: u64,
+    start: Instant,
+    step: u64,
+) {
+    let rec = crate::Recorder::global();
+    let ts_us = rec.ts_of(start);
+    let dur_us = start.elapsed().as_secs_f64() * 1e6;
+    let kind = match phase {
+        FlowPhase::Start => FlightKind::FlowStart(id),
+        FlowPhase::Step => FlightKind::FlowStep(id),
+        FlowPhase::Finish => FlightKind::FlowFinish(id),
+    };
+    flight::record_flow_dual(FlightEvent::flow(pid, cat, name, kind, ts_us, dur_us).at_step(step));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_ids_are_deterministic_and_distinct() {
+        let a = FlowScope::new(Domain::Ring, 7);
+        let b = FlowScope::new(Domain::Ring, 7);
+        assert_eq!(a.ring_edge(2, 1), b.ring_edge(2, 1), "both sides agree");
+        assert_ne!(a.ring_edge(2, 1), a.ring_edge(2, 2));
+        assert_ne!(a.ring_edge(1, 1), a.ring_edge(2, 1));
+        assert_ne!(
+            FlowScope::new(Domain::Ring, 7).edge(0),
+            FlowScope::new(Domain::Ring, 8).edge(0)
+        );
+        assert_ne!(
+            FlowScope::new(Domain::Ring, 7).edge(0),
+            FlowScope::new(Domain::Serve, 7).edge(0)
+        );
+    }
+
+    #[test]
+    fn fresh_ids_never_alias_scoped_ids() {
+        let f = fresh(Domain::Serve);
+        assert_eq!(domain_of(f), Some(Domain::Serve));
+        assert_ne!(f & FRESH_FLAG, 0);
+        // scoped ids keep bit 55 clear even at huge scope numbers
+        let s = FlowScope::new(Domain::Serve, u64::MAX).edge(u64::MAX);
+        assert_eq!(s & FRESH_FLAG, 0);
+        assert_ne!(f, s);
+        assert_ne!(fresh(Domain::Serve), fresh(Domain::Serve));
+    }
+
+    #[test]
+    fn emit_lands_in_flight_and_trace() {
+        let rec = crate::Recorder::global();
+        rec.enable();
+        let before_flows = rec.flows().len();
+        let id = fresh(Domain::Ring);
+        let t0 = Instant::now();
+        emit(FlowPhase::Start, 4, "ring", "ring.send", id, t0, 3);
+        emit(FlowPhase::Finish, 4, "ring", "ring.recv", id, t0, 3);
+        crate::flush_thread();
+        let flows = rec.flows();
+        assert!(flows.len() >= before_flows + 2);
+        let mine: Vec<_> = flows.iter().filter(|f| f.id == id).collect();
+        assert_eq!(mine.len(), 2);
+        let s = mine.iter().find(|f| f.phase == FlowPhase::Start).unwrap();
+        let f = mine.iter().find(|f| f.phase == FlowPhase::Finish).unwrap();
+        assert!(s.ts_us <= f.ts_us, "start precedes finish");
+        rec.disable();
+    }
+}

@@ -16,11 +16,22 @@
 //!   fixed-bucket [`Histogram`]s (p50/p95/p99 by bucket interpolation)
 //!   and bounded [`Reservoir`]s (exact percentiles over a sliding
 //!   window);
-//! * [`chrome`] — Chrome trace-event JSON (`ph:"X"` complete events plus
-//!   `ph:"M"` process/thread names), openable in Perfetto or
-//!   `chrome://tracing`, with a [`chrome::validate`] checker;
+//! * [`chrome`] — Chrome trace-event JSON (`ph:"X"` complete events,
+//!   `ph:"M"` process/thread names, and `ph:"s"/"t"/"f"` flow arrows),
+//!   openable in Perfetto or `chrome://tracing`, with a
+//!   [`chrome::validate`] checker;
 //! * [`prom`] — Prometheus text exposition with a round-trip
-//!   [`prom::parse`] checker.
+//!   [`prom::parse`] checker;
+//! * [`flow`] — step-scoped correlation ids: ring send→recv hops and
+//!   serve request lifecycles become causal arrows in the trace, both
+//!   endpoints deriving the same id without communicating;
+//! * [`flight`] — the always-on flight recorder: a bounded per-thread
+//!   ring of compact events that keeps recording when the full
+//!   [`Recorder`] is off, and a [`flight::Postmortem`] bundle
+//!   (trace + manifest + metrics) dumped when a rank dies;
+//! * [`critical_path`] — per-step critical-path attribution over spans
+//!   and flow edges: which rank straggled, which phase dominated, and
+//!   whether the measured phase ordering matches the simulator's.
 //!
 //! Everything is `std` + `serde` only — no clocks beyond
 //! `std::time::Instant`, no background threads, no I/O: callers decide
@@ -46,9 +57,15 @@
 //! ```
 
 pub mod chrome;
+pub mod critical_path;
+pub mod flight;
+pub mod flow;
 pub mod metrics;
 pub mod prom;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, MetricKind, Percentiles, Registry, Reservoir};
-pub use trace::{flush_thread, flush_thread_to, pids, thread_tid, Recorder, Span, TraceEvent};
+pub use trace::{
+    flush_thread, flush_thread_to, pids, thread_tid, FlowEvent, FlowPhase, Recorder, Span,
+    TraceEvent,
+};

@@ -327,7 +327,10 @@ impl Handle {
 }
 
 pub(crate) struct Entry {
+    /// Sanitized, collision-disambiguated family name (what exporters emit).
     pub name: String,
+    /// The name as the caller passed it (the lookup key).
+    pub raw: String,
     pub labels: Vec<(String, String)>,
     pub help: String,
     pub handle: Handle,
@@ -338,9 +341,12 @@ pub(crate) struct Entry {
 /// `counter`/`gauge`/`histogram` are get-or-create: repeated
 /// registration under the same name and label set returns a handle to
 /// the same underlying metric, so independent subsystems can share
-/// series without coordinating. Registering an existing name with a
-/// *different* kind returns a detached handle (updates go nowhere) —
-/// the registry never panics and never silently re-types a series.
+/// series without coordinating. Registering an existing family with a
+/// *different* kind — under any label set — returns a detached handle
+/// (updates go nowhere): the registry never panics and never renders
+/// an invalid double-typed family. Two *different* raw names that
+/// sanitize to the same string are kept apart with `_2`/`_3`… suffixes
+/// rather than silently merged.
 #[derive(Default)]
 pub struct Registry {
     entries: Mutex<Vec<Entry>>,
@@ -388,26 +394,50 @@ impl Registry {
         help: &str,
         make: impl FnOnce() -> Handle,
     ) -> Handle {
-        let name = sanitize_name(name);
+        let raw = name.to_string();
         let labels: Vec<(String, String)> = labels
             .iter()
             .map(|(k, v)| (sanitize_name(k), v.to_string()))
             .collect();
         let mut entries = self.entries.lock().unwrap();
-        if let Some(e) = entries
-            .iter()
-            .find(|e| e.name == name && e.labels == labels)
-        {
-            let fresh = make();
-            if e.handle.kind() == fresh.kind() {
+        let handle = make();
+        if let Some(e) = entries.iter().find(|e| e.raw == raw && e.labels == labels) {
+            if e.handle.kind() == handle.kind() {
                 return e.handle.clone();
             }
             // kind clash: hand back the detached handle
-            return fresh;
+            return handle;
         }
-        let handle = make();
+        // Resolve the exported family name: every series of one raw
+        // name shares it; two *different* raw names that sanitize to
+        // the same string get `_2`/`_3`… suffixes instead of silently
+        // merging into one family.
+        let name = match entries.iter().find(|e| e.raw == raw) {
+            Some(e) => e.name.clone(),
+            None => {
+                let base = sanitize_name(&raw);
+                let mut candidate = base.clone();
+                let mut n = 2;
+                while entries.iter().any(|e| e.name == candidate && e.raw != raw) {
+                    candidate = format!("{base}_{n}");
+                    n += 1;
+                }
+                candidate
+            }
+        };
+        // Family-level kind consistency: once a family exists with one
+        // kind, a different-kind registration (even under new labels)
+        // gets a detached handle — a registry can never render an
+        // invalid double-typed family.
+        if entries
+            .iter()
+            .any(|e| e.name == name && e.handle.kind() != handle.kind())
+        {
+            return handle;
+        }
         entries.push(Entry {
             name,
+            raw,
             labels,
             help: help.to_string(),
             handle: handle.clone(),
@@ -582,5 +612,69 @@ mod tests {
         assert_eq!(sanitize_name("bad name-1"), "bad_name_1");
         assert_eq!(sanitize_name("1st"), "_1st");
         assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn sanitize_collisions_are_disambiguated() {
+        let reg = Registry::new();
+        reg.counter("a-b_total", "").add(1);
+        reg.counter("a_b_total", "").add(2);
+        reg.counter("a b_total", "").add(4);
+        // same raw name keeps resolving to the same series
+        assert_eq!(reg.counter("a-b_total", "").get(), 1);
+        assert_eq!(reg.counter("a_b_total", "").get(), 2);
+        assert_eq!(reg.counter("a b_total", "").get(), 4);
+        let names: Vec<String> = reg.names().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 3, "three families, not one: {names:?}");
+        assert!(names.contains(&"a_b_total".to_string()));
+        assert!(names.contains(&"a_b_total_2".to_string()));
+        assert!(names.contains(&"a_b_total_3".to_string()));
+    }
+
+    #[test]
+    fn kind_clash_under_new_labels_stays_detached() {
+        let reg = Registry::new();
+        reg.counter_with("x", &[("shard", "0")], "").inc();
+        // same family, different labels, different kind: detached
+        let g = reg.gauge_with("x", &[("shard", "1")], "");
+        g.set(9.0);
+        assert_eq!(reg.names(), vec![("x".to_string(), MetricKind::Counter)]);
+        reg.with_entries(|entries| {
+            assert_eq!(entries.len(), 1, "the gauge never entered the table");
+        });
+    }
+
+    #[test]
+    fn racing_registrations_converge_to_one_series() {
+        let reg = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        reg.counter_with("race_total", &[("shard", "0")], "").inc();
+                        reg.histogram_with("race_ms", &[("shard", "0")], "", &[1.0, 10.0])
+                            .observe(i as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            reg.counter_with("race_total", &[("shard", "0")], "").get(),
+            8 * 200,
+            "every thread hit the same counter"
+        );
+        assert_eq!(
+            reg.histogram_with("race_ms", &[("shard", "0")], "", &[1.0, 10.0])
+                .count(),
+            8 * 200,
+            "every thread hit the same histogram"
+        );
+        reg.with_entries(|entries| {
+            assert_eq!(entries.len(), 2, "one entry per (name, labels)");
+        });
     }
 }

@@ -44,97 +44,155 @@ fn escape_label(v: &str) -> String {
         .replace('\n', "\\n")
 }
 
+/// Typed failure from [`render_all`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RenderError {
+    /// The same family name is registered with two different kinds in
+    /// different registries — one exposition document cannot hold both.
+    KindMismatch {
+        /// The conflicted family name.
+        family: String,
+        /// The kind the family was first seen with.
+        first: MetricKind,
+        /// The conflicting kind seen later.
+        conflicting: MetricKind,
+    },
+}
+
+impl std::fmt::Display for RenderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenderError::KindMismatch {
+                family,
+                first,
+                conflicting,
+            } => write!(
+                f,
+                "family `{family}` is a {} in one registry but a {} in another",
+                first.prom_type(),
+                conflicting.prom_type()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
 /// Render every metric in `registry` as Prometheus exposition text.
 pub fn render(registry: &Registry) -> String {
-    render_all(&[registry])
+    // A single registry keeps every family to one kind (clashing
+    // registrations get detached handles), so this cannot fail.
+    render_all(&[registry]).expect("a single registry cannot mix family kinds")
 }
 
 /// Render several registries into one exposition document (e.g. the
-/// global trainer registry plus a per-engine serving registry). Family
-/// headers are de-duplicated across registries; a name re-registered
-/// with a conflicting kind in a later registry is skipped rather than
-/// emitted as an invalid double-typed family.
-pub fn render_all(registries: &[&Registry]) -> String {
-    let mut out = String::new();
-    let mut declared: Vec<(String, MetricKind)> = Vec::new();
+/// global trainer registry plus a per-engine serving registry). A
+/// family split across registries is merged: one `# HELP`/`# TYPE`
+/// header, all its sample lines contiguous, as the format requires.
+/// The same name registered with conflicting kinds in different
+/// registries is a [`RenderError::KindMismatch`] — not a silently
+/// dropped or double-typed family.
+pub fn render_all(registries: &[&Registry]) -> Result<String, RenderError> {
+    struct Family {
+        name: String,
+        kind: MetricKind,
+        help: String,
+        samples: String,
+    }
+    let mut families: Vec<Family> = Vec::new();
+    let mut clash: Option<RenderError> = None;
     for registry in registries {
         registry.with_entries(|entries| {
-            // families in first-seen order, each family's series together
-            let mut family_names: Vec<&str> = Vec::new();
             for e in entries {
-                if !family_names.contains(&e.name.as_str()) {
-                    family_names.push(&e.name);
+                if clash.is_some() {
+                    return;
                 }
-            }
-            for family in family_names {
-                let members: Vec<_> = entries.iter().filter(|e| e.name == family).collect();
-                let kind = match &members[0].handle {
+                let kind = match &e.handle {
                     Handle::Counter(_) => MetricKind::Counter,
                     Handle::Gauge(_) => MetricKind::Gauge,
                     Handle::Histogram(_) => MetricKind::Histogram,
                 };
-                match declared.iter().find(|(n, _)| n == family) {
-                    Some((_, k)) if *k != kind => continue, // conflicting re-declaration
-                    Some(_) => {}                           // same kind again: samples only
-                    None => {
-                        let help = members
-                            .iter()
-                            .map(|e| e.help.as_str())
-                            .find(|h| !h.is_empty())
-                            .unwrap_or("");
-                        if !help.is_empty() {
-                            let _ = writeln!(out, "# HELP {family} {}", help.replace('\n', " "));
+                let idx = match families.iter().position(|f| f.name == e.name) {
+                    Some(i) => {
+                        if families[i].kind != kind {
+                            clash = Some(RenderError::KindMismatch {
+                                family: e.name.clone(),
+                                first: families[i].kind,
+                                conflicting: kind,
+                            });
+                            return;
                         }
-                        let _ = writeln!(out, "# TYPE {family} {}", kind.prom_type());
-                        declared.push((family.to_string(), kind));
+                        if families[i].help.is_empty() && !e.help.is_empty() {
+                            families[i].help = e.help.replace('\n', " ");
+                        }
+                        i
                     }
-                }
-                for e in &members {
-                    match &e.handle {
-                        Handle::Counter(c) => {
+                    None => {
+                        families.push(Family {
+                            name: e.name.clone(),
+                            kind,
+                            help: e.help.replace('\n', " "),
+                            samples: String::new(),
+                        });
+                        families.len() - 1
+                    }
+                };
+                let family = families[idx].name.clone();
+                let out = &mut families[idx].samples;
+                match &e.handle {
+                    Handle::Counter(c) => {
+                        let _ =
+                            writeln!(out, "{family}{} {}", fmt_labels(&e.labels, None), c.get());
+                    }
+                    Handle::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{family}{} {}",
+                            fmt_labels(&e.labels, None),
+                            fmt_value(g.get())
+                        );
+                    }
+                    Handle::Histogram(h) => {
+                        for (bound, cum) in h.cumulative_buckets() {
+                            let le = fmt_value(bound);
                             let _ = writeln!(
                                 out,
-                                "{family}{} {}",
-                                fmt_labels(&e.labels, None),
-                                c.get()
+                                "{family}_bucket{} {cum}",
+                                fmt_labels(&e.labels, Some(("le", &le)))
                             );
                         }
-                        Handle::Gauge(g) => {
-                            let _ = writeln!(
-                                out,
-                                "{family}{} {}",
-                                fmt_labels(&e.labels, None),
-                                fmt_value(g.get())
-                            );
-                        }
-                        Handle::Histogram(h) => {
-                            for (bound, cum) in h.cumulative_buckets() {
-                                let le = fmt_value(bound);
-                                let _ = writeln!(
-                                    out,
-                                    "{family}_bucket{} {cum}",
-                                    fmt_labels(&e.labels, Some(("le", &le)))
-                                );
-                            }
-                            let _ = writeln!(
-                                out,
-                                "{family}_sum{} {}",
-                                fmt_labels(&e.labels, None),
-                                fmt_value(h.sum())
-                            );
-                            let _ = writeln!(
-                                out,
-                                "{family}_count{} {}",
-                                fmt_labels(&e.labels, None),
-                                h.count()
-                            );
-                        }
+                        let _ = writeln!(
+                            out,
+                            "{family}_sum{} {}",
+                            fmt_labels(&e.labels, None),
+                            fmt_value(h.sum())
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{family}_count{} {}",
+                            fmt_labels(&e.labels, None),
+                            h.count()
+                        );
                     }
                 }
             }
         });
+        if clash.is_some() {
+            break;
+        }
     }
-    out
+    if let Some(e) = clash {
+        return Err(e);
+    }
+    let mut out = String::new();
+    for f in &families {
+        if !f.help.is_empty() {
+            let _ = writeln!(out, "# HELP {} {}", f.name, f.help);
+        }
+        let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.prom_type());
+        out.push_str(&f.samples);
+    }
+    Ok(out)
 }
 
 /// One parsed metric family.
@@ -328,7 +386,7 @@ mod tests {
         let b = Registry::new();
         b.counter("shared_total", "").add(5);
         b.gauge("only_b", "").set(2.0);
-        let text = render_all(&[&a, &b]);
+        let text = render_all(&[&a, &b]).expect("no kind conflicts");
         assert_eq!(text.matches("# TYPE shared_total").count(), 1);
         let families = parse(&text).expect("merged document parses");
         assert_eq!(
@@ -339,6 +397,44 @@ mod tests {
                 .samples,
             2
         );
+    }
+
+    #[test]
+    fn render_all_keeps_family_samples_contiguous() {
+        // `shared_total` series live in both registries with another
+        // family registered between them; the merged document must
+        // still emit the family as one contiguous block.
+        let a = Registry::new();
+        a.counter_with("shared_total", &[("src", "a")], "").add(1);
+        a.gauge("between", "").set(7.0);
+        let b = Registry::new();
+        b.counter_with("shared_total", &[("src", "b")], "").add(5);
+        let text = render_all(&[&a, &b]).unwrap();
+        let block = "# TYPE shared_total counter\n\
+                     shared_total{src=\"a\"} 1\n\
+                     shared_total{src=\"b\"} 5\n";
+        assert!(text.contains(block), "family not contiguous:\n{text}");
+        parse(&text).expect("contiguous merged document parses");
+    }
+
+    #[test]
+    fn render_all_reports_cross_registry_kind_mismatch() {
+        let a = Registry::new();
+        a.counter("x", "").inc();
+        let b = Registry::new();
+        b.gauge("x", "").set(1.0);
+        match render_all(&[&a, &b]) {
+            Err(RenderError::KindMismatch {
+                family,
+                first,
+                conflicting,
+            }) => {
+                assert_eq!(family, "x");
+                assert_eq!(first, MetricKind::Counter);
+                assert_eq!(conflicting, MetricKind::Gauge);
+            }
+            Ok(_) => panic!("double-typed family must not render"),
+        }
     }
 
     #[test]

@@ -106,6 +106,77 @@ fn sanitize(v: f64) -> f64 {
     }
 }
 
+/// Which end of a causal arrow a flow event marks (Chrome phases
+/// `ph:"s"` / `ph:"t"` / `ph:"f"`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// Arrow tail (`ph:"s"`): the producing slice.
+    Start,
+    /// Intermediate hop (`ph:"t"`): the arrow threads through here.
+    Step,
+    /// Arrow head (`ph:"f"`): the consuming slice.
+    Finish,
+}
+
+impl FlowPhase {
+    /// The Chrome trace-event `ph` string.
+    pub fn ph(self) -> &'static str {
+        match self {
+            FlowPhase::Start => "s",
+            FlowPhase::Step => "t",
+            FlowPhase::Finish => "f",
+        }
+    }
+}
+
+/// One Chrome-trace flow event: a point on a causal arrow identified by
+/// a shared `id`. Perfetto draws an arrow from the slice enclosing the
+/// `Start` through any `Step`s to the slice enclosing the `Finish`, so
+/// a ring send→recv or a request's queued→prefill→decode journey reads
+/// as a connected chain. Flow ids come from [`crate::flow`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowEvent {
+    /// Correlation id shared by every point on one arrow.
+    pub id: u64,
+    /// Which end of the arrow this event marks.
+    pub phase: FlowPhase,
+    /// Event name (the edge label in the viewer).
+    pub name: String,
+    /// Category (coarse grouping/filtering).
+    pub cat: String,
+    /// Logical process id (see [`pids`]).
+    pub pid: u64,
+    /// Track id within the process.
+    pub tid: u64,
+    /// Timestamp, microseconds since the recorder epoch. Must fall
+    /// inside a complete event on the same `(pid, tid)` track —
+    /// [`crate::chrome::validate`] enforces the binding.
+    pub ts_us: f64,
+}
+
+impl FlowEvent {
+    /// A flow point at an explicit timestamp (clamped non-negative).
+    pub fn at(
+        phase: FlowPhase,
+        pid: u64,
+        tid: u64,
+        cat: impl Into<String>,
+        name: impl Into<String>,
+        id: u64,
+        ts_us: f64,
+    ) -> Self {
+        Self {
+            id,
+            phase,
+            name: name.into(),
+            cat: cat.into(),
+            pid,
+            tid,
+            ts_us: sanitize(ts_us),
+        }
+    }
+}
+
 /// The event sink: an epoch for converting `Instant`s to trace
 /// timestamps, an on/off switch, the recorded events, and optional
 /// human-readable track names (rendered as `thread_name` metadata).
@@ -113,6 +184,7 @@ pub struct Recorder {
     enabled: AtomicBool,
     epoch: Instant,
     events: Mutex<Vec<TraceEvent>>,
+    flows: Mutex<Vec<FlowEvent>>,
     tracks: Mutex<Vec<((u64, u64), String)>>,
 }
 
@@ -129,6 +201,7 @@ impl Recorder {
             enabled: AtomicBool::new(false),
             epoch: Instant::now(),
             events: Mutex::new(Vec::new()),
+            flows: Mutex::new(Vec::new()),
             tracks: Mutex::new(Vec::new()),
         }
     }
@@ -180,6 +253,26 @@ impl Recorder {
         }
     }
 
+    /// Record one flow event (dropped while disabled).
+    pub fn record_flow(&self, flow: FlowEvent) {
+        if self.is_enabled() {
+            self.flows.lock().unwrap().push(flow);
+        }
+    }
+
+    /// Record a batch of flow events under one lock (dropped while
+    /// disabled).
+    pub fn extend_flows(&self, batch: Vec<FlowEvent>) {
+        if self.is_enabled() && !batch.is_empty() {
+            self.flows.lock().unwrap().extend(batch);
+        }
+    }
+
+    /// Copy of the flow events recorded so far.
+    pub fn flows(&self) -> Vec<FlowEvent> {
+        self.flows.lock().unwrap().clone()
+    }
+
     /// Name a `(pid, tid)` track for the viewer (last write wins).
     pub fn set_track_name(&self, pid: u64, tid: u64, name: impl Into<String>) {
         let mut tracks = self.tracks.lock().unwrap();
@@ -207,9 +300,10 @@ impl Recorder {
         std::mem::take(&mut *self.events.lock().unwrap())
     }
 
-    /// Drop all recorded events and track names.
+    /// Drop all recorded events, flow events, and track names.
     pub fn clear(&self) {
         self.events.lock().unwrap().clear();
+        self.flows.lock().unwrap().clear();
         self.tracks.lock().unwrap().clear();
     }
 
@@ -223,10 +317,10 @@ impl Recorder {
         self.len() == 0
     }
 
-    /// Render the current snapshot as Chrome trace-event JSON (see
-    /// [`crate::chrome::render`]).
+    /// Render the current snapshot (complete events plus flow events)
+    /// as Chrome trace-event JSON (see [`crate::chrome::render_full`]).
     pub fn to_chrome_json(&self) -> String {
-        crate::chrome::render(&self.snapshot(), &self.track_names())
+        crate::chrome::render_full(&self.snapshot(), &self.flows(), &self.track_names())
     }
 
     fn is_global(&self) -> bool {
@@ -296,8 +390,14 @@ pub fn flush_thread_to(recorder: &Recorder) {
 
 /// An RAII trace scope: measures from [`Span::enter`] to drop and
 /// records the interval on the calling thread's track.
+///
+/// Spans feeding the global recorder also leave a compact copy in the
+/// always-on [`crate::flight`] ring — even while the recorder is
+/// disabled — so a postmortem dump can reconstruct each thread's final
+/// moments without full tracing ever having been turned on.
 pub struct Span<'r> {
     rec: Option<&'r Recorder>,
+    flight: bool,
     pid: u64,
     cat: &'static str,
     name: &'static str,
@@ -305,8 +405,8 @@ pub struct Span<'r> {
 }
 
 impl Span<'static> {
-    /// Open a scope feeding the global recorder. A no-op (nothing
-    /// recorded, nothing buffered) while the recorder is disabled.
+    /// Open a scope feeding the global recorder (and the flight ring).
+    /// While the recorder is disabled, only the flight copy is kept.
     pub fn enter(pid: u64, cat: &'static str, name: &'static str) -> Self {
         Self::enter_in(Recorder::global(), pid, cat, name)
     }
@@ -314,11 +414,15 @@ impl Span<'static> {
 
 impl<'r> Span<'r> {
     /// Open a scope feeding `rec` (used by tests; production wiring
-    /// goes through [`Span::enter`]).
+    /// goes through [`Span::enter`]). Only global-recorder spans are
+    /// mirrored into the flight ring — local recorders have their own
+    /// epochs and would corrupt the shared timebase.
     pub fn enter_in(rec: &'r Recorder, pid: u64, cat: &'static str, name: &'static str) -> Self {
+        let flight = rec.is_global();
         if !rec.is_enabled() {
             return Self {
                 rec: None,
+                flight,
                 pid,
                 cat,
                 name,
@@ -328,6 +432,7 @@ impl<'r> Span<'r> {
         THREAD.with(|t| t.borrow_mut().depth += 1);
         Self {
             rec: Some(rec),
+            flight,
             pid,
             cat,
             name,
@@ -338,6 +443,17 @@ impl<'r> Span<'r> {
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
+        if self.flight && crate::flight::is_enabled() {
+            let g = Recorder::global();
+            let dur_us = self.start.elapsed().as_secs_f64() * 1e6;
+            crate::flight::record(crate::flight::FlightEvent::span(
+                self.pid,
+                self.cat,
+                self.name,
+                g.ts_of(self.start),
+                dur_us,
+            ));
+        }
         let Some(rec) = self.rec else { return };
         let dur_us = self.start.elapsed().as_secs_f64() * 1e6;
         let ts_us = rec.ts_of(self.start);

@@ -153,3 +153,71 @@ fn registered_kinds_enumerate() {
     assert_eq!(MetricKind::Gauge.prom_type(), "gauge");
     assert_eq!(MetricKind::Histogram.prom_type(), "histogram");
 }
+
+// ------------------------------------------------- flight ring bounds
+
+use matgpt_obs::flight::{FlightEvent, FlightRing};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any push sequence against any byte budget: usage never exceeds
+    /// the budget, `total_recorded` counts every push, and the
+    /// retained window is exactly the most recent events, oldest first.
+    #[test]
+    fn flight_ring_is_bounded_and_drops_oldest(
+        budget in 1usize..(FlightRing::EVENT_BYTES * 40),
+        pushes in 0u64..300,
+    ) {
+        let ring = FlightRing::with_budget(1, budget);
+        for i in 0..pushes {
+            ring.push(FlightEvent::span(1, "prop", "e", i as f64, 1.0).at_step(i));
+        }
+        prop_assert!(ring.byte_usage() <= ring.budget_bytes().max(FlightRing::EVENT_BYTES));
+        prop_assert_eq!(ring.total_recorded(), pushes);
+        let capacity = (budget / FlightRing::EVENT_BYTES).max(1) as u64;
+        let kept: Vec<u64> = ring.snapshot().iter().map(|e| e.step).collect();
+        let expect: Vec<u64> = (pushes.saturating_sub(capacity)..pushes).collect();
+        prop_assert_eq!(kept, expect, "retained window is the newest suffix, in order");
+    }
+
+    /// Concurrent pushers against one shared ring: the byte bound and
+    /// the total count hold under any interleaving.
+    #[test]
+    fn flight_ring_bound_holds_under_concurrency(
+        budget_slots in 1usize..16,
+        threads in 1usize..6,
+        per_thread in 1u64..80,
+    ) {
+        let budget = budget_slots * FlightRing::EVENT_BYTES;
+        let ring = Arc::new(FlightRing::with_budget(1, budget));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        ring.push(FlightEvent::span(1, "prop", "e", i as f64, 1.0)
+                            .at_step(t as u64 * 1_000_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert!(ring.byte_usage() <= budget);
+        prop_assert_eq!(ring.total_recorded(), threads as u64 * per_thread);
+        let snap = ring.snapshot();
+        prop_assert_eq!(snap.len(), (budget_slots).min(threads * per_thread as usize));
+        // per-thread order survives: each thread's retained steps ascend
+        for t in 0..threads as u64 {
+            let steps: Vec<u64> = snap
+                .iter()
+                .map(|e| e.step)
+                .filter(|s| s / 1_000_000 == t)
+                .collect();
+            prop_assert!(steps.windows(2).all(|w| w[0] < w[1]), "thread {} reordered: {:?}", t, steps);
+        }
+    }
+}

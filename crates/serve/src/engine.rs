@@ -175,6 +175,7 @@ impl Engine {
             absolute_deadline,
             cancel: Arc::clone(&cancel),
             tx: resp_tx,
+            flow_id: matgpt_obs::flow::fresh(matgpt_obs::flow::Domain::Serve),
         };
         if tx.send(sub).is_err() {
             // scheduler thread is gone; give the slot back

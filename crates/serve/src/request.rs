@@ -113,6 +113,11 @@ pub(crate) struct Submission {
     pub absolute_deadline: Option<Instant>,
     pub cancel: Arc<AtomicBool>,
     pub tx: crossbeam::channel::Sender<Response>,
+    /// Correlation id allocated at submission
+    /// ([`matgpt_obs::flow::fresh`], serve domain) and carried through
+    /// the request's whole life, so its queued → prefill → decode hops
+    /// render as one causal flow arrow in the trace.
+    pub flow_id: u64,
 }
 
 impl Submission {

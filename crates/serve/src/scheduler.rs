@@ -54,7 +54,8 @@ use crate::request::{FinishReason, Response, Submission};
 use crossbeam::channel::{Receiver, TryRecvError};
 use matgpt_model::infer::{KvCache, KvStorage};
 use matgpt_model::{generate::sample_logits, GptModel, ModelWeights, WeightPrecision};
-use matgpt_obs::{pids, Recorder, Span, TraceEvent};
+use matgpt_obs::flight::{self, FlightEvent, FlightKind};
+use matgpt_obs::{pids, FlowEvent, FlowPhase, Recorder, Span, TraceEvent};
 use matgpt_tensor::ParamStore;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -397,22 +398,64 @@ fn token_cost(sub: &Submission, max_seq: usize) -> usize {
 fn retire_unstarted(sub: Submission, reason: FinishReason, metrics: &MetricsInner) {
     let total = sub.submitted.elapsed();
     let rec = Recorder::global();
+    let tid = REQ_TRACK_BASE + sub.id;
+    let ts = rec.ts_of(sub.submitted);
+    let dur = (rec.now_us() - ts).max(0.0);
+    // always-on black box: the flow endpoints land in the flight ring
+    // even while the full recorder is off
+    let id = sub.flow_id;
+    flight::record(
+        FlightEvent::flow(
+            pids::SERVE,
+            "serve.request",
+            "queued",
+            FlightKind::FlowStart(id),
+            ts,
+            dur,
+        )
+        .at_step(sub.id),
+    );
+    flight::record(
+        FlightEvent::flow(
+            pids::SERVE,
+            "serve.request",
+            "queued",
+            FlightKind::FlowFinish(id),
+            ts,
+            dur,
+        )
+        .at_step(sub.id),
+    );
     if rec.is_enabled() {
         // its whole life was the queue: one "queued" interval
-        let tid = REQ_TRACK_BASE + sub.id;
         rec.set_track_name(pids::SERVE, tid, format!("req {}", sub.id));
-        let ts = rec.ts_of(sub.submitted);
         rec.record(
-            TraceEvent::complete(
+            TraceEvent::complete(pids::SERVE, tid, "serve.request", "queued", ts, dur)
+                .arg("id", sub.id as f64),
+        );
+        rec.extend_flows(vec![
+            FlowEvent::at(
+                FlowPhase::Start,
                 pids::SERVE,
                 tid,
                 "serve.request",
                 "queued",
+                id,
                 ts,
-                (rec.now_us() - ts).max(0.0),
-            )
-            .arg("id", sub.id as f64),
-        );
+            ),
+            FlowEvent::at(
+                FlowPhase::Finish,
+                pids::SERVE,
+                tid,
+                "serve.request",
+                "queued",
+                id,
+                ts + dur,
+            ),
+        ]);
+    }
+    if reason == FinishReason::Failed {
+        dump_request_postmortem(sub.id, metrics);
     }
     let resp = Response {
         id: sub.id,
@@ -446,9 +489,33 @@ fn retire_preempted(p: Preempted, reason: FinishReason, metrics: &MetricsInner) 
     metrics.completed.inc();
     if reason == FinishReason::Failed {
         metrics.failed.inc();
+        dump_request_postmortem(p.sub.id, metrics);
     }
     metrics.release_slot();
     let _ = p.sub.tx.send(resp);
+}
+
+/// Black-box dump for a request that retired [`FinishReason::Failed`]
+/// (a panicked model forward, or a lone request the pool can never
+/// hold): the flight rings' final events — this request's flow hops
+/// included — plus a metrics snapshot, written under
+/// `$MATGPT_POSTMORTEM_DIR/request-<id>`. Skipped entirely when the
+/// variable is unset: fault isolation is already complete by the time
+/// this runs, so the dump is forensics only.
+fn dump_request_postmortem(id: u64, metrics: &MetricsInner) {
+    let Ok(dir) = std::env::var("MATGPT_POSTMORTEM_DIR") else {
+        return;
+    };
+    let pm = matgpt_obs::flight::Postmortem::capture(
+        &format!("request {id} retired Failed"),
+        &[],
+        256,
+        &[metrics.registry()],
+    );
+    let path = std::path::Path::new(&dir).join(format!("request-{id}"));
+    if let Err(e) = pm.write_to(&path) {
+        eprintln!("postmortem write to {} failed: {e}", path.display());
+    }
 }
 
 /// Paged-backend scheduler state: the shared block pool and the prefix
@@ -472,15 +539,40 @@ fn evict_prefix(ps: &mut PagedState, metrics: &MetricsInner) -> usize {
 /// while it ran. No-op while the global recorder is disabled.
 fn emit_lifecycle(a: &Active) {
     let rec = Recorder::global();
-    if !rec.is_enabled() {
-        return;
-    }
     let tid = REQ_TRACK_BASE + a.sub.id;
-    rec.set_track_name(pids::SERVE, tid, format!("req {}", a.sub.id));
     let queued_ts = rec.ts_of(a.sub.submitted);
     let prefill_ts = rec.ts_of(a.prefill_start);
     let decode_ts = rec.ts_of(a.prefill_end);
     let now = rec.now_us();
+    let id = a.sub.flow_id;
+    // always-on black box: the journey's endpoints survive in the
+    // flight ring even while the full recorder is off
+    flight::record(
+        FlightEvent::flow(
+            pids::SERVE,
+            "serve.request",
+            "queued",
+            FlightKind::FlowStart(id),
+            queued_ts,
+            (prefill_ts - queued_ts).max(0.0),
+        )
+        .at_step(a.sub.id),
+    );
+    flight::record(
+        FlightEvent::flow(
+            pids::SERVE,
+            "serve.request",
+            "decode",
+            FlightKind::FlowFinish(id),
+            decode_ts,
+            (now - decode_ts).max(0.0),
+        )
+        .at_step(a.sub.id),
+    );
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.set_track_name(pids::SERVE, tid, format!("req {}", a.sub.id));
     rec.extend(vec![
         TraceEvent::complete(
             pids::SERVE,
@@ -510,6 +602,37 @@ fn emit_lifecycle(a: &Active) {
         )
         .arg("generated", a.generated as f64),
     ]);
+    // the causal arrow: leaves the queued slice, touches prefill,
+    // lands at the decode slice's end (inclusive binding)
+    rec.extend_flows(vec![
+        FlowEvent::at(
+            FlowPhase::Start,
+            pids::SERVE,
+            tid,
+            "serve.request",
+            "queued",
+            id,
+            queued_ts,
+        ),
+        FlowEvent::at(
+            FlowPhase::Step,
+            pids::SERVE,
+            tid,
+            "serve.request",
+            "prefill",
+            id,
+            prefill_ts,
+        ),
+        FlowEvent::at(
+            FlowPhase::Finish,
+            pids::SERVE,
+            tid,
+            "serve.request",
+            "decode",
+            id,
+            now,
+        ),
+    ]);
 }
 
 /// The scheduler loop. Runs until every sender is gone and all queued
@@ -527,6 +650,7 @@ pub(crate) fn run(
     let mut used_budget = 0usize;
     let mut disconnected = false;
     Recorder::global().set_track_name(pids::SERVE, matgpt_obs::thread_tid(), "scheduler");
+    flight::label_thread("serve-scheduler", None);
 
     // one-time precision selection: Int8 quantizes here and drops the
     // f32 store with `store`'s binding
@@ -776,6 +900,7 @@ pub(crate) fn run(
                             let mut a = active.remove(0);
                             a.done = Some(FinishReason::Failed);
                             metrics.failed.inc();
+                            dump_request_postmortem(a.sub.id, &metrics);
                             metrics.completed.inc();
                             metrics.release_slot();
                             emit_lifecycle(&a);
@@ -872,6 +997,7 @@ pub(crate) fn run(
         for a in retired {
             if a.done == Some(FinishReason::Failed) {
                 metrics.failed.inc();
+                dump_request_postmortem(a.sub.id, &metrics);
             }
             metrics.release_slot();
             emit_lifecycle(&a);

@@ -17,18 +17,19 @@ cargo run --release -q -p matgpt-bench --bin ext_serve_bench
 cargo run --release -q -p matgpt-bench --bin ext_parallel
 cargo run --release -q -p matgpt-bench --bin ext_paged_bench
 cargo run --release -q -p matgpt-bench --bin ext_resilience
+cargo run --release -q -p matgpt-bench --bin ext_obs_flight
 
 echo
 echo "== diffing against committed baselines (tolerance ${TOLERANCE}) =="
 status=0
-for bench in quant serve parallel paged resilience; do
+for bench in quant serve parallel paged resilience obs; do
   fresh="target/bench/BENCH_${bench}.json"
   baseline="benchmarks/BENCH_${bench}.json"
-  # single-core CI makes the data-parallel critical-path ratio and the
-  # paged/contiguous scheduling ratio noisier than the kernel-bound
-  # benches; give them a wider band
+  # single-core CI makes the data-parallel critical-path ratio, the
+  # paged/contiguous scheduling ratio, and the flight on/off wall-clock
+  # ratio noisier than the kernel-bound benches; give them a wider band
   tol="$TOLERANCE"
-  if [[ "$bench" == "parallel" || "$bench" == "paged" ]]; then
+  if [[ "$bench" == "parallel" || "$bench" == "paged" || "$bench" == "obs" ]]; then
     tol=$(awk -v a="$TOLERANCE" 'BEGIN { print (a > 0.30) ? a : 0.30 }')
   fi
   if [[ ! -f "$baseline" ]]; then

@@ -42,6 +42,12 @@ cargo run --release -q -p matgpt-bench --bin ext_observability -- --smoke
 # re-validate the artifacts from disk (no python needed: the validator
 # is the same chrome::validate / prom::parse code the repo ships)
 cargo run --release -q -p matgpt-bench --bin ext_observability -- --validate
+# fault postmortem end-to-end: seeded kill → flight-recorder dump →
+# bundle re-validated from disk (victim flagged, flow arrows complete)
+cargo run --release -q -p matgpt-bench --bin ext_obs_flight -- --postmortem --smoke
+# critical-path attribution: injected straggler identified, phase order
+# agrees with the simulated Fig. 9 timeline
+cargo test -q -p matgpt-bench --test obs_critical_path
 
 echo "== quantization: int8 decode acceptance gates (smoke scale) =="
 cargo run --release -q -p matgpt-bench --bin ext_quant -- --smoke
