@@ -1,0 +1,287 @@
+//! Extension: executed tensor + pipeline parallelism — the measured
+//! counterpart of the simulator's TP/PP pricing (Figs. 7, 11).
+//!
+//! Where `fig07_parallelism` *prices* Megatron TP and 1F1B PP with the
+//! α-β machine model, this binary *runs* them on `core::parallel`'s
+//! topology executor and checks three claims:
+//!
+//! * **TP compute partition** — column/row sharding splits the layer
+//!   matmuls across ranks; the busiest rank's forward+backward time is
+//!   measured sequentially (contention-free, so the ratio is portable
+//!   to single-core CI, same method as `ext_parallel`) and must beat
+//!   the unsharded graph by a healthy margin at TP=2.
+//! * **Fig. 11 histogram** — the executed run's per-collective
+//!   message-size histogram (logical buffer bytes per call, shares
+//!   weighted by wire traffic) must agree with the simulator's
+//!   `Strategy::TensorParallel(2)` message breakdown at ≥ 0.9 overlap
+//!   once the simulator is pointed at the same dtype (f32 rings, so
+//!   `dtype_bytes = 4.0`) and micro-batch. Same sync-point census —
+//!   4 allreduces per layer of `rows·seq·hidden` scalars.
+//! * **PP bubble** — the 1F1B schedule's idle fraction follows the
+//!   `(p−1)/(p−1+chunks)` closed form; wall-clock per chunk count is
+//!   reported (ungated — a single-core runner serializes the stages
+//!   and hides the bubble), and the `chunks = 4` run is re-checked
+//!   bitwise against the sequential reference.
+//!
+//! Headline numbers land in `target/bench/BENCH_tp.json` (schema
+//! `matgpt-bench/v1`); `bench_compare` diffs the gated ratios against
+//! the committed `benchmarks/BENCH_tp.json` baseline.
+
+use matgpt_bench::report::BenchReport;
+use matgpt_bench::{bench_out_dir, compare, print_table, smoke_requested};
+use matgpt_core::parallel::{reference_topology, train_topology, Topology, TopologyOutcome};
+use matgpt_core::{OptChoice, PretrainConfig, SizeRole};
+use matgpt_corpus::{build_corpus, CorpusConfig};
+use matgpt_frontier_sim::collectives::Collective;
+use matgpt_frontier_sim::{simulate_step, Strategy, TrainSetup};
+use matgpt_model::tp::{shard_model, StageInput};
+use matgpt_model::{ArchKind, GptConfig, GptModel};
+use matgpt_tensor::{init, CommHook, ParamStore, Tape, TapeComm, Tensor};
+use matgpt_tokenizer::TokenizerKind;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Tape hook that reports a TP group but moves no bytes — the shapes
+/// (and therefore the compute being timed) match the threaded run,
+/// while the allreduce itself costs nothing. Used only for the
+/// contention-free per-rank timing.
+struct ShapeOnlyComm(usize);
+
+impl TapeComm for ShapeOnlyComm {
+    fn allreduce(&self, _buf: &mut [f32]) {}
+    fn take_error(&self) -> Option<String> {
+        None
+    }
+    fn group(&self) -> usize {
+        self.0
+    }
+}
+
+/// Median forward+backward milliseconds for one TP rank's shard of the
+/// full layer stack (no loss head, so the replicated lm_head/CE does
+/// not dilute the sharded-matmul ratio).
+fn rank_ms(cfg: &GptConfig, tp: usize, rank: usize, rows: usize, seq: usize, reps: usize) -> f64 {
+    let mut rng = init::rng(41);
+    let mut store = ParamStore::new();
+    let model = GptModel::new(cfg.clone(), &mut store, &mut rng);
+    let (shard, shard_store) = shard_model(&model, &store, tp, rank, 0..cfg.layers, true, true);
+    let hook = CommHook::new(Rc::new(ShapeOnlyComm(tp)));
+    let tokens: Vec<u32> = (0..rows * seq)
+        .map(|i| (i % cfg.vocab_size) as u32)
+        .collect();
+    let mut samples = Vec::with_capacity(reps);
+    for it in 0..reps + 2 {
+        let t0 = Instant::now();
+        let mut tape = Tape::new();
+        let sf = shard.stage_forward(
+            &mut tape,
+            &shard_store,
+            StageInput::Tokens(&tokens),
+            None,
+            &hook,
+            rows,
+            seq,
+        );
+        let out_shape = tape.value(sf.out).shape().to_vec();
+        let n: usize = out_shape.iter().product();
+        tape.backward_from(sf.out, Tensor::from_vec(&out_shape, vec![1.0; n]));
+        std::hint::black_box(tape.grad(sf.staged[0].1));
+        if it >= 2 {
+            samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Overlap of two message-size histograms, both as shares of wire
+/// traffic keyed by (collective, logical buffer bytes):
+/// `Σ_bins min(share_a, share_b)` ∈ [0, 1].
+fn histogram_agreement(exec: &[(Collective, u64, f64)], sim: &[(Collective, f64, f64)]) -> f64 {
+    let mut a: HashMap<(Collective, u64), f64> = HashMap::new();
+    for &(k, b, s) in exec {
+        *a.entry((k, b)).or_insert(0.0) += s;
+    }
+    let mut b: HashMap<(Collective, u64), f64> = HashMap::new();
+    for &(k, bytes, s) in sim {
+        *b.entry((k, bytes.round() as u64)).or_insert(0.0) += s;
+    }
+    a.iter()
+        .map(|(key, &sa)| sa.min(b.get(key).copied().unwrap_or(0.0)))
+        .sum()
+}
+
+fn main() {
+    let smoke = smoke_requested();
+    let documents = build_corpus(&CorpusConfig {
+        n_materials: 30,
+        total_docs: 90,
+        offtopic_fraction: 0.2,
+        seed: 23,
+    })
+    .documents;
+    let cfg = PretrainConfig {
+        steps: if smoke { 2 } else { 4 },
+        batch_seqs: 8,
+        seq: 32,
+        ..PretrainConfig::scaled(
+            ArchKind::Llama,
+            TokenizerKind::Hf,
+            300,
+            OptChoice::Adam,
+            SizeRole::Base,
+        )
+    };
+
+    // ---- TP compute partition, timed sequentially per rank
+    let timing_cfg = if smoke {
+        GptConfig::tiny(ArchKind::Llama, 300)
+    } else {
+        GptConfig::small(ArchKind::Llama, 300)
+    };
+    let (rows, seq, reps) = if smoke { (4, 32, 3) } else { (8, 32, 9) };
+    let full_ms = rank_ms(&timing_cfg, 1, 0, rows, seq, reps);
+    let tp_rank_ms: Vec<f64> = (0..2)
+        .map(|r| rank_ms(&timing_cfg, 2, r, rows, seq, reps))
+        .collect();
+    let busiest = tp_rank_ms.iter().cloned().fold(0.0f64, f64::max);
+    let tp_speedup_2r = full_ms / busiest;
+
+    // ---- executed TP=2 vs the simulator's Fig. 11 message breakdown
+    let topo = Topology::new(1, 2, 1);
+    let exec = train_topology(&documents, &cfg, topo).expect("executed TP=2");
+    assert!(
+        exec.report.wire_exact(),
+        "per-rank TP wire bytes must hit the ring closed form: {:#?}",
+        exec.report.wire
+    );
+    let mut setup = TrainSetup::new(exec.model.cfg.clone(), 2, Strategy::TensorParallel(2));
+    setup.micro_batch = cfg.batch_seqs;
+    setup.seq = cfg.seq;
+    setup.dtype_bytes = 4.0; // the executor's rings carry f32
+    let sim = simulate_step(&setup);
+    let fig11_tp_agreement =
+        histogram_agreement(&exec.report.message_shares(), &sim.message_shares());
+
+    print_table(
+        "Executed TP=2 vs simulated message histogram (Fig. 11)",
+        &[
+            "source",
+            "collective",
+            "buffer bytes",
+            "share of wire traffic",
+        ],
+        &exec
+            .report
+            .message_shares()
+            .iter()
+            .map(|(k, b, s)| {
+                vec![
+                    "executed".into(),
+                    k.name().to_string(),
+                    b.to_string(),
+                    format!("{s:.4}"),
+                ]
+            })
+            .chain(sim.message_shares().iter().map(|(k, b, s)| {
+                vec![
+                    "simulated".into(),
+                    k.name().to_string(),
+                    format!("{b:.0}"),
+                    format!("{s:.4}"),
+                ]
+            }))
+            .collect::<Vec<_>>(),
+    );
+
+    // ---- PP bubble: closed form per chunk count, wall-clock reported
+    let chunk_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4] };
+    let mut pp_rows = Vec::new();
+    let mut pp_walls: Vec<(usize, f64)> = Vec::new();
+    let mut pp_check: Option<TopologyOutcome> = None;
+    for &c in chunk_counts {
+        let topo = Topology::new(1, 1, 2).with_chunks(c);
+        let t0 = Instant::now();
+        let out = train_topology(&documents, &cfg, topo).expect("executed PP=2");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(out.report.wire_exact(), "PP wire audit");
+        let bubble = 1.0 / (1.0 + c as f64); // (p−1)/(p−1+chunks) at p=2
+        pp_rows.push(vec![
+            c.to_string(),
+            format!("{bubble:.3}"),
+            format!("{wall_ms:.0}"),
+        ]);
+        pp_walls.push((c, wall_ms));
+        if c == 4 {
+            pp_check = Some(out);
+        }
+    }
+    let pp4 = pp_check.expect("chunks=4 run");
+    let reference = reference_topology(&documents, &cfg, Topology::new(1, 1, 2).with_chunks(4))
+        .expect("reference PP=2");
+    assert_eq!(
+        pp4.train_curve, reference.train_curve,
+        "1F1B executor must match the sequential reference bitwise"
+    );
+    assert_eq!(
+        pp4.store.flat_values(),
+        reference.store.flat_values(),
+        "PP=2 final weights must match bitwise"
+    );
+    print_table(
+        "Executed PP=2 1F1B (bubble closed form (p−1)/(p−1+chunks); wall is single-core-serialized)",
+        &["chunks", "bubble", "wall ms"],
+        &pp_rows,
+    );
+
+    let mut report = BenchReport::new("tp", smoke)
+        .config("arch", "Llama")
+        .config("timing_model", if smoke { "tiny" } else { "small" })
+        .config("steps", cfg.steps)
+        .config("global_batch", cfg.batch_seqs)
+        .config("seq", cfg.seq)
+        .config("chunk_counts", format!("{chunk_counts:?}"))
+        .metric("tp1_rank_ms", full_ms)
+        .metric("tp2_busiest_rank_ms", busiest)
+        .metric("tp_speedup_2r", tp_speedup_2r)
+        .metric("fig11_tp_agreement", fig11_tp_agreement)
+        .metric("pp2_final_val", f64::from(pp4.final_val))
+        .gate("tp_speedup_2r")
+        .gate("fig11_tp_agreement");
+    for (c, wall) in &pp_walls {
+        report = report
+            .metric(&format!("pp2_bubble_closed_c{c}"), 1.0 / (1.0 + *c as f64))
+            .metric(&format!("pp2_wall_c{c}_ms"), *wall);
+    }
+    let path = report
+        .write_to(&bench_out_dir())
+        .expect("write BENCH_tp.json");
+    println!("report: {}", path.display());
+
+    println!("\n-- reference vs measured --");
+    compare(
+        "TP=2 busiest-rank compute vs unsharded",
+        "speedup > 1 (sharded QKV/up + output/down matmuls)",
+        &format!("{tp_speedup_2r:.2}x"),
+        if tp_speedup_2r > 1.0 { "OK" } else { "MISS" },
+    );
+    compare(
+        "Fig. 11 message-histogram agreement (TP=2)",
+        ">= 0.9 share overlap",
+        &format!("{fig11_tp_agreement:.4}"),
+        if fig11_tp_agreement >= 0.9 {
+            "OK"
+        } else {
+            "MISS"
+        },
+    );
+    assert!(
+        fig11_tp_agreement >= 0.9,
+        "executed and simulated TP message histograms diverged"
+    );
+    assert!(
+        tp_speedup_2r > 1.0,
+        "TP=2 failed to shrink the busiest rank's compute"
+    );
+}

@@ -23,7 +23,9 @@ pub use parallel::resilience::{
     ResilienceConfig, ResilienceReport, ResilientOutcome,
 };
 pub use parallel::{
-    CollectiveError, DataParallel, ParallelConfig, ParallelOutcome, ParallelReport, ShardPlanError,
+    reference_topology, train_topology, CollectiveError, DataParallel, ParallelConfig,
+    ParallelOutcome, ParallelReport, ShardPlanError, Topology, TopologyError, TopologyOutcome,
+    TopologyReport,
 };
 pub use pipeline::{
     experiment_matrix, pretrain_bert, train_suite, MatGptSuite, SuiteScale, TrainedBert,

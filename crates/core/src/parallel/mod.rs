@@ -55,7 +55,9 @@
 //! to N−1 survivors. See `PARALLELISM.md` for the state machine and the
 //! determinism contract.
 
+pub mod collective;
 pub mod resilience;
+pub mod topology;
 
 use crate::pretrain::{
     build_model, build_optimizer, train_tokenizer, validation_loss_on, LossCurves, Pretrained,
@@ -64,23 +66,28 @@ use crate::pretrain::{
 use crate::recipes::PretrainConfig;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use matgpt_corpus::{Batch, TokenDataset};
-use matgpt_frontier_sim::collectives::{wire_bytes, Collective};
+use matgpt_frontier_sim::collectives::{wire_bytes, Collective as CollKind};
 use matgpt_model::GptModel;
-use matgpt_obs::flow::{self, Domain, FlowScope};
-use matgpt_obs::{flight, pids, FlowPhase, Histogram, Registry, Span};
+use matgpt_obs::{flight, pids, Histogram, Registry, Span};
 use matgpt_optim::{CosineSchedule, LrSchedule, OptimizerState};
 use matgpt_tensor::{checkpoint, ParamStore, Tape};
 use resilience::{FaultKind, FaultPlan, Heartbeats};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Ring-receive bound for fault-free runs: long enough that no healthy
-/// worker can trip it, short enough that a genuinely wedged run turns
-/// into a typed error instead of an eternal hang. Resilient runs use
-/// the much tighter `ResilienceConfig::collective_timeout_ms`.
-const DEFAULT_RING_TIMEOUT: Duration = Duration::from_secs(120);
+pub use collective::{
+    ring_allgather_rank_bytes, ring_allreduce_rank_bytes, ring_allreduce_sum,
+    ring_reduce_scatter_rank_bytes, Collective, CollectiveError, PipeDir, PipeLink, RingComm,
+};
+pub(crate) use collective::{Ring, DEFAULT_RING_TIMEOUT};
+/// Re-exported from `matgpt_tensor`, where the fold order now lives so
+/// the tape's sequential-reference TP ops share it.
+pub use matgpt_tensor::ring_fold;
+pub use topology::{
+    reference_topology, train_topology, MsgBin, Topology, TopologyError, TopologyOutcome,
+    TopologyReport, WireAudit,
+};
 
 /// How many workers, and how they keep optimizer state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -317,283 +324,6 @@ impl ShardPlan {
     pub fn shard_scalars(&self) -> Vec<usize> {
         self.flat.iter().map(|r| r.len()).collect()
     }
-}
-
-// ---------------------------------------------------------------------------
-// The ring: deterministic chunked reduce-scatter + allgather.
-// ---------------------------------------------------------------------------
-
-/// Typed failure of a bounded ring collective — what a worker observes
-/// when a peer dies or stalls instead of blocking forever.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CollectiveError {
-    /// A ring link disconnected: the named peer dropped its endpoints
-    /// (its thread exited or was killed mid-step).
-    RankLost {
-        /// The peer this rank lost contact with.
-        rank: usize,
-    },
-    /// No traffic from the named peer within the bounded wait — a stall
-    /// longer than the collective timeout is indistinguishable from a
-    /// dead rank and is treated as one.
-    Timeout {
-        /// The peer that went silent.
-        rank: usize,
-        /// How long this rank waited before giving up, milliseconds.
-        waited_ms: u64,
-    },
-}
-
-impl std::fmt::Display for CollectiveError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CollectiveError::RankLost { rank } => write!(f, "ring peer {rank} lost (disconnected)"),
-            CollectiveError::Timeout { rank, waited_ms } => {
-                write!(f, "ring peer {rank} silent for {waited_ms} ms")
-            }
-        }
-    }
-}
-
-impl std::error::Error for CollectiveError {}
-
-/// One worker's pair of ring links: it only ever sends to its successor
-/// and receives from its predecessor, like one RCCL ring channel.
-struct Ring {
-    rank: usize,
-    n: usize,
-    tx_next: Sender<Vec<f32>>,
-    rx_prev: Receiver<Vec<f32>>,
-    timeout: Duration,
-    sent_bytes: u64,
-    wait_ms: f64,
-    /// Collective sequence number for flow-id scoping. Every rank of a
-    /// ring group runs the same collectives in the same order, so the
-    /// counters stay in lockstep and both ends of a hop derive the
-    /// same flow id without communicating.
-    flow_seq: u64,
-    /// Current training step, for tagging flow events (`u64::MAX` =
-    /// outside a step).
-    step: u64,
-}
-
-/// One directed ring link: the channel carrying rank r's sends to r+1.
-type RingLink = (Sender<Vec<f32>>, Receiver<Vec<f32>>);
-
-impl Ring {
-    /// Build the n ring endpoints (rank r sends to rank (r+1) mod n),
-    /// each bounding its receives by `timeout`.
-    fn build(n: usize, timeout: Duration) -> Vec<Ring> {
-        // Each ring group gets a disjoint block of collective sequence
-        // numbers, so flow ids from different pools (reruns, elastic
-        // re-shards) never collide in one process-wide trace.
-        static RING_GROUP: AtomicU64 = AtomicU64::new(0);
-        let seq_base = RING_GROUP.fetch_add(1, Ordering::Relaxed) << 20;
-        let links: Vec<RingLink> = (0..n).map(|_| unbounded()).collect();
-        let mut txs: Vec<Option<Sender<Vec<f32>>>> = Vec::new();
-        let mut rxs: Vec<Option<Receiver<Vec<f32>>>> = Vec::new();
-        for (tx, rx) in links {
-            txs.push(Some(tx));
-            rxs.push(Some(rx));
-        }
-        (0..n)
-            .map(|r| Ring {
-                rank: r,
-                n,
-                // link r carries r -> r+1 traffic
-                tx_next: txs[r].take().expect("unique sender"),
-                rx_prev: rxs[(r + n - 1) % n].take().expect("unique receiver"),
-                timeout,
-                sent_bytes: 0,
-                wait_ms: 0.0,
-                flow_seq: seq_base,
-                step: u64::MAX,
-            })
-            .collect()
-    }
-
-    /// Open the next collective's flow scope (same number on every
-    /// rank — see `flow_seq`).
-    fn begin_collective(&mut self) -> FlowScope {
-        let scope = FlowScope::new(Domain::Ring, self.flow_seq);
-        self.flow_seq += 1;
-        scope
-    }
-
-    fn prev_rank(&self) -> usize {
-        (self.rank + self.n - 1) % self.n
-    }
-
-    fn send(&mut self, buf: Vec<f32>) -> Result<(), CollectiveError> {
-        self.sent_bytes += 4 * buf.len() as u64;
-        self.tx_next
-            .send(buf)
-            .map_err(|_| CollectiveError::RankLost {
-                rank: (self.rank + 1) % self.n,
-            })
-    }
-
-    fn recv(&mut self) -> Result<Vec<f32>, CollectiveError> {
-        let t0 = Instant::now();
-        let got = self.rx_prev.recv_timeout(self.timeout).map_err(|e| {
-            use crossbeam::channel::RecvTimeoutError;
-            match e {
-                RecvTimeoutError::Disconnected => CollectiveError::RankLost {
-                    rank: self.prev_rank(),
-                },
-                RecvTimeoutError::Timeout => CollectiveError::Timeout {
-                    rank: self.prev_rank(),
-                    waited_ms: self.timeout.as_millis() as u64,
-                },
-            }
-        });
-        self.wait_ms += t0.elapsed().as_secs_f64() * 1e3;
-        got
-    }
-
-    /// Chunked ring reduce-scatter over `bounds`: after N−1 steps rank
-    /// `r` holds the fully reduced chunk `bounds[r]`; other chunks hold
-    /// partial sums. Each chunk's additions happen in ring order
-    /// starting from rank `r+1` — the order [`ring_fold`] replays.
-    fn reduce_scatter(
-        &mut self,
-        buf: &mut [f32],
-        bounds: &[Range<usize>],
-    ) -> Result<(), CollectiveError> {
-        let scope = self.begin_collective();
-        let n = self.n;
-        for s in 0..n.saturating_sub(1) {
-            let send_idx = (self.rank + n - 1 - s) % n;
-            let t_send = Instant::now();
-            self.send(buf[bounds[send_idx].clone()].to_vec())?;
-            flow::emit(
-                FlowPhase::Start,
-                pids::PARALLEL,
-                "ring",
-                "ring.send",
-                scope.ring_edge(s as u64, self.rank as u64),
-                t_send,
-                self.step,
-            );
-            let recv_idx = (self.rank + 2 * n - 2 - s) % n;
-            let t_recv = Instant::now();
-            let incoming = self.recv()?;
-            flow::emit(
-                FlowPhase::Finish,
-                pids::PARALLEL,
-                "ring",
-                "ring.recv",
-                scope.ring_edge(s as u64, self.prev_rank() as u64),
-                t_recv,
-                self.step,
-            );
-            for (dst, src) in buf[bounds[recv_idx].clone()].iter_mut().zip(&incoming) {
-                *dst += *src;
-            }
-        }
-        Ok(())
-    }
-
-    /// Chunked ring allgather over `bounds`: rank `r` starts with the
-    /// authoritative `bounds[r]` and after N−1 steps every rank holds
-    /// every chunk.
-    fn allgather(
-        &mut self,
-        buf: &mut [f32],
-        bounds: &[Range<usize>],
-    ) -> Result<(), CollectiveError> {
-        let scope = self.begin_collective();
-        let n = self.n;
-        for s in 0..n.saturating_sub(1) {
-            let send_idx = (self.rank + n - s) % n;
-            let t_send = Instant::now();
-            self.send(buf[bounds[send_idx].clone()].to_vec())?;
-            flow::emit(
-                FlowPhase::Start,
-                pids::PARALLEL,
-                "ring",
-                "ring.send",
-                scope.ring_edge(s as u64, self.rank as u64),
-                t_send,
-                self.step,
-            );
-            let recv_idx = (self.rank + n - 1 - s) % n;
-            let t_recv = Instant::now();
-            let incoming = self.recv()?;
-            flow::emit(
-                FlowPhase::Finish,
-                pids::PARALLEL,
-                "ring",
-                "ring.recv",
-                scope.ring_edge(s as u64, self.prev_rank() as u64),
-                t_recv,
-                self.step,
-            );
-            buf[bounds[recv_idx].clone()].copy_from_slice(&incoming);
-        }
-        Ok(())
-    }
-}
-
-/// The ring reduce-scatter's fixed fold order as a pure sequential
-/// function: chunk `c` is the left fold of the ranks' contributions in
-/// ring order starting at rank `(c+1) mod N`. The threaded ring is
-/// bit-identical to this by construction (f32 addition is commutative,
-/// and the ring fixes the grouping); the sequential reference executor
-/// uses it to define "single-worker training on the concatenated batch"
-/// under deterministic-reduction semantics.
-pub fn ring_fold(parts: &[Vec<f32>], bounds: &[Range<usize>]) -> Vec<f32> {
-    let n = parts.len();
-    assert!(n > 0, "ring_fold needs at least one contribution");
-    assert_eq!(bounds.len(), n, "one chunk per rank");
-    let mut out = vec![0.0f32; parts[0].len()];
-    for (c, b) in bounds.iter().enumerate() {
-        out[b.clone()].copy_from_slice(&parts[(c + 1) % n][b.clone()]);
-        for k in 2..=n {
-            let r = (c + k) % n;
-            for (dst, src) in out[b.clone()].iter_mut().zip(&parts[r][b.clone()]) {
-                *dst += *src;
-            }
-        }
-    }
-    out
-}
-
-/// Run a real threaded ring allreduce (sum) over the given per-rank
-/// buffers and chunk bounds. Returns each rank's resulting buffer plus
-/// the bytes each rank sent — the unit-testable surface of the ring.
-///
-/// Receives are bounded: a dead or wedged participant surfaces as a
-/// typed [`CollectiveError`] instead of blocking the caller forever.
-pub fn ring_allreduce_sum(
-    parts: Vec<Vec<f32>>,
-    bounds: &[Range<usize>],
-) -> Result<(Vec<Vec<f32>>, Vec<u64>), CollectiveError> {
-    let n = parts.len();
-    assert!(n > 0, "need at least one rank");
-    assert_eq!(bounds.len(), n, "one chunk per rank");
-    let rings = Ring::build(n, DEFAULT_RING_TIMEOUT);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = rings
-            .into_iter()
-            .zip(parts)
-            .map(|(mut ring, mut buf)| {
-                scope.spawn(move || -> Result<(Vec<f32>, u64), CollectiveError> {
-                    ring.reduce_scatter(&mut buf, bounds)?;
-                    ring.allgather(&mut buf, bounds)?;
-                    Ok((buf, ring.sent_bytes))
-                })
-            })
-            .collect();
-        let mut bufs = Vec::with_capacity(n);
-        let mut bytes = Vec::with_capacity(n);
-        for h in handles {
-            let (b, sent) = h.join().expect("ring worker")?;
-            bufs.push(b);
-            bytes.push(sent);
-        }
-        Ok((bufs, bytes))
-    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1104,7 +834,7 @@ impl DataParallel {
             }
         }
 
-        let formula = wire_bytes(Collective::AllReduce, (plan.total * 4) as f64, workers);
+        let formula = wire_bytes(CollKind::AllReduce, (plan.total * 4) as f64, workers);
         let report = ParallelReport {
             workers,
             zero1: false,
@@ -1308,7 +1038,7 @@ impl DataParallel {
             let (model, store) = rank0.expect("rank 0 returns its replica");
 
             let denom = (steps_run.max(1) * n) as f64;
-            let formula = wire_bytes(Collective::AllReduce, (plan.total * 4) as f64, n);
+            let formula = wire_bytes(CollKind::AllReduce, (plan.total * 4) as f64, n);
             let report = ParallelReport {
                 workers: n,
                 zero1,
@@ -1454,7 +1184,6 @@ fn decode_resume(cfg: &PretrainConfig, bytes: &[u8]) -> Result<ResumeState, Resu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use matgpt_frontier_sim::collectives::ring_chunks;
 
     #[test]
     fn shard_plan_covers_and_aligns() {
@@ -1481,43 +1210,6 @@ mod tests {
                 assert!(plan.owned_mask(o)[t]);
             }
         }
-    }
-
-    #[test]
-    fn ring_fold_matches_naive_sum_on_integers() {
-        // Integer-valued f32 sums are associative-exact, so the ring
-        // order and the naive order must agree bit-for-bit.
-        let parts: Vec<Vec<f32>> = (0..4)
-            .map(|r| (0..10).map(|i| ((r * 10 + i) % 7) as f32).collect())
-            .collect();
-        let bounds = ring_chunks(10, 4);
-        let folded = ring_fold(&parts, &bounds);
-        for i in 0..10 {
-            let naive: f32 = parts.iter().map(|p| p[i]).sum();
-            assert_eq!(folded[i].to_bits(), naive.to_bits());
-        }
-    }
-
-    #[test]
-    fn threaded_ring_matches_fold_bitwise() {
-        let parts: Vec<Vec<f32>> = (0..3)
-            .map(|r| {
-                (0..11)
-                    .map(|i| (0.1 + r as f32 * 0.37 + i as f32 * 0.013).sin())
-                    .collect()
-            })
-            .collect();
-        let bounds = ring_chunks(11, 3); // non-divisible remainder chunks
-        let expect = ring_fold(&parts, &bounds);
-        let (results, bytes) = ring_allreduce_sum(parts, &bounds).expect("healthy ring");
-        for buf in &results {
-            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
-            assert_eq!(bits(buf), bits(&expect));
-        }
-        // Each rank sends 2(n-1) chunks; mean volume hits the closed form.
-        let mean = bytes.iter().sum::<u64>() as f64 / bytes.len() as f64;
-        let formula = wire_bytes(Collective::AllReduce, 11.0 * 4.0, 3);
-        assert!((mean - formula).abs() < 1e-9, "{mean} vs {formula}");
     }
 
     #[test]
@@ -1587,52 +1279,6 @@ mod tests {
             ShardPlan::try_new(&[4], 0),
             Err(ShardPlanError::NoRanks)
         ));
-    }
-
-    #[test]
-    fn ring_recv_from_dropped_peer_is_rank_lost_not_a_hang() {
-        // rank 1's endpoints are dropped before it ever sends: rank 0's
-        // reduce-scatter must come back with a typed RankLost, and rank
-        // 1's vanishing must cascade to rank 2 rather than deadlock.
-        let mut rings = Ring::build(3, Duration::from_secs(5));
-        let r2 = rings.pop().expect("rank 2");
-        let r1 = rings.pop().expect("rank 1");
-        let r0 = rings.pop().expect("rank 0");
-        drop(r1);
-        let bounds = ring_chunks(9, 3);
-        std::thread::scope(|scope| {
-            for mut ring in [r0, r2] {
-                let bounds = &bounds;
-                scope.spawn(move || {
-                    let mut buf = vec![1.0f32; 9];
-                    let err = ring
-                        .reduce_scatter(&mut buf, bounds)
-                        .expect_err("peer is gone");
-                    assert!(matches!(err, CollectiveError::RankLost { .. }), "{err}");
-                });
-            }
-        });
-    }
-
-    #[test]
-    fn ring_recv_from_silent_peer_times_out() {
-        // rank 1 stays alive but never participates: rank 0 must give
-        // up after the bounded wait and name the silent predecessor.
-        let mut rings = Ring::build(2, Duration::from_millis(50));
-        let _r1 = rings.pop().expect("rank 1 held alive, silent");
-        let mut r0 = rings.pop().expect("rank 0");
-        let bounds = ring_chunks(4, 2);
-        let mut buf = vec![1.0f32; 4];
-        let err = r0
-            .reduce_scatter(&mut buf, &bounds)
-            .expect_err("peer never sends");
-        assert_eq!(
-            err,
-            CollectiveError::Timeout {
-                rank: 1,
-                waited_ms: 50
-            }
-        );
     }
 
     #[test]

@@ -94,6 +94,9 @@ pub struct TrainSetup {
     pub zero_bucket_bytes: f64,
     /// Topology placement of tensor-parallel groups.
     pub tp_mapping: TpMapping,
+    /// Bytes per scalar on the wire (2.0 = bf16, the paper's setting;
+    /// the executed-topology cross-check sets 4.0 for its f32 rings).
+    pub dtype_bytes: f64,
 }
 
 impl TrainSetup {
@@ -113,19 +116,24 @@ impl TrainSetup {
             dp_bucket_bytes: 500e6,
             zero_bucket_bytes: 128e6,
             tp_mapping: TpMapping::IntraMi250x,
+            dtype_bytes: 2.0,
         }
     }
 
     /// Transformer layers resident on one GCD: the busiest pipeline
-    /// stage under `PipelineParallel` (`div_ceil`, so a remainder layer
-    /// lands on — and is priced against — the critical stage), all
-    /// layers otherwise. The single source of truth shared by
+    /// stage under `PipelineParallel` — the first stage of the executed
+    /// topology's first-heavy split ([`matgpt_model::tp::stage_ranges`],
+    /// so the simulator prices exactly the split the executor runs) —
+    /// all layers otherwise. The single source of truth shared by
     /// [`simulate_step`] and [`crate::trace::step_timeline`]: both must
     /// split compute over the same layer count or the trace timeline
     /// drifts from the priced step.
     pub fn stage_layers(&self) -> usize {
         match self.strategy {
-            Strategy::PipelineParallel(p) => self.cfg.layers.div_ceil(p.max(1)),
+            Strategy::PipelineParallel(p) => {
+                let p = p.max(1).min(self.cfg.layers);
+                matgpt_model::tp::stage_ranges(self.cfg.layers, p)[0].len()
+            }
             _ => self.cfg.layers,
         }
     }
@@ -237,6 +245,28 @@ impl StepReport {
         let busy = self.compute_s + self.comm_s + self.io_s;
         (self.compute_s / busy, self.comm_s / busy, self.io_s / busy)
     }
+
+    /// Each message record's share of total wire traffic, as
+    /// `(collective, bytes_per_call, share)` — the Fig. 11 message-size
+    /// breakdown in the same shape the executed topology reports, so
+    /// the two histograms can be compared bin by bin.
+    pub fn message_shares(&self) -> Vec<(Collective, f64, f64)> {
+        let total: f64 = self.msgs.iter().map(MsgRecord::wire_total).sum();
+        self.msgs
+            .iter()
+            .map(|m| {
+                (
+                    m.collective,
+                    m.bytes_per_call,
+                    if total > 0.0 {
+                        m.wire_total() / total
+                    } else {
+                        0.0
+                    },
+                )
+            })
+            .collect()
+    }
 }
 
 /// Simulate one training step of `setup`.
@@ -246,7 +276,7 @@ pub fn simulate_step(setup: &TrainSetup) -> StepReport {
     let km = &setup.kernel;
     let part = setup.partitioning();
     let params = total_params(cfg) as f64;
-    let grad_bytes = 2.0 * params; // bf16 gradients
+    let grad_bytes = setup.dtype_bytes * params; // bf16 by default
     let n = setup.n_gcds;
     assert!(n >= 1, "need at least one GCD");
 
@@ -354,7 +384,7 @@ pub fn simulate_step(setup: &TrainSetup) -> StepReport {
             } else {
                 (0..t).collect()
             };
-            let act_bytes = (setup.micro_batch * setup.seq * cfg.hidden) as f64 * 2.0;
+            let act_bytes = (setup.micro_batch * setup.seq * cfg.hidden) as f64 * setup.dtype_bytes;
             let tp_calls = 4 * cfg.layers;
             comm_critical +=
                 collective_time(m, Collective::AllReduce, act_bytes, &tp_group) * tp_calls as f64;
@@ -382,7 +412,7 @@ pub fn simulate_step(setup: &TrainSetup) -> StepReport {
         }
         Strategy::PipelineParallel(p) => {
             // stage-boundary activations, twice per chunk (fwd + bwd)
-            let act_bytes = (setup.micro_batch * setup.seq * cfg.hidden) as f64 * 2.0;
+            let act_bytes = (setup.micro_batch * setup.seq * cfg.hidden) as f64 * setup.dtype_bytes;
             let p2p_calls = 2 * setup.pipeline_chunks * (p - 1);
             comm_critical +=
                 collective_time(m, Collective::P2p, act_bytes, &[0, 2]) * p2p_calls as f64;

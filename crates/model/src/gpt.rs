@@ -293,7 +293,7 @@ impl GptModel {
 /// Repeat each of `kv_heads` key/value heads `heads / kv_heads` times so a
 /// `[B*Hkv, T, D]` tensor becomes `[B*H, T, D]` (gradient flows back as a
 /// sum over the group, which is exactly GQA's backward).
-fn expand_kv_heads(
+pub(crate) fn expand_kv_heads(
     tape: &mut Tape,
     x: Var,
     batch: usize,

@@ -29,6 +29,7 @@ pub mod generate;
 pub mod gpt;
 pub mod infer;
 pub mod quant;
+pub mod tp;
 
 pub use bert::{mask_tokens, BertModel};
 pub use config::{ArchKind, BertConfig, GptConfig};

@@ -1,5 +1,5 @@
 //! Always-on flight recorder: a bounded per-thread ring of compact
-//! events, kept even while the full [`Recorder`](crate::Recorder) is
+//! events, kept even while the full [`Recorder`] is
 //! disabled, so the last moments of every thread survive a crash.
 //!
 //! The design is a black-box recorder, not a tracer:
@@ -57,7 +57,7 @@ pub struct FlightEvent {
     pub cat: &'static str,
     /// Interval or flow endpoint.
     pub kind: FlightKind,
-    /// Logical process id (see [`pids`]).
+    /// Logical process id (see [`crate::trace::pids`]).
     pub pid: u64,
     /// Start, microseconds on the global recorder's epoch.
     pub ts_us: f64,

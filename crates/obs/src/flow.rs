@@ -36,6 +36,8 @@ pub enum Domain {
     Ring = 1,
     /// `matgpt-serve` request lifecycles.
     Serve = 2,
+    /// `core::parallel` pipeline-parallel activation/gradient hops.
+    Pipe = 3,
 }
 
 const SCOPE_BITS: u32 = 40;
@@ -84,6 +86,7 @@ pub fn domain_of(id: u64) -> Option<Domain> {
     match id >> (SCOPE_BITS + EDGE_BITS) {
         1 => Some(Domain::Ring),
         2 => Some(Domain::Serve),
+        3 => Some(Domain::Pipe),
         _ => None,
     }
 }

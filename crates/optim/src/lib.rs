@@ -54,6 +54,16 @@ pub trait Optimizer {
     /// Human-readable name for logs and experiment tables.
     fn name(&self) -> &'static str;
 
+    /// True when the update rule touches each scalar independently of
+    /// every other scalar in its tensor (Adam, SGD). Tensor-parallel
+    /// sharding relies on this: an elementwise update applied per shard
+    /// equals the update applied to the assembled tensor. LAMB's
+    /// per-tensor trust ratio is **not** elementwise, so the executor
+    /// rejects LAMB × TP layouts up front.
+    fn elementwise(&self) -> bool {
+        true
+    }
+
     /// Snapshot the internal state (moments, step counter) for
     /// checkpointing. Importing the snapshot into a fresh optimizer of
     /// the same kind makes its future updates bit-identical to never
@@ -478,6 +488,10 @@ impl Optimizer for Lamb {
 
     fn name(&self) -> &'static str {
         "lamb"
+    }
+
+    fn elementwise(&self) -> bool {
+        false // per-tensor trust ratio couples scalars within a tensor
     }
 
     fn export_state(&self) -> OptimizerState {

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod collective;
 pub mod init;
 pub mod kernels;
 pub mod param;
@@ -39,6 +40,7 @@ pub mod precision;
 pub mod tape;
 pub mod tensor;
 
+pub use collective::{ring_chunks, ring_fold, CommHook, TapeComm};
 pub use kernels::attention::AttentionImpl;
 pub use kernels::quant::QuantizedMatrix;
 pub use param::{ParamId, ParamStore};

@@ -8,6 +8,7 @@
 //! Values live in the nodes; gradients live in a parallel vector so the
 //! backward sweep can borrow node data immutably while mutating gradients.
 
+use crate::collective::{ring_chunks, ring_fold, CommHook};
 use crate::kernels::activation as act;
 use crate::kernels::attention::{attention_bwd, attention_fwd, AttentionImpl, AttnSaved};
 use crate::kernels::matmul::{matmul, matmul_at_acc, matmul_bt_acc};
@@ -121,6 +122,28 @@ enum Op {
     },
     Sum(Var),
     Mean(Var),
+    /// Forward allreduce-sum across a TP group; backward identity.
+    SyncSum {
+        x: Var,
+    },
+    /// Forward identity; backward allreduce-sums the gradient.
+    SyncGrad {
+        x: Var,
+        comm: CommHook,
+    },
+    /// Sequential-reference fold of per-rank partials in ring order.
+    RingSum {
+        parts: Vec<Var>,
+    },
+    /// Sequential-reference TP branch (non-final): identity forward, no
+    /// backward of its own — the matching [`Op::TpJoin`] folds its grad.
+    TpPart,
+    /// Sequential-reference TP branch (final): folds every branch's
+    /// gradient in ring order into `x` exactly once.
+    TpJoin {
+        x: Var,
+        parts: Vec<Var>,
+    },
 }
 
 struct Node {
@@ -421,6 +444,96 @@ impl Tape {
         self.push(Op::Mean(x), Tensor::scalar(s), Saved::None)
     }
 
+    // ------------------------------------------------- parallel sync points
+
+    /// Allreduce-sum `x` across the hook's group (ring-fold order);
+    /// backward is the identity into this rank's partial. The Megatron
+    /// "g" point after a row-parallel matmul. A no-op for a group of
+    /// one, so the graph degenerates bitwise to the unsharded model.
+    pub fn sync_sum(&mut self, x: Var, comm: &CommHook) -> Var {
+        if comm.0.group() == 1 {
+            return x;
+        }
+        let mut out = self.value(x).clone();
+        comm.0.allreduce(out.data_mut());
+        self.push(Op::SyncSum { x }, out, Saved::None)
+    }
+
+    /// Identity forward; backward allreduce-sums the gradient across
+    /// the hook's group before accumulating into `x`. The Megatron "f"
+    /// point at a tensor-parallel block input. A no-op for a group of
+    /// one.
+    pub fn sync_grad(&mut self, x: Var, comm: &CommHook) -> Var {
+        if comm.0.group() == 1 {
+            return x;
+        }
+        let out = self.value(x).clone();
+        self.push(
+            Op::SyncGrad {
+                x,
+                comm: comm.clone(),
+            },
+            out,
+            Saved::None,
+        )
+    }
+
+    /// Sequential-reference twin of [`Tape::sync_sum`]: fold the
+    /// per-rank partials (rank order) with the exact ring reduction
+    /// order a threaded allreduce would use. Backward is the identity
+    /// into every part. A no-op for a single part.
+    pub fn ring_sum(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "ring_sum needs at least one part");
+        if parts.len() == 1 {
+            return parts[0];
+        }
+        let shape = self.value(parts[0]).shape().to_vec();
+        let vecs: Vec<Vec<f32>> = parts
+            .iter()
+            .map(|&p| {
+                assert_eq!(self.value(p).shape(), &shape[..], "ring_sum shape mismatch");
+                self.value(p).data().to_vec()
+            })
+            .collect();
+        let bounds = ring_chunks(vecs[0].len(), vecs.len());
+        let folded = ring_fold(&vecs, &bounds);
+        let out = Tensor::from_vec(&shape, folded);
+        self.push(
+            Op::RingSum {
+                parts: parts.to_vec(),
+            },
+            out,
+            Saved::None,
+        )
+    }
+
+    /// Sequential-reference twin of [`Tape::sync_grad`]: `t` identity
+    /// copies of `x`, one per simulated rank. The branch gradients are
+    /// folded with the ring order and added into `x` exactly once, by
+    /// the final branch — created last, so its backward runs first in
+    /// the reverse sweep, after every branch consumer has contributed.
+    pub fn tp_branches(&mut self, x: Var, t: usize) -> Vec<Var> {
+        assert!(t > 0, "tp_branches needs at least one rank");
+        if t == 1 {
+            return vec![x];
+        }
+        let mut out = Vec::with_capacity(t);
+        for _ in 0..t - 1 {
+            let v = self.value(x).clone();
+            out.push(self.push(Op::TpPart, v, Saved::None));
+        }
+        let v = self.value(x).clone();
+        out.push(self.push(
+            Op::TpJoin {
+                x,
+                parts: out.clone(),
+            },
+            v,
+            Saved::None,
+        ));
+        out
+    }
+
     // ------------------------------------------------------------- embedding
 
     /// Row-gather from an embedding table `[vocab, d]` by token ids.
@@ -684,10 +797,24 @@ impl Tape {
             1,
             "backward seed must be scalar"
         );
-        self.grads[loss.0] = Some(Tensor::from_vec(
-            self.nodes[loss.0].value.shape(),
-            vec![1.0],
-        ));
+        let seed = Tensor::from_vec(self.nodes[loss.0].value.shape(), vec![1.0]);
+        self.backward_from(loss, seed);
+    }
+
+    /// Run the reverse sweep from `out` seeded with an arbitrary
+    /// upstream gradient — the pipeline-parallel entry point, where the
+    /// seed is the activation gradient received back from the next
+    /// stage.
+    pub fn backward_from(&mut self, out: Var, seed: Tensor) {
+        assert_eq!(
+            seed.shape(),
+            self.nodes[out.0].value.shape(),
+            "backward_from seed shape mismatch"
+        );
+        match &mut self.grads[out.0] {
+            Some(g) => g.add_assign(&seed),
+            slot => *slot = Some(seed),
+        }
         let Tape { nodes, grads, .. } = self;
         for id in (0..nodes.len()).rev() {
             let g = match grads[id].take() {
@@ -1095,6 +1222,38 @@ fn backward_op(nodes: &[Node], grads: &mut [Option<Tensor>], id: usize, g: &Tens
             for ((o, &gv), &m) in gx.data_mut().iter_mut().zip(g.data()).zip(mask.iter()) {
                 *o += gv * m;
             }
+        }
+        Op::SyncSum { x } => {
+            grad_buf(grads, nodes, x.0).add_assign(g);
+        }
+        Op::SyncGrad { x, comm } => {
+            let x = *x;
+            let comm = comm.clone();
+            let mut buf = g.data().to_vec();
+            comm.0.allreduce(&mut buf);
+            add_into(grad_buf(grads, nodes, x.0), &buf);
+        }
+        Op::RingSum { parts } => {
+            let parts = parts.clone();
+            for p in parts {
+                grad_buf(grads, nodes, p.0).add_assign(g);
+            }
+        }
+        Op::TpPart => {}
+        Op::TpJoin { x, parts } => {
+            let x = *x;
+            let parts = parts.clone();
+            let n = parts.len() + 1;
+            let mut vecs: Vec<Vec<f32>> = Vec::with_capacity(n);
+            for p in &parts {
+                match &grads[p.0] {
+                    Some(gp) => vecs.push(gp.data().to_vec()),
+                    None => vecs.push(vec![0.0; g.numel()]),
+                }
+            }
+            vecs.push(g.data().to_vec());
+            let folded = ring_fold(&vecs, &ring_chunks(g.numel(), n));
+            add_into(grad_buf(grads, nodes, x.0), &folded);
         }
     }
 }

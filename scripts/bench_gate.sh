@@ -18,30 +18,49 @@ cargo run --release -q -p matgpt-bench --bin ext_parallel
 cargo run --release -q -p matgpt-bench --bin ext_paged_bench
 cargo run --release -q -p matgpt-bench --bin ext_resilience
 cargo run --release -q -p matgpt-bench --bin ext_obs_flight
+cargo run --release -q -p matgpt-bench --bin ext_tp
 
 echo
 echo "== diffing against committed baselines (tolerance ${TOLERANCE}) =="
 status=0
-for bench in quant serve parallel paged resilience obs; do
+summary_rows=""
+for bench in quant serve parallel paged resilience obs tp; do
   fresh="target/bench/BENCH_${bench}.json"
   baseline="benchmarks/BENCH_${bench}.json"
   # single-core CI makes the data-parallel critical-path ratio, the
-  # paged/contiguous scheduling ratio, and the flight on/off wall-clock
-  # ratio noisier than the kernel-bound benches; give them a wider band
+  # paged/contiguous scheduling ratio, the flight on/off wall-clock
+  # ratio, and the TP per-rank compute ratio noisier than the
+  # kernel-bound benches; give them a wider band
   tol="$TOLERANCE"
-  if [[ "$bench" == "parallel" || "$bench" == "paged" || "$bench" == "obs" ]]; then
+  if [[ "$bench" == "parallel" || "$bench" == "paged" || "$bench" == "obs" || "$bench" == "tp" ]]; then
     tol=$(awk -v a="$TOLERANCE" 'BEGIN { print (a > 0.30) ? a : 0.30 }')
   fi
   if [[ ! -f "$baseline" ]]; then
     echo "bench_gate: missing baseline $baseline" >&2
+    summary_rows+="| ${bench} | ${tol} | ❌ missing baseline |"$'\n'
     status=1
     continue
   fi
-  if ! cargo run --release -q -p matgpt-bench --bin bench_compare -- \
+  if cargo run --release -q -p matgpt-bench --bin bench_compare -- \
       "$fresh" "$baseline" --tolerance "$tol"; then
+    summary_rows+="| ${bench} | ${tol} | ✅ pass |"$'\n'
+  else
+    summary_rows+="| ${bench} | ${tol} | ❌ regression |"$'\n'
     status=1
   fi
 done
+
+# On GitHub runners, surface the per-bench verdicts on the job summary
+# page so a regression is visible without digging through the log.
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+  {
+    echo "### Benchmark-regression gate"
+    echo
+    echo "| bench | tolerance | verdict |"
+    echo "|-------|-----------|---------|"
+    printf '%s' "$summary_rows"
+  } >>"$GITHUB_STEP_SUMMARY"
+fi
 
 if [[ "$status" -ne 0 ]]; then
   echo "bench_gate: FAIL (to accept a new performance floor, copy the" >&2

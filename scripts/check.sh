@@ -4,36 +4,63 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check =="
+# Each section() call marks the previous one passed; on GitHub runners
+# the trap renders the ledger as a markdown table on the job summary
+# page, with the in-flight section flagged when the script dies early.
+current_section=""
+summary_rows=""
+section() {
+  if [[ -n "$current_section" ]]; then
+    summary_rows+="| ${current_section} | ✅ pass |"$'\n'
+  fi
+  current_section="$1"
+  echo "== $1 =="
+}
+finish() {
+  local code=$?
+  if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    {
+      echo "### Health gate (check.sh)"
+      echo
+      echo "| section | result |"
+      echo "|---------|--------|"
+      printf '%s' "$summary_rows"
+      if [[ -n "$current_section" ]]; then
+        if [[ $code -eq 0 ]]; then
+          echo "| ${current_section} | ✅ pass |"
+        else
+          echo "| ${current_section} | ❌ fail |"
+        fi
+      fi
+    } >>"$GITHUB_STEP_SUMMARY"
+  fi
+}
+trap finish EXIT
+
+section "cargo fmt --check"
 cargo fmt --check
 
-echo "== cargo clippy (workspace, warnings are errors) =="
+section "cargo clippy (workspace, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier-1: release build + root test suite =="
+section "tier-1: release build + root test suite"
 cargo build --release
 cargo test -q
 
-echo "== fault-tolerance: checkpoint-restart + failure injection =="
+section "fault-tolerance: checkpoint-restart + failure injection"
 cargo test -q --test fault_tolerance
 # corruption properties get a deeper sweep than the proptest default —
 # the v2 section region (optimizer state, cursor, curves) is what the
 # resilience rollback path trusts
 PROPTEST_CASES=512 cargo test -q -p matgpt-tensor --test checkpoint_corruption
 
-echo "== resilience: executed fault tolerance (kill/stall/elastic re-shard) =="
+section "resilience: executed fault tolerance (kill/stall/elastic re-shard)"
 cargo test -q --test resilience
-# seeded chaos matrix: each seed draws a different kill schedule from
-# the simulator's MTBF process; every run must stay bit-identical to
-# the sequential reference
-for seed in 3 11 1337; do
-  echo "-- chaos seed ${seed} --"
-  MATGPT_CHAOS_SEED="$seed" cargo test -q --test resilience \
-    seeded_chaos_run_still_matches_the_sequential_reference
-done
+# the seeded chaos matrix (MATGPT_CHAOS_SEED ∈ {3, 11, 1337}) runs as
+# CI matrix entries alongside the topology grid; see ci.yml
 cargo run --release -q -p matgpt-bench --bin ext_resilience -- --smoke
 
-echo "== observability: matgpt-obs suite + unified-trace smoke gate =="
+section "observability: matgpt-obs suite + unified-trace smoke gate"
 cargo test -q -p matgpt-obs
 rm -f target/obs/trace.json
 # the binary self-validates (exits non-zero on an invalid/empty trace
@@ -49,14 +76,18 @@ cargo run --release -q -p matgpt-bench --bin ext_obs_flight -- --postmortem --sm
 # agrees with the simulated Fig. 9 timeline
 cargo test -q -p matgpt-bench --test obs_critical_path
 
-echo "== quantization: int8 decode acceptance gates (smoke scale) =="
+section "quantization: int8 decode acceptance gates (smoke scale)"
 cargo run --release -q -p matgpt-bench --bin ext_quant -- --smoke
 
-echo "== parallelism: data-parallel + ZeRO-1 acceptance gates (smoke scale) =="
+section "parallelism: DP/ZeRO-1 + executed TP/PP acceptance gates (smoke scale)"
 cargo test -q --test parallelism
 cargo run --release -q -p matgpt-bench --bin ext_parallel -- --smoke
+# executed tensor/pipeline parallelism: TP compute partition, Fig. 11
+# histogram agreement, 1F1B bitwise check (the {dp,tp,pp} grid sweep
+# runs as CI matrix entries; see ci.yml)
+cargo run --release -q -p matgpt-bench --bin ext_tp -- --smoke
 
-echo "== paged KV: bit-identical backends + pool invariants + smoke bench =="
+section "paged KV: bit-identical backends + pool invariants + smoke bench"
 cargo test -q --test paged_kv
 cargo run --release -q -p matgpt-bench --bin ext_paged_bench -- --smoke
 

@@ -229,3 +229,227 @@ fn dp_checkpoints_resume_bitwise_and_interchange_with_trainer() {
     assert_eq!(single.curves.train.len(), cfg.steps);
     assert!(single.curves.final_val().is_finite());
 }
+
+// ---------------------------------------------------------------------------
+// Executed dp × tp × pp topologies.
+// ---------------------------------------------------------------------------
+
+use matgpt::core::parallel::{
+    reference_topology, train_topology, CollectiveError, PipeDir, PipeLink, Topology,
+    TopologyError, TopologyOutcome,
+};
+use matgpt::core::recipes::OptChoice as Opt2;
+use matgpt::model::tp::stage_ranges;
+use std::time::Duration;
+
+/// Run threaded and sequential-reference topology training and assert
+/// they are bit-identical: same train curve, same final validation
+/// loss, same consolidated weights. Also asserts every worker's wire
+/// bytes hit the ring/link closed forms exactly.
+fn assert_topology_matches_reference(arch: ArchKind, topo: Topology) -> TopologyOutcome {
+    let cfg = cfg(arch);
+    let threaded = train_topology(docs(), &cfg, topo).expect("threaded topology");
+    let reference = reference_topology(docs(), &cfg, topo).expect("reference topology");
+    assert_eq!(
+        threaded.train_curve,
+        reference.train_curve,
+        "{arch:?} {} train curve",
+        topo.describe()
+    );
+    assert_eq!(
+        threaded.final_val.to_bits(),
+        reference.final_val.to_bits(),
+        "{arch:?} {} final val",
+        topo.describe()
+    );
+    let tb: Vec<u32> = threaded
+        .store
+        .flat_values()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let rb: Vec<u32> = reference
+        .store
+        .flat_values()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(tb, rb, "{arch:?} {} weights", topo.describe());
+    assert!(
+        threaded.report.wire_exact(),
+        "{arch:?} {} wire audit: {:#?}",
+        topo.describe(),
+        threaded.report.wire
+    );
+    threaded
+}
+
+/// The degenerate 1×1×1 grid collapses to the plain single-tape,
+/// single-store training loop: both topology executors must match
+/// `DataParallel::train_reference(1)` bitwise — proof that the TP sync
+/// ops and stage plumbing add nothing to the graph when inactive.
+#[test]
+fn unit_topology_matches_dp_reference_bitwise() {
+    for arch in [ArchKind::NeoX, ArchKind::Llama] {
+        let cfg = cfg(arch);
+        let topo = Topology::new(1, 1, 1);
+        let threaded = train_topology(docs(), &cfg, topo).expect("unit grid");
+        let sequential = reference_topology(docs(), &cfg, topo).expect("unit grid");
+        let dp = DataParallel::train_reference(docs(), &cfg, 1);
+        for out in [&threaded, &sequential] {
+            assert_eq!(
+                out.train_curve, dp.pretrained.curves.train,
+                "{arch:?} curve"
+            );
+            assert_eq!(
+                out.store.flat_values(),
+                dp.pretrained.store.flat_values(),
+                "{arch:?} weights"
+            );
+            let (_, last_val) = *dp.pretrained.curves.val.last().expect("val curve");
+            assert_eq!(out.final_val.to_bits(), last_val.to_bits(), "{arch:?} val");
+        }
+    }
+}
+
+/// TP=2: column/row sharded projections with real ring allreduces at
+/// the Megatron f/g sync points match the sequential TP-aware
+/// reference bitwise, and TP wire bytes hit the per-rank closed form.
+#[test]
+fn topology_tp2_matches_reference_bitwise() {
+    for arch in [ArchKind::NeoX, ArchKind::Llama] {
+        let out = assert_topology_matches_reference(arch, Topology::new(1, 2, 1));
+        for w in &out.report.wire {
+            assert!(w.tp_bytes > 0, "tp ring must carry traffic");
+            assert_eq!(w.pipe_bytes, 0);
+            assert_eq!(w.dp_bytes, 0);
+        }
+    }
+}
+
+/// PP=2 under 1F1B: for one chunk, an even chunking, and a
+/// non-divisible chunking (4 rows over 3 chunks → 2+1+1), boundary
+/// activations/gradients over real p2p links reproduce the sequential
+/// reference bitwise.
+#[test]
+fn topology_pp2_matches_reference_bitwise_any_chunking() {
+    for chunks in [1usize, 2, 3] {
+        let out = assert_topology_matches_reference(
+            ArchKind::Llama,
+            Topology::new(1, 1, 2).with_chunks(chunks),
+        );
+        for w in &out.report.wire {
+            assert!(w.pipe_bytes > 0, "pipe links must carry traffic");
+            assert!(w.norm_bytes > 0, "grad-norm ring must carry traffic");
+        }
+    }
+}
+
+/// DP×PP composition: gradient rings per (stage, rank) and pipe links
+/// per replica compose without breaking bitwise determinism.
+#[test]
+fn topology_dp2_pp2_matches_reference_bitwise() {
+    let out = assert_topology_matches_reference(ArchKind::Llama, Topology::new(2, 1, 2));
+    for w in &out.report.wire {
+        assert!(w.dp_bytes > 0 && w.pipe_bytes > 0);
+    }
+}
+
+/// DP×TP composition on the NeoX graph (biases exercised end to end).
+#[test]
+fn topology_dp2_tp2_matches_reference_bitwise() {
+    let out = assert_topology_matches_reference(ArchKind::NeoX, Topology::new(2, 2, 1));
+    for w in &out.report.wire {
+        assert!(w.dp_bytes > 0 && w.tp_bytes > 0);
+    }
+}
+
+/// Optional CI matrix entry: `MATGPT_TOPOLOGY=dp,tp,pp[,chunks]` runs
+/// that grid through the full bitwise + wire-audit contract.
+#[test]
+fn topology_matrix_from_env() {
+    let Ok(spec) = std::env::var("MATGPT_TOPOLOGY") else {
+        return;
+    };
+    let parts: Vec<usize> = spec
+        .split(',')
+        .map(|p| p.trim().parse().expect("MATGPT_TOPOLOGY=dp,tp,pp[,chunks]"))
+        .collect();
+    assert!(parts.len() == 3 || parts.len() == 4, "dp,tp,pp[,chunks]");
+    let mut topo = Topology::new(parts[0], parts[1], parts[2]);
+    if let Some(&c) = parts.get(3) {
+        topo = topo.with_chunks(c);
+    }
+    assert_topology_matches_reference(ArchKind::Llama, topo);
+}
+
+/// Stage splits are first-heavy: 33 layers over 2 stages is 17 + 16,
+/// and every split covers the layer range exactly once.
+#[test]
+fn stage_ranges_are_first_heavy_and_cover() {
+    assert_eq!(stage_ranges(33, 2), vec![0..17, 17..33]);
+    assert_eq!(stage_ranges(7, 3), vec![0..3, 3..5, 5..7]);
+    for layers in 1..=9usize {
+        for p in 1..=layers {
+            let ranges = stage_ranges(layers, p);
+            assert_eq!(ranges.first().expect("stage").start, 0);
+            assert_eq!(ranges.last().expect("stage").end, layers);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+                assert!(w[0].len() >= w[1].len(), "first-heavy");
+            }
+        }
+    }
+}
+
+/// A lost or silent pipeline neighbour is a typed error within the
+/// deadline — never a hang.
+#[test]
+fn pipe_link_failures_are_typed_not_hangs() {
+    // Dropped peer → RankLost.
+    let (earlier, mut later) = PipeLink::pair(Duration::from_millis(200));
+    drop(earlier);
+    match later.recv(0, PipeDir::Forward) {
+        Err(CollectiveError::RankLost { .. }) => {}
+        other => panic!("expected RankLost, got {other:?}"),
+    }
+    // Alive but silent peer → Timeout at the deadline.
+    let (_earlier, mut later) = PipeLink::pair(Duration::from_millis(50));
+    match later.recv(0, PipeDir::Backward) {
+        Err(CollectiveError::Timeout { waited_ms, .. }) => assert!(waited_ms >= 50),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+}
+
+/// Invalid grids are typed plan errors, caught before any thread
+/// spawns: LAMB's non-elementwise update × TP, a batch that does not
+/// divide across replicas, more chunks than rows, more stages than
+/// layers.
+#[test]
+fn topology_misconfigurations_are_typed_errors() {
+    let base = cfg(ArchKind::Llama);
+    let lamb = PretrainConfig {
+        optimizer: Opt2::Lamb,
+        ..base.clone()
+    };
+    match train_topology(docs(), &lamb, Topology::new(1, 2, 1)) {
+        Err(TopologyError::Optimizer { tp: 2 }) => {}
+        other => panic!("expected Optimizer error, got {:?}", other.err()),
+    }
+    match train_topology(docs(), &base, Topology::new(3, 1, 1)) {
+        Err(TopologyError::Batch { batch: 4, dp: 3 }) => {}
+        other => panic!("expected Batch error, got {:?}", other.err()),
+    }
+    match train_topology(docs(), &base, Topology::new(1, 1, 2).with_chunks(9)) {
+        Err(TopologyError::Chunks { chunks: 9, rows: 4 }) => {}
+        other => panic!("expected Chunks error, got {:?}", other.err()),
+    }
+    match train_topology(docs(), &base, Topology::new(1, 1, 3)) {
+        Err(TopologyError::Plan(_)) => {}
+        other => panic!("expected Plan error, got {:?}", other.err()),
+    }
+    match train_topology(docs(), &base, Topology::new(1, 3, 1)) {
+        Err(TopologyError::Plan(_)) => {}
+        other => panic!("expected Plan error, got {:?}", other.err()),
+    }
+}
