@@ -1,0 +1,383 @@
+//! Extension: int8 self-draft speculative decoding benchmark — the
+//! measured-speedup gate behind the serving engine's
+//! `DecodeMode::Speculative` knob.
+//!
+//! Plain greedy decode is one weight-bound f32 GEMV per token. The
+//! speculative path drafts `k` tokens with a W8A8 integer-dot copy of
+//! the same weights (4× less traffic per draft step, VNNI `vpdpbusd`
+//! inner loop) and verifies all of them in ONE batched f32 forward
+//! whose small-m matmul streams the weights once for the whole batch —
+//! so an accepted draft token costs roughly a 1/(k+1) share of a full
+//! f32 step plus an int8 step, and the output stays **bit-identical**
+//! to plain greedy decode (asserted here, every run, at both scales).
+//! The full-scale timing model (~105M params, ~420 MB of f32 weights)
+//! deliberately exceeds every cache level so the plain baseline sits in
+//! the DRAM-bound regime speculation targets.
+//!
+//! Acceptance gates (enforced here, exit non-zero on violation):
+//!
+//! * speculative decode ≥ 1.15× plain f32 tokens/sec end to end
+//!   (full scale only — smoke timings on a loaded CI box are noise),
+//! * self-draft acceptance rate ≥ 0.5 (deterministic, checked always),
+//! * speculative stream == plain greedy stream, token for token.
+//!
+//! The headline numbers land in `target/bench/BENCH_spec.json`
+//! (schema `matgpt-bench/v1`); `bench_compare` diffs that against the
+//! committed `benchmarks/BENCH_spec.json` baseline so CI fails on a
+//! regression of the gated ratios.
+
+use matgpt_bench::report::BenchReport;
+use matgpt_bench::{bench_out_dir, compare, print_table};
+use matgpt_model::generate::argmax;
+use matgpt_model::{
+    generate, generate_speculative, speculative_step, ArchKind, DraftState, GptConfig, GptModel,
+    QuantizedParamStore, SampleOptions, SpecStats,
+};
+use matgpt_serve::{DecodeMode, Engine, EngineConfig, KvBackend, KvBlockConfig};
+use matgpt_tensor::{init, ParamStore};
+use std::time::Instant;
+
+/// Plain greedy decode: `reps` blocks of `steps` tokens on top of a
+/// fresh (untimed) prefill each block. Returns (best block tokens/sec,
+/// the decoded stream — identical across blocks, greedy is
+/// deterministic). Best-of-blocks for the same reason as `ext_quant`:
+/// interference only ever slows a block down.
+fn timed_plain(
+    model: &GptModel,
+    store: &ParamStore,
+    prompt: &[u32],
+    steps: usize,
+    reps: usize,
+) -> (f64, Vec<u32>) {
+    let v = model.cfg.vocab_size;
+    let mut best_tps = 0.0f64;
+    let mut tokens = Vec::new();
+    for _ in 0..reps {
+        let mut cache = model.new_cache();
+        let logits = model.forward_cached(store, prompt, &mut cache);
+        let mut row = logits[(cache.len() - 1) * v..].to_vec();
+        let mut out = Vec::with_capacity(steps);
+        let t0 = Instant::now();
+        for _ in 0..steps {
+            let next = argmax(&row) as u32;
+            row = model.decode_step(store, next, &mut cache);
+            out.push(next);
+        }
+        best_tps = best_tps.max(steps as f64 / t0.elapsed().as_secs_f64());
+        tokens = out;
+    }
+    (best_tps, tokens)
+}
+
+/// Speculative greedy decode of exactly `steps` tokens per block: draft
+/// catch-up and proposals, the batched verify, and every rollback are
+/// all inside the timed region (the per-request draft prefill is not —
+/// it amortizes like the target prefill, which plain timing also
+/// excludes). Returns (best tokens/sec, stream, last block's stats).
+fn timed_spec(
+    model: &GptModel,
+    store: &ParamStore,
+    draft: &QuantizedParamStore,
+    prompt: &[u32],
+    k: usize,
+    steps: usize,
+    reps: usize,
+) -> (f64, Vec<u32>, SpecStats, [f64; 3]) {
+    let v = model.cfg.vocab_size;
+    let mut best_tps = 0.0f64;
+    let mut tokens = Vec::new();
+    let mut stats = SpecStats::default();
+    let mut phases = [0.0f64; 3];
+    for _ in 0..reps {
+        let mut cache = model.new_cache();
+        let logits = model.forward_cached(store, prompt, &mut cache);
+        let mut row = logits[(cache.len() - 1) * v..].to_vec();
+        let mut draft_state = DraftState::new(model, prompt);
+        let mut block_stats = SpecStats::default();
+        let mut block_phases = [0.0f64; 3];
+        let mut out = Vec::with_capacity(steps);
+        let t0 = Instant::now();
+        let mut emitted = 0usize;
+        while emitted < steps {
+            let o = speculative_step(
+                model,
+                store,
+                draft,
+                k,
+                &mut cache,
+                &mut draft_state,
+                &mut row,
+                steps - emitted,
+            );
+            block_stats.record(&o);
+            block_phases[0] += o.draft_time.as_secs_f64();
+            block_phases[1] += o.verify_time.as_secs_f64();
+            block_phases[2] += o.rollback_time.as_secs_f64();
+            for &t in &o.tokens {
+                out.push(t);
+                emitted += 1;
+            }
+        }
+        best_tps = best_tps.max(steps as f64 / t0.elapsed().as_secs_f64());
+        tokens = out;
+        stats = block_stats;
+        phases = block_phases;
+    }
+    (best_tps, tokens, stats, phases)
+}
+
+/// Serve `n_req` greedy requests to completion and return (engine
+/// tokens/sec over scheduler busy time, per-request token streams,
+/// metrics-derived acceptance rate).
+fn engine_leg(
+    model_cfg: &GptConfig,
+    decode: DecodeMode,
+    n_req: usize,
+    max_new: usize,
+) -> (f64, Vec<Vec<u32>>, f64) {
+    let mut store = ParamStore::new();
+    let mut rng = init::rng(0);
+    let model = GptModel::new(model_cfg.clone(), &mut store, &mut rng);
+    let engine = Engine::new(
+        model,
+        store,
+        EngineConfig {
+            decode,
+            kv_backend: KvBackend::Paged(KvBlockConfig {
+                block_size: 16,
+                num_blocks: 512,
+            }),
+            ..EngineConfig::default()
+        },
+    );
+    let opts = SampleOptions {
+        temperature: 0.0,
+        top_k: 0,
+        max_new_tokens: max_new,
+        stop_token: None,
+    };
+    let handles: Vec<_> = (0..n_req)
+        .map(|i| {
+            let prompt: Vec<u32> = (0..24u32)
+                .map(|j| (j * 37 + 11 * i as u32 + 1) % model_cfg.vocab_size as u32)
+                .collect();
+            engine.submit(&prompt, opts).expect("admitted")
+        })
+        .collect();
+    let streams: Vec<Vec<u32>> = handles
+        .into_iter()
+        .map(|h| h.wait().expect("response").tokens)
+        .collect();
+    engine.shutdown();
+    let m = engine.metrics();
+    (m.tokens_per_sec, streams, m.spec_acceptance_rate)
+}
+
+fn main() {
+    let smoke = matgpt_bench::smoke_requested();
+    // engine + smoke shape: big enough that decode cost is dominated by
+    // streaming the f32 matmul weights, small enough to build quickly
+    let small = GptConfig {
+        vocab_size: 1024,
+        hidden: 512,
+        layers: 4,
+        heads: 8,
+        kv_heads: None,
+        max_seq: 384,
+        ..GptConfig::tiny(ArchKind::Llama, 1024)
+    };
+    // full-scale timing shape: ~105M params whose f32 weights (~420 MB)
+    // exceed any cache level, so plain decode is pinned to DRAM
+    // bandwidth — the regime speculation targets, and the one where the
+    // measured ratio is stable run to run (the small shape's 53 MB
+    // weight set drifts in and out of a shared L3, which swings the
+    // plain-decode baseline by 1.5x between runs)
+    let mid = GptConfig {
+        vocab_size: 2048,
+        hidden: 1024,
+        layers: 6,
+        heads: 8,
+        kv_heads: None,
+        max_seq: 384,
+        ..GptConfig::tiny(ArchKind::Llama, 2048)
+    };
+    let (cfg, steps, reps) = if smoke {
+        (small.clone(), 12, 2)
+    } else {
+        (mid, 48, 3)
+    };
+    let mut store = ParamStore::new();
+    let mut rng = init::rng(0);
+    let model = GptModel::new(cfg.clone(), &mut store, &mut rng);
+    let draft = QuantizedParamStore::for_draft(&model, &store);
+
+    let k = 4usize;
+    let prompt: Vec<u32> = (0..32u32)
+        .map(|i| (i * 131 + 7) % cfg.vocab_size as u32)
+        .collect();
+
+    // interleave plain/spec blocks so bandwidth drift on a shared box
+    // hits both paths alike instead of biasing whichever ran later
+    let mut plain_tps = 0.0f64;
+    let mut plain_tokens = Vec::new();
+    let mut spec_tps = 0.0f64;
+    let mut spec_tokens = Vec::new();
+    let mut stats = SpecStats::default();
+    let mut phases = [0.0f64; 3];
+    for _ in 0..reps {
+        let (p_tps, p_tokens) = timed_plain(&model, &store, &prompt, steps, 1);
+        if p_tps > plain_tps {
+            plain_tps = p_tps;
+        }
+        plain_tokens = p_tokens;
+        let (s_tps, s_tokens, s_stats, s_phases) =
+            timed_spec(&model, &store, &draft, &prompt, k, steps, 1);
+        if s_tps > spec_tps {
+            spec_tps = s_tps;
+            stats = s_stats;
+            phases = s_phases;
+        }
+        spec_tokens = s_tokens;
+    }
+    assert_eq!(
+        spec_tokens, plain_tokens,
+        "speculative stream must be bit-identical to plain greedy decode"
+    );
+    let speedup = spec_tps / plain_tps;
+    let acceptance = stats.acceptance_rate();
+    let tokens_per_verify = steps as f64 / stats.verify_calls as f64;
+
+    // NeoX identity leg: the accept/rollback invariant is architecture-
+    // independent; prove it on the paper's other variant too
+    let neox = GptConfig {
+        vocab_size: 256,
+        hidden: 64,
+        layers: 2,
+        heads: 4,
+        max_seq: 96,
+        ..GptConfig::tiny(ArchKind::NeoX, 256)
+    };
+    let mut nstore = ParamStore::new();
+    let nmodel = GptModel::new(neox.clone(), &mut nstore, &mut init::rng(1));
+    let ndraft = QuantizedParamStore::for_draft(&nmodel, &nstore);
+    let nopts = SampleOptions {
+        temperature: 0.0,
+        top_k: 0,
+        max_new_tokens: 32,
+        stop_token: None,
+    };
+    let nprompt: Vec<u32> = (0..8u32).map(|i| (i * 19 + 2) % 256).collect();
+    let nplain = generate(&nmodel, &nstore, &nprompt, &nopts, &mut init::rng(0));
+    let (nspec, _) = generate_speculative(&nmodel, &nstore, &ndraft, &nprompt, &nopts, k);
+    assert_eq!(nspec, nplain, "NeoX speculative stream diverged");
+
+    // engine leg: the same trade end to end through continuous batching
+    // and the paged KV backend, spec vs plain on identical request sets
+    let (n_req, max_new) = if smoke { (4, 12) } else { (8, 48) };
+    let (engine_plain_tps, plain_streams, _) =
+        engine_leg(&small, DecodeMode::Plain, n_req, max_new);
+    let (engine_spec_tps, spec_streams, engine_acceptance) =
+        engine_leg(&small, DecodeMode::Speculative { k }, n_req, max_new);
+    assert_eq!(
+        spec_streams, plain_streams,
+        "engine-level speculative streams diverged from plain greedy"
+    );
+    let engine_speedup = engine_spec_tps / engine_plain_tps;
+
+    print_table(
+        &format!(
+            "Speculative decoding, int8 self-draft k={k} (LLaMA h={} L={} V={}, \
+             {}-token prompt, best of {} x {} decode steps)",
+            cfg.hidden,
+            cfg.layers,
+            cfg.vocab_size,
+            prompt.len(),
+            reps,
+            steps
+        ),
+        &["decode path", "tokens/s", "speedup", "acceptance"],
+        &[
+            vec![
+                "plain f32".to_string(),
+                format!("{plain_tps:.1}"),
+                "1.00x".to_string(),
+                "-".to_string(),
+            ],
+            vec![
+                format!("speculative k={k}"),
+                format!("{spec_tps:.1}"),
+                format!("{speedup:.2}x"),
+                format!("{:.1}%", acceptance * 100.0),
+            ],
+        ],
+    );
+    println!(
+        "\nphase split (last block): draft {:.1} ms, verify {:.1} ms, rollback {:.2} ms",
+        phases[0] * 1e3,
+        phases[1] * 1e3,
+        phases[2] * 1e3
+    );
+    println!(
+        "single-stream: {:.2} tokens per verify call (ceiling {}); \
+         engine ({} reqs x {} tokens, paged): plain {engine_plain_tps:.1} t/s, \
+         spec {engine_spec_tps:.1} t/s ({engine_speedup:.2}x), acceptance {:.1}%",
+        tokens_per_verify,
+        k + 1,
+        n_req,
+        max_new,
+        engine_acceptance * 100.0
+    );
+
+    let report = BenchReport::new("spec", smoke)
+        .config("arch", cfg.arch)
+        .config("hidden", cfg.hidden)
+        .config("layers", cfg.layers)
+        .config("vocab", cfg.vocab_size)
+        .config("draft_k", k)
+        .config("prompt_tokens", prompt.len())
+        .config("decode_steps", steps)
+        .config("timing_reps", reps)
+        .config("engine_requests", n_req)
+        .config("engine_max_new", max_new)
+        .metric("plain_decode_tps", plain_tps)
+        .metric("spec_decode_tps", spec_tps)
+        .metric("spec_speedup", speedup)
+        .metric("acceptance_rate", acceptance)
+        .metric("tokens_per_verify", tokens_per_verify)
+        .metric("engine_plain_tps", engine_plain_tps)
+        .metric("engine_spec_tps", engine_spec_tps)
+        .metric("engine_spec_speedup", engine_speedup)
+        .metric("engine_acceptance_rate", engine_acceptance)
+        .gate("spec_speedup")
+        .gate("acceptance_rate");
+    let path = report
+        .write_to(&bench_out_dir())
+        .expect("write BENCH_spec.json");
+    println!("report: {}", path.display());
+
+    println!("\n-- reference vs measured --");
+    let speed_ok = speedup >= 1.15;
+    let accept_ok = acceptance >= 0.5;
+    compare(
+        &format!(
+            "speculative end-to-end speedup at hidden={}, k={k}",
+            cfg.hidden
+        ),
+        ">= 1.15x over plain f32",
+        &format!("{speedup:.2}x"),
+        if speed_ok { "MATCH" } else { "MISMATCH" },
+    );
+    compare(
+        "int8 self-draft acceptance rate",
+        ">= 0.5",
+        &format!("{acceptance:.2}"),
+        if accept_ok { "MATCH" } else { "MISMATCH" },
+    );
+    // the timing gate is only meaningful at full scale — a 12-step
+    // smoke run on a loaded CI box is too noisy to fail the build on
+    if !(accept_ok && (speed_ok || smoke)) {
+        eprintln!("ext_spec: FAIL: acceptance gate violated");
+        std::process::exit(1);
+    }
+    println!("ext_spec: OK");
+}

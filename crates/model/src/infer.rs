@@ -84,6 +84,19 @@ pub trait KvStorage {
     /// Finish the in-flight forward: commit the written rows and apply
     /// window truncation.
     fn commit(&mut self);
+    /// Drop the last `n` committed rows and rewind the position counter,
+    /// as if the tokens that produced them were never forwarded.
+    ///
+    /// Speculative decoding commits `k + 1` verify rows optimistically
+    /// and rolls the rejected tail back through this. The state after
+    /// `rollback(n)` must be bitwise indistinguishable from never having
+    /// forwarded those `n` tokens, which is only possible while the
+    /// cache still holds every row it has ever seen — implementations
+    /// panic if rows were already lost to window truncation (the
+    /// speculative driver falls back to plain decode before the window
+    /// fills, so it never rolls back across a truncation). No forward
+    /// may be in flight.
+    fn rollback(&mut self, n: usize);
 }
 
 /// One layer's cached keys and values, token-major `[T, Hkv*D]` so an
@@ -207,6 +220,24 @@ impl KvStorage for KvCache {
 
     fn commit(&mut self) {
         self.truncate_to_window();
+    }
+
+    fn rollback(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let len = self.len();
+        assert_eq!(
+            self.next_pos, len,
+            "rollback across window truncation is unsupported"
+        );
+        assert!(n <= len, "rollback of {n} rows but only {len} cached");
+        let keep = (len - n) * self.kv_dim;
+        for layer in &mut self.layers {
+            layer.k.truncate(keep);
+            layer.v.truncate(keep);
+        }
+        self.next_pos -= n;
     }
 }
 
@@ -486,6 +517,56 @@ mod tests {
         let bytes = cache.cache_bytes();
         let kv_dim = model.cfg.kv_head_count() * model.cfg.head_dim();
         assert_eq!(bytes, 2 * model.cfg.layers * max * kv_dim * 4);
+    }
+
+    #[test]
+    fn rollback_then_redecode_is_bitwise_identical() {
+        let (model, store) = build(ArchKind::Llama, Some(2), 7);
+        let tokens: Vec<u32> = (0..8).map(|i| (i * 13 + 1) % 40).collect();
+
+        // straight path: prefill, then decode three tokens one at a time
+        let mut plain = model.new_cache();
+        model.forward_cached(&store, &tokens, &mut plain);
+        let mut plain_rows = Vec::new();
+        for t in [5u32, 17, 29] {
+            plain_rows.push(model.decode_step(&store, t, &mut plain));
+        }
+
+        // speculative-shaped path: batch all three, roll back two, redo
+        let mut spec = model.new_cache();
+        model.forward_cached(&store, &tokens, &mut spec);
+        let batched = model.forward_cached(&store, &[5, 17, 29], &mut spec);
+        let v = model.cfg.vocab_size;
+        for (i, row) in plain_rows.iter().enumerate() {
+            let brow = &batched[i * v..(i + 1) * v];
+            assert_eq!(
+                row.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                brow.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "verify row {i} differs from single-step decode"
+            );
+        }
+        spec.rollback(2);
+        assert_eq!(spec.len(), tokens.len() + 1);
+        assert_eq!(spec.positions_seen(), tokens.len() + 1);
+        let redone = model.decode_step(&store, 17, &mut spec);
+        assert_eq!(
+            redone.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            plain_rows[1]
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window truncation")]
+    fn rollback_past_truncation_panics() {
+        let (model, store) = build(ArchKind::NeoX, None, 2);
+        let mut cache = model.new_cache();
+        for i in 0..(model.cfg.max_seq + 2) as u32 {
+            model.decode_step(&store, i % 40, &mut cache);
+        }
+        cache.rollback(1);
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! * [`quant`] — post-training per-channel int8 weight quantization
 //!   ([`quant::QuantizedParamStore`]) and the [`quant::ForwardParams`]
 //!   abstraction that lets the cached decode path run on either
-//!   precision ([`quant::WeightPrecision`]).
+//!   precision ([`quant::WeightPrecision`]);
+//! * [`speculative`] — int8 self-draft speculative decoding: the
+//!   quantized weights draft `k` tokens, one batched f32 forward
+//!   verifies them, accept/rollback keeps the output bit-identical to
+//!   plain greedy decode (see `DECODING.md`).
 
 pub mod bert;
 pub mod config;
@@ -29,6 +33,7 @@ pub mod generate;
 pub mod gpt;
 pub mod infer;
 pub mod quant;
+pub mod speculative;
 pub mod tp;
 
 pub use bert::{mask_tokens, BertModel};
@@ -37,3 +42,4 @@ pub use generate::{generate, generate_uncached, sample_logits, SampleOptions};
 pub use gpt::GptModel;
 pub use infer::{KvCache, KvStorage};
 pub use quant::{ForwardParams, ModelWeights, QuantizedParamStore, WeightPrecision};
+pub use speculative::{generate_speculative, speculative_step, DraftState, SpecOutcome, SpecStats};

@@ -17,7 +17,7 @@
 
 use crate::gpt::GptModel;
 use matgpt_tensor::kernels::matmul::matmul;
-use matgpt_tensor::kernels::quant::{matmul_q8, QuantizedMatrix};
+use matgpt_tensor::kernels::quant::{matmul_q8, matmul_q8a8, PackedQ8Matrix, QuantizedMatrix};
 use matgpt_tensor::{ParamId, ParamStore, Tensor};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -81,6 +81,9 @@ impl ForwardParams for ParamStore {
 pub struct QuantizedParamStore {
     dense: HashMap<ParamId, Tensor>,
     quant: HashMap<ParamId, QuantizedMatrix>,
+    /// Codes repacked for the integer-dot kernel; present only on
+    /// stores built with [`QuantizedParamStore::for_draft`].
+    packed: HashMap<ParamId, PackedQ8Matrix>,
 }
 
 impl QuantizedParamStore {
@@ -102,7 +105,31 @@ impl QuantizedParamStore {
             .filter(|id| !quant.contains_key(id))
             .map(|id| (id, store.value(id).clone()))
             .collect();
-        Self { dense, quant }
+        Self {
+            dense,
+            quant,
+            packed: HashMap::new(),
+        }
+    }
+
+    /// Quantize for use as a speculative *draft*: matmuls additionally
+    /// keep an integer-dot packing ([`PackedQ8Matrix`]) and run W8A8 —
+    /// activations are int8-quantized per row and dot products
+    /// accumulate exactly in i32. Roughly 1% extra rounding error per
+    /// linear versus the serving [`Self::quantize`] path, which for a
+    /// draft only shows up as slightly lower acceptance — while the
+    /// inner loop drops from a convert-multiply chain to one integer
+    /// dot instruction per 64 weights, leaving a draft step close to
+    /// memory-bound. Output correctness is unaffected either way: the
+    /// f32 verify pass re-derives every emitted token.
+    pub fn for_draft(model: &GptModel, store: &ParamStore) -> Self {
+        let mut q = Self::quantize(model, store);
+        q.packed = q
+            .quant
+            .iter()
+            .map(|(&id, qm)| (id, PackedQ8Matrix::pack(qm)))
+            .collect();
+        q
     }
 
     /// Number of quantized matrices.
@@ -130,6 +157,9 @@ impl ForwardParams for QuantizedParamStore {
     }
 
     fn matmul(&self, x: &[f32], id: ParamId, c: &mut [f32], m: usize, k: usize, n: usize) {
+        if let Some(p) = self.packed.get(&id) {
+            return matmul_q8a8(x, p, c, m, k, n);
+        }
         match self.quant.get(&id) {
             Some(q) => matmul_q8(x, q, c, m, k, n),
             None => matmul(x, self.dense(id), c, m, k, n),
@@ -142,7 +172,8 @@ impl ForwardParams for QuantizedParamStore {
             .values()
             .map(|t| t.numel() * std::mem::size_of::<f32>())
             .sum();
-        dense + self.quantized_bytes()
+        let packed: usize = self.packed.values().map(|p| p.bytes()).sum();
+        dense + self.quantized_bytes() + packed
     }
 }
 

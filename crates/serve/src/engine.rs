@@ -120,6 +120,41 @@ impl Engine {
 
     /// Submit a prompt with the given sampling options (no deadline,
     /// request id reused as the sampling seed for reproducibility).
+    ///
+    /// Returns immediately with a [`ResponseHandle`]; the scheduler
+    /// thread batches the request with everything else in flight.
+    ///
+    /// ```
+    /// use matgpt_model::config::{ArchKind, GptConfig};
+    /// use matgpt_model::{GptModel, SampleOptions};
+    /// use matgpt_serve::{Engine, EngineConfig, FinishReason};
+    /// use matgpt_tensor::{init, ParamStore};
+    ///
+    /// let mut store = ParamStore::new();
+    /// let cfg = GptConfig {
+    ///     vocab_size: 30,
+    ///     hidden: 16,
+    ///     layers: 1,
+    ///     heads: 2,
+    ///     max_seq: 32,
+    ///     ..GptConfig::tiny(ArchKind::Llama, 30)
+    /// };
+    /// let model = GptModel::new(cfg, &mut store, &mut init::rng(0));
+    /// let engine = Engine::new(model, store, EngineConfig::default());
+    ///
+    /// let opts = SampleOptions {
+    ///     temperature: 0.0, // greedy
+    ///     top_k: 0,
+    ///     max_new_tokens: 4,
+    ///     stop_token: None,
+    /// };
+    /// let handle = engine.submit(&[1, 2, 3], opts).expect("admitted");
+    /// let response = handle.wait().expect("scheduler answers");
+    /// assert_eq!(response.generated, 4);
+    /// assert_eq!(response.finish, FinishReason::Length);
+    /// assert_eq!(&response.tokens[..3], &[1, 2, 3]); // prompt + 4 new
+    /// engine.shutdown();
+    /// ```
     pub fn submit(
         &self,
         prompt: &[u32],
@@ -571,6 +606,87 @@ mod tests {
         );
         assert!(m.kv_block_allocs > 0);
         engine.shutdown();
+    }
+
+    #[test]
+    fn speculative_engine_matches_plain_greedy_stream() {
+        let opts = SampleOptions {
+            temperature: 0.0,
+            top_k: 0,
+            max_new_tokens: 10,
+            stop_token: None,
+        };
+        let prompts: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![4, 5], vec![6, 7, 8, 9, 10]];
+        let mut outs: Vec<Vec<Vec<u32>>> = Vec::new();
+        for decode in [
+            crate::DecodeMode::Plain,
+            crate::DecodeMode::Speculative { k: 3 },
+        ] {
+            let engine = tiny_engine(EngineConfig {
+                decode,
+                ..EngineConfig::default()
+            });
+            let handles: Vec<_> = prompts
+                .iter()
+                .map(|p| engine.submit(p, opts).expect("admitted"))
+                .collect();
+            outs.push(
+                handles
+                    .into_iter()
+                    .map(|h| h.wait().expect("response").tokens)
+                    .collect(),
+            );
+            if decode != crate::DecodeMode::Plain {
+                let m = engine.metrics();
+                assert!(m.spec_drafted > 0, "speculative engine never drafted");
+                assert_eq!(
+                    m.spec_rolled_back,
+                    m.spec_drafted - m.spec_accepted,
+                    "rollback invariant broken: {}",
+                    m.to_json()
+                );
+                assert!(m.spec_acceptance_rate > 0.0);
+            }
+            engine.shutdown();
+        }
+        assert_eq!(
+            outs[0], outs[1],
+            "speculative and plain greedy decode differ"
+        );
+    }
+
+    #[test]
+    fn speculative_mode_leaves_sampled_requests_untouched() {
+        // temperature > 0 is ineligible for drafting: the engine must
+        // serve it on the plain path with the same rng-driven stream a
+        // plain engine produces (same seed => same tokens)
+        let opts = SampleOptions {
+            temperature: 0.8,
+            top_k: 5,
+            max_new_tokens: 8,
+            stop_token: None,
+        };
+        let mut outs: Vec<Vec<u32>> = Vec::new();
+        for decode in [
+            crate::DecodeMode::Plain,
+            crate::DecodeMode::Speculative { k: 4 },
+        ] {
+            let engine = tiny_engine(EngineConfig {
+                decode,
+                ..EngineConfig::default()
+            });
+            let h = engine.submit(&[2, 4, 6], opts).expect("admitted");
+            outs.push(h.wait().expect("response").tokens);
+            if decode != crate::DecodeMode::Plain {
+                assert_eq!(
+                    engine.metrics().spec_drafted,
+                    0,
+                    "sampled request must not be drafted for"
+                );
+            }
+            engine.shutdown();
+        }
+        assert_eq!(outs[0], outs[1], "sampled stream changed under spec mode");
     }
 
     #[test]

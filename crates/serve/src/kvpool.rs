@@ -578,6 +578,35 @@ impl KvStorage for PagedKv {
             self.rows -= bs;
         }
     }
+
+    fn rollback(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        assert_eq!(self.pending, 0, "rollback with a forward in flight");
+        assert!(
+            self.dropped == 0 && self.rows == self.next_pos,
+            "rollback across window truncation is unsupported"
+        );
+        assert!(
+            n <= self.rows,
+            "rollback of {n} rows but only {} committed",
+            self.rows
+        );
+        self.rows -= n;
+        self.next_pos -= n;
+        // Return whole tail blocks past the new length to the pool.
+        // Rolled-back rows were appended by this sequence after any
+        // fork/registration (COW guarantees exclusive ownership at
+        // write time), so dropping the reference frees them; a kept
+        // partial tail block simply has its stale slots overwritten by
+        // the next append.
+        let keep = self.rows.div_ceil(self.block_size());
+        while self.table.len() > keep {
+            let b = self.table.pop().expect("table shorter than keep");
+            self.pool.release(b);
+        }
+    }
 }
 
 /// Keeps recently prefilled, block-aligned prompt prefixes alive (the
@@ -816,6 +845,61 @@ mod tests {
         assert!(kv.blocks_held() <= 3, "held {}", kv.blocks_held());
         drop(kv);
         assert_eq!(p.free_blocks(), 8);
+    }
+
+    #[test]
+    fn rollback_releases_tail_blocks_and_rewrites_cleanly() {
+        let p = pool(4, 8);
+        let mut kv = p.new_seq(64);
+        push_rows(&mut kv, 5, 0.0); // blocks: [full, 1-row tail]
+        let snapshot: Vec<_> = (0..5).map(|pos| kv.k_row(0, pos)).collect();
+        // speculative burst: 5 more rows (crosses into a third block)
+        push_rows(&mut kv, 5, 500.0);
+        assert_eq!(p.stats().allocated, 3);
+        kv.rollback(5);
+        assert_eq!(kv.len(), 5);
+        assert_eq!(kv.positions_seen(), 5);
+        assert_eq!(p.stats().allocated, 2, "speculative tail block released");
+        // committed rows untouched; re-append overwrites stale slots
+        for (pos, row) in snapshot.iter().enumerate() {
+            assert_eq!(&kv.k_row(0, pos), row);
+        }
+        push_rows(&mut kv, 2, 900.0);
+        assert_eq!(kv.k_row(0, 5), vec![905.0, 905.1, 905.2, 905.3]);
+        drop(kv);
+        assert_eq!(p.free_blocks(), 8);
+    }
+
+    #[test]
+    fn rollback_after_cow_never_touches_the_forked_prefix() {
+        let p = pool(4, 8);
+        let mut parent = p.new_seq(64);
+        push_rows(&mut parent, 6, 0.0); // [full, half]
+        let child = parent.fork();
+        // parent speculates: COW copies the shared half block, then two
+        // speculative rows land in the copy
+        push_rows(&mut parent, 2, 300.0);
+        parent.rollback(2);
+        assert_eq!(parent.len(), 6);
+        // the child's view of every shared row is untouched
+        for pos in 0..6 {
+            assert_eq!(parent.k_row(0, pos), child.k_row(0, pos));
+            assert_eq!(parent.v_row(1, pos), child.v_row(1, pos));
+        }
+        drop(parent);
+        drop(child);
+        assert_eq!(p.free_blocks(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "window truncation")]
+    fn rollback_past_truncation_panics() {
+        let p = pool(4, 8);
+        let mut kv = p.new_seq(8);
+        for i in 0..12 {
+            push_rows(&mut kv, 1, i as f32);
+        }
+        kv.rollback(1);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   batches everything in flight;
 //! * [`scheduler`] — iteration-level continuous batching: FIFO
 //!   token-budget admission, batched prefill, one decoded token per
-//!   active request per iteration, deadline/cancel enforcement;
+//!   active request per iteration (or up to `k + 1` per iteration under
+//!   [`DecodeMode::Speculative`] int8 self-draft), deadline/cancel
+//!   enforcement;
 //! * [`request`] — [`GenRequest`] / [`Response`] / [`FinishReason`] and
 //!   the client-side handle;
 //! * [`metrics`] — queue depth, TTFT and per-token latency percentiles
@@ -51,4 +53,4 @@ pub use kvpool::{BlockPool, KvBlockConfig, KvExhausted, PagedKv, PoolStats, Pref
 pub use matgpt_model::WeightPrecision;
 pub use metrics::{MetricsSnapshot, Percentiles};
 pub use request::{FinishReason, GenRequest, Response, ResponseHandle};
-pub use scheduler::{KvBackend, SchedulerConfig};
+pub use scheduler::{DecodeMode, KvBackend, SchedulerConfig};

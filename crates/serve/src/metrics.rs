@@ -100,6 +100,18 @@ pub(crate) struct MetricsInner {
     /// prefill" signal capacity planning reads next to
     /// `kv_blocks_evicted` (which counts the blocks each bump freed).
     pub preemptions: Counter,
+    /// Tokens proposed by the int8 draft model across all speculative
+    /// macro-steps (cumulative).
+    spec_drafted: Counter,
+    /// Draft proposals the f32 verify pass accepted (cumulative).
+    spec_accepted: Counter,
+    /// Draft proposals rejected and rolled back out of the target KV
+    /// cache (cumulative). Always `spec_drafted - spec_accepted`.
+    spec_rolled_back: Counter,
+    /// Derived gauge `spec_accepted / spec_drafted`, refreshed on
+    /// scrape like `tokens_per_sec` — the knob that says whether the
+    /// configured draft length `k` is paying for itself.
+    spec_acceptance: Gauge,
 }
 
 impl Default for MetricsInner {
@@ -194,6 +206,22 @@ impl MetricsInner {
             "serve_preemptions_total",
             "active requests bumped back to the parking lot",
         );
+        let spec_drafted = registry.counter(
+            "serve_spec_drafted_total",
+            "tokens proposed by the speculative draft model",
+        );
+        let spec_accepted = registry.counter(
+            "serve_spec_accepted_total",
+            "draft proposals accepted by the f32 verify pass",
+        );
+        let spec_rolled_back = registry.counter(
+            "serve_spec_rolled_back_total",
+            "draft proposals rejected and rolled back from the KV cache",
+        );
+        let spec_acceptance = registry.gauge(
+            "serve_spec_acceptance_rate",
+            "fraction of draft proposals accepted (accepted / drafted)",
+        );
         Self {
             registry,
             queue_depth,
@@ -221,7 +249,21 @@ impl MetricsInner {
             kv_block_allocs,
             kv_block_shares,
             preemptions,
+            spec_drafted,
+            spec_accepted,
+            spec_rolled_back,
+            spec_acceptance,
         }
+    }
+
+    /// Record one speculative macro-step's outcome: `drafted` proposals
+    /// made, `accepted` of them kept, `rolled_back` rejected out of the
+    /// target KV cache. The acceptance-rate gauge is derived from the
+    /// counters at snapshot time, so this is three counter bumps.
+    pub fn record_spec(&self, drafted: u64, accepted: u64, rolled_back: u64) {
+        self.spec_drafted.add(drafted);
+        self.spec_accepted.add(accepted);
+        self.spec_rolled_back.add(rolled_back);
     }
 
     /// Record the scheduler's view of pending work (queued plus
@@ -310,6 +352,14 @@ impl MetricsInner {
         };
         // derived gauge: refreshed on scrape so the exposition carries it
         self.tokens_per_sec.set(tokens_per_sec);
+        let spec_drafted = self.spec_drafted.get();
+        let spec_accepted = self.spec_accepted.get();
+        let spec_acceptance_rate = if spec_drafted > 0 {
+            spec_accepted as f64 / spec_drafted as f64
+        } else {
+            0.0
+        };
+        self.spec_acceptance.set(spec_acceptance_rate);
         MetricsSnapshot {
             queue_depth: self.queue_depth.get() as usize,
             queue_depth_peak: self.queue_depth_peak.get() as usize,
@@ -331,6 +381,10 @@ impl MetricsInner {
             kv_block_allocs: self.kv_block_allocs.get(),
             kv_block_shares: self.kv_block_shares.get(),
             preemptions: self.preemptions.get(),
+            spec_drafted,
+            spec_accepted,
+            spec_rolled_back: self.spec_rolled_back.get(),
+            spec_acceptance_rate,
         }
     }
 }
@@ -388,6 +442,16 @@ pub struct MetricsSnapshot {
     /// paged KV-pool exhaustion (cumulative), each of which will
     /// re-prefill on readmission.
     pub preemptions: u64,
+    /// Tokens proposed by the int8 draft model across all speculative
+    /// macro-steps (0 when no request ran in speculative mode).
+    pub spec_drafted: u64,
+    /// Draft proposals accepted by the f32 verify pass.
+    pub spec_accepted: u64,
+    /// Draft proposals rejected and rolled back — always
+    /// `spec_drafted - spec_accepted`.
+    pub spec_rolled_back: u64,
+    /// `spec_accepted / spec_drafted` (0.0 before any drafting).
+    pub spec_acceptance_rate: f64,
 }
 
 impl MetricsSnapshot {
@@ -458,6 +522,10 @@ mod tests {
             "serve_kv_block_allocs_total",
             "serve_kv_block_shares_total",
             "serve_preemptions_total",
+            "serve_spec_drafted_total",
+            "serve_spec_accepted_total",
+            "serve_spec_rolled_back_total",
+            "serve_spec_acceptance_rate",
         ] {
             assert!(
                 families.iter().any(|f| f.name == name),
@@ -480,6 +548,26 @@ mod tests {
         assert_eq!(snap.kv_bytes_peak, 4096);
         assert_eq!(snap.kv_blocks_allocated, 1);
         assert_eq!(snap.kv_blocks_shared, 0);
+    }
+
+    #[test]
+    fn spec_counters_derive_the_acceptance_rate() {
+        let inner = MetricsInner::default();
+        let before = inner.snapshot();
+        assert_eq!(before.spec_drafted, 0);
+        assert_eq!(before.spec_acceptance_rate, 0.0);
+        inner.record_spec(4, 3, 1);
+        inner.record_spec(4, 1, 3);
+        let snap = inner.snapshot();
+        assert_eq!(snap.spec_drafted, 8);
+        assert_eq!(snap.spec_accepted, 4);
+        assert_eq!(snap.spec_rolled_back, 4);
+        assert_eq!(snap.spec_acceptance_rate, 0.5);
+        assert_eq!(
+            snap.spec_rolled_back,
+            snap.spec_drafted - snap.spec_accepted,
+            "rollback invariant"
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ use crate::metrics::MetricsInner;
 use crate::request::{FinishReason, Response, Submission};
 use crossbeam::channel::{Receiver, TryRecvError};
 use matgpt_model::infer::{KvCache, KvStorage};
-use matgpt_model::{generate::sample_logits, GptModel, ModelWeights, WeightPrecision};
+use matgpt_model::speculative::{speculative_step, DraftState, SpecOutcome};
+use matgpt_model::{
+    generate::sample_logits, GptModel, ModelWeights, QuantizedParamStore, WeightPrecision,
+};
 use matgpt_obs::flight::{self, FlightEvent, FlightKind};
 use matgpt_obs::{pids, FlowEvent, FlowPhase, Recorder, Span, TraceEvent};
 use matgpt_tensor::ParamStore;
@@ -92,7 +95,46 @@ pub enum KvBackend {
     Paged(KvBlockConfig),
 }
 
+/// How the scheduler advances active requests each decode iteration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DecodeMode {
+    /// One token per request per iteration — the standard path.
+    #[default]
+    Plain,
+    /// Int8 self-draft speculative decoding (see `DECODING.md`): the
+    /// engine quantizes a draft copy of its own weights at startup;
+    /// each greedy request drafts `k` tokens per iteration and the f32
+    /// model verifies them in one batched forward, emitting the
+    /// accepted prefix and rolling the rest back. Output stays
+    /// **bit-identical** to [`DecodeMode::Plain`]. Applies per request:
+    /// sampled requests (`temperature > 0`) always decode plainly, and
+    /// the mode requires [`WeightPrecision::F32`] (the verifier must be
+    /// the full-precision model — under `Int8` it falls back to
+    /// `Plain`).
+    Speculative {
+        /// Draft tokens proposed per macro-step (k ∈ 1..=4 is typical;
+        /// see `ext_spec` for the measured acceptance/speedup trade).
+        k: usize,
+    },
+}
+
 /// Admission and batching limits.
+///
+/// ```
+/// use matgpt_serve::{DecodeMode, KvBackend, SchedulerConfig};
+///
+/// // defaults: f32 weights, contiguous KV, plain decode
+/// let cfg = SchedulerConfig::default();
+/// assert_eq!(cfg.decode, DecodeMode::Plain);
+/// assert_eq!(cfg.kv_backend, KvBackend::Contiguous);
+///
+/// // a speculative engine drafts 4 tokens per step for greedy requests
+/// let spec = SchedulerConfig {
+///     decode: DecodeMode::Speculative { k: 4 },
+///     ..SchedulerConfig::default()
+/// };
+/// assert_eq!(spec.decode, DecodeMode::Speculative { k: 4 });
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct SchedulerConfig {
     /// Maximum requests decoding concurrently.
@@ -122,6 +164,12 @@ pub struct SchedulerConfig {
     /// backends are bit-identical in output — the knob trades peak KV
     /// memory against per-block bookkeeping overhead.
     pub kv_backend: KvBackend,
+    /// Decode strategy. [`DecodeMode::Plain`] (default) advances each
+    /// request one token per iteration; [`DecodeMode::Speculative`]
+    /// drafts `k` tokens with an int8 self-draft and verifies them in
+    /// one batched f32 forward — bit-identical output, higher
+    /// tokens/sec for greedy requests.
+    pub decode: DecodeMode,
 }
 
 impl Default for SchedulerConfig {
@@ -132,8 +180,17 @@ impl Default for SchedulerConfig {
             max_queue: 1024,
             precision: WeightPrecision::F32,
             kv_backend: KvBackend::Contiguous,
+            decode: DecodeMode::Plain,
         }
     }
+}
+
+/// Engine-wide speculative-decoding state: the int8 self-draft weights
+/// (quantized once at engine startup from the same f32 store the
+/// engine verifies with) and the per-step draft length.
+struct SpecRuntime {
+    draft: QuantizedParamStore,
+    k: usize,
 }
 
 /// The KV storage a request decodes against — one enum so `Active` is
@@ -147,12 +204,13 @@ enum ReqKv {
 }
 
 impl ReqKv {
-    /// Ensure the next decode step's row has a block to land in.
+    /// Ensure the next decode step's `rows` rows have blocks to land in
+    /// (1 for plain decode, `k + 1` for a speculative macro-step).
     /// Contiguous storage grows inline, so only the paged arm can fail.
-    fn reserve_decode(&mut self) -> Result<(), KvExhausted> {
+    fn reserve_decode(&mut self, rows: usize) -> Result<(), KvExhausted> {
         match self {
             ReqKv::Contig(_) => Ok(()),
-            ReqKv::Paged(p) => p.reserve_rows(1),
+            ReqKv::Paged(p) => p.reserve_rows(rows),
         }
     }
 
@@ -230,6 +288,13 @@ impl KvStorage for ReqKv {
             ReqKv::Paged(p) => p.commit(),
         }
     }
+
+    fn rollback(&mut self, n: usize) {
+        match self {
+            ReqKv::Contig(c) => c.rollback(n),
+            ReqKv::Paged(p) => p.rollback(n),
+        }
+    }
 }
 
 /// Decode progress carried across a preemption: enough to re-admit the
@@ -261,6 +326,11 @@ struct Active {
     ttft: Option<Duration>,
     last_token_at: Instant,
     reserved: usize,
+    /// Int8 self-draft state, present only when the engine runs
+    /// [`DecodeMode::Speculative`] and this request decodes greedily.
+    /// Recreated fresh on preemption-resume (safe: the draft never
+    /// influences output, only acceptance rate).
+    draft: Option<DraftState>,
     done: Option<FinishReason>,
     /// When this request's prefill forward began / finished — the
     /// boundaries of its traced queued/prefill/decode lifecycle.
@@ -284,6 +354,7 @@ impl Active {
         reserved: usize,
         cache: ReqKv,
         resume: Option<ResumeState>,
+        spec_enabled: bool,
     ) -> Result<Self, Box<(Submission, usize)>> {
         let prefill_start = Instant::now();
         let (tokens, generated, rng, ttft) = match resume {
@@ -319,6 +390,10 @@ impl Active {
             Err(_) => return Err(Box::new((sub, reserved))),
         };
         let prefill_end = Instant::now();
+        // speculation is per-request: only greedy requests get a draft
+        // (a sampled request's rng stream must advance token by token)
+        let draft = (spec_enabled && sub.req.opts.temperature <= 0.0)
+            .then(|| DraftState::new(model, &tokens[ctx_start..]));
         Ok(Self {
             sub,
             cache,
@@ -329,15 +404,23 @@ impl Active {
             ttft,
             last_token_at: prefill_end,
             reserved,
+            draft,
             done: None,
             prefill_start,
             prefill_end,
         })
     }
 
-    /// Advance by one token: sample from the staged logits, decide
-    /// whether to finish, otherwise run one cached decode step.
-    fn step(&mut self, model: &GptModel, weights: &ModelWeights, metrics: &MetricsInner) {
+    /// Advance by one token (or one speculative macro-step): sample
+    /// from the staged logits, decide whether to finish, otherwise run
+    /// one cached decode step.
+    fn step(
+        &mut self,
+        model: &GptModel,
+        weights: &ModelWeights,
+        spec: Option<&SpecRuntime>,
+        metrics: &MetricsInner,
+    ) {
         debug_assert!(self.done.is_none(), "stepping a finished request");
         let now = Instant::now();
         if self.sub.cancelled() {
@@ -348,11 +431,15 @@ impl Active {
             self.done = Some(FinishReason::DeadlineExceeded);
             return;
         }
-        let opts = &self.sub.req.opts;
-        if self.generated >= opts.max_new_tokens {
+        if self.generated >= self.sub.req.opts.max_new_tokens {
             self.done = Some(FinishReason::Length);
             return;
         }
+        if let (Some(rt), ModelWeights::F32(fstore), true) = (spec, weights, self.draft.is_some()) {
+            self.step_speculative(model, fstore, rt, metrics);
+            return;
+        }
+        let opts = &self.sub.req.opts;
         let next =
             sample_logits(&self.last_row, opts.temperature, opts.top_k, &mut self.rng) as u32;
         self.tokens.push(next);
@@ -373,6 +460,67 @@ impl Active {
         } else {
             self.last_row = weights.decode_step(model, next, &mut self.cache);
         }
+    }
+
+    /// One speculative macro-step: the int8 self-draft proposes up to
+    /// `k` tokens, one batched f32 verify accepts a prefix (emitting 1
+    /// to `k + 1` tokens), and the rejected KV rows roll back through
+    /// the request's [`KvStorage`] backend. Token-for-token identical
+    /// to the plain path — only throughput and per-step accounting
+    /// differ.
+    fn step_speculative(
+        &mut self,
+        model: &GptModel,
+        store: &ParamStore,
+        rt: &SpecRuntime,
+        metrics: &MetricsInner,
+    ) {
+        let step_start = Instant::now();
+        let mut draft = self.draft.take().expect("speculative step without draft");
+        let remaining = self.sub.req.opts.max_new_tokens - self.generated;
+        let out = speculative_step(
+            model,
+            store,
+            &rt.draft,
+            rt.k,
+            &mut self.cache,
+            &mut draft,
+            &mut self.last_row,
+            remaining,
+        );
+        self.draft = Some(draft);
+        let now = Instant::now();
+        metrics.record_spec(
+            out.drafted as u64,
+            out.accepted as u64,
+            out.rolled_back as u64,
+        );
+        emit_spec_spans(self.sub.id, step_start, &out);
+        // the macro-step produced all its tokens in one go; attribute
+        // its wall time evenly across them for the latency histogram
+        let per_token = (now - self.last_token_at) / out.tokens.len() as u32;
+        let opts = &self.sub.req.opts;
+        for &t in &out.tokens {
+            self.tokens.push(t);
+            self.generated += 1;
+            metrics.generated_tokens.inc();
+            if self.ttft.is_none() {
+                let ttft = self.sub.submitted.elapsed();
+                self.ttft = Some(ttft);
+                metrics.record_ttft(ttft);
+            } else {
+                metrics.record_token_latency(per_token);
+            }
+            if Some(t) == opts.stop_token {
+                self.done = Some(FinishReason::Stop);
+                break;
+            }
+            if self.generated >= opts.max_new_tokens {
+                self.done = Some(FinishReason::Length);
+                break;
+            }
+        }
+        self.last_token_at = now;
     }
 
     fn into_response(self) -> (Submission, Response) {
@@ -534,6 +682,45 @@ fn evict_prefix(ps: &mut PagedState, metrics: &MetricsInner) -> usize {
     n
 }
 
+/// Trace one speculative macro-step as three back-to-back slices —
+/// spec-draft → spec-verify → spec-rollback — on the request's
+/// lifecycle track, from the phase durations the step measured on its
+/// own clock. Skipped for plain-fallback steps (nothing drafted) and
+/// while the global recorder is disabled.
+fn emit_spec_spans(id: u64, start: Instant, out: &SpecOutcome) {
+    let rec = Recorder::global();
+    if !rec.is_enabled() || out.drafted == 0 {
+        return;
+    }
+    let tid = REQ_TRACK_BASE + id;
+    let t0 = rec.ts_of(start);
+    let draft_us = out.draft_time.as_secs_f64() * 1e6;
+    let verify_us = out.verify_time.as_secs_f64() * 1e6;
+    let rollback_us = out.rollback_time.as_secs_f64() * 1e6;
+    rec.extend(vec![
+        TraceEvent::complete(pids::SERVE, tid, "serve.spec", "spec-draft", t0, draft_us)
+            .arg("drafted", out.drafted as f64),
+        TraceEvent::complete(
+            pids::SERVE,
+            tid,
+            "serve.spec",
+            "spec-verify",
+            t0 + draft_us,
+            verify_us,
+        )
+        .arg("accepted", out.accepted as f64),
+        TraceEvent::complete(
+            pids::SERVE,
+            tid,
+            "serve.spec",
+            "spec-rollback",
+            t0 + draft_us + verify_us,
+            rollback_us,
+        )
+        .arg("rolled_back", out.rolled_back as f64),
+    ]);
+}
+
 /// Reconstruct a retired request's lifecycle — queued → prefill →
 /// decode — onto its own trace track from the `Instant`s captured
 /// while it ran. No-op while the global recorder is disabled.
@@ -652,6 +839,18 @@ pub(crate) fn run(
     Recorder::global().set_track_name(pids::SERVE, matgpt_obs::thread_tid(), "scheduler");
     flight::label_thread("serve-scheduler", None);
 
+    // speculative decoding needs the f32 weights as the verifier, so
+    // the draft quantizes from the store *before* precision selection
+    // may consume it; under Int8 the mode degrades to plain decode
+    // (the int8 weights are already the "draft" — there is nothing
+    // cheaper to propose with)
+    let spec: Option<SpecRuntime> = match (cfg.decode, cfg.precision) {
+        (DecodeMode::Speculative { k }, WeightPrecision::F32) if k > 0 => Some(SpecRuntime {
+            draft: QuantizedParamStore::for_draft(&model, &store),
+            k,
+        }),
+        _ => None,
+    };
     // one-time precision selection: Int8 quantizes here and drops the
     // f32 store with `store`'s binding
     let weights = ModelWeights::from_store(&model, store, cfg.precision);
@@ -755,11 +954,20 @@ pub(crate) fn run(
                     let _span = Span::enter(pids::SERVE, "serve", "prefill-batch");
                     // batched prefill: all newly admitted prompts forward together
                     let (model_ref, weights_ref) = (&model, &weights);
+                    let spec_on = spec.is_some();
                     let fresh: Vec<Result<Active, Box<(Submission, usize)>>> = admitted
                         .into_par_iter()
                         .map(|(sub, cost)| {
                             let cache = ReqKv::Contig(model_ref.new_cache());
-                            Active::try_prefill(model_ref, weights_ref, sub, cost, cache, None)
+                            Active::try_prefill(
+                                model_ref,
+                                weights_ref,
+                                sub,
+                                cost,
+                                cache,
+                                None,
+                                spec_on,
+                            )
                         })
                         .collect_vec();
                     for prefilled in fresh {
@@ -814,10 +1022,17 @@ pub(crate) fn run(
                         }
                     };
                     // headroom: every already-active request may claim
-                    // one more block on the next decode step; admitting
-                    // into that margin would trigger an immediate
-                    // preemption ping-pong
-                    while ok && !active.is_empty() && ps.pool.free_blocks() < active.len() {
+                    // more blocks on the next decode step (one for
+                    // plain decode, enough for k + 1 transient rows
+                    // under speculation); admitting into that margin
+                    // would trigger an immediate preemption ping-pong
+                    let blocks_per_step = spec
+                        .as_ref()
+                        .map_or(1, |rt| (rt.k + 1).div_ceil(ps.pool.block_size()).max(1));
+                    while ok
+                        && !active.is_empty()
+                        && ps.pool.free_blocks() < active.len() * blocks_per_step
+                    {
                         if evict_prefix(ps, &metrics) == 0 {
                             ok = false;
                         }
@@ -848,7 +1063,15 @@ pub(crate) fn run(
                         }
                         break;
                     }
-                    match Active::try_prefill(&model, &weights, sub, 0, ReqKv::Paged(kv), resume) {
+                    match Active::try_prefill(
+                        &model,
+                        &weights,
+                        sub,
+                        0,
+                        ReqKv::Paged(kv),
+                        resume,
+                        spec.is_some(),
+                    ) {
                         Ok(a) => {
                             // register the prompt prefix for sharing —
                             // valid only when the cache holds the prompt
@@ -887,7 +1110,15 @@ pub(crate) fn run(
             active.sort_by_key(|a| a.sub.id);
             let mut i = 0;
             while i < active.len() {
-                match active[i].cache.reserve_decode() {
+                // speculative requests commit up to k + 1 rows in one
+                // macro-step (the rejected tail rolls back, returning
+                // its blocks); plain requests commit exactly one
+                let rows = if active[i].draft.is_some() {
+                    spec.as_ref().map_or(1, |rt| rt.k + 1)
+                } else {
+                    1
+                };
+                match active[i].cache.reserve_decode(rows) {
                     Ok(()) => i += 1,
                     Err(_) => {
                         if evict_prefix(ps, &metrics) > 0 {
@@ -941,6 +1172,7 @@ pub(crate) fn run(
         {
             let _span = Span::enter(pids::SERVE, "serve", "decode-iter");
             let (model_ref, weights_ref, metrics_ref) = (&model, &weights, &*metrics);
+            let spec_ref = spec.as_ref();
             active.par_iter_mut().for_each(|a| {
                 if a.done.is_some() {
                     return;
@@ -949,7 +1181,7 @@ pub(crate) fn run(
                 // only its own request; its half-stepped state is
                 // discarded when it retires below
                 let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    a.step(model_ref, weights_ref, metrics_ref)
+                    a.step(model_ref, weights_ref, spec_ref, metrics_ref)
                 }));
                 if stepped.is_err() {
                     a.done = Some(FinishReason::Failed);

@@ -25,12 +25,20 @@ use rayon::prelude::*;
 pub fn rotary_rows(x: &mut [f32], positions: &[usize], heads: usize, d: usize, base: f32) {
     let half = d / 2;
     debug_assert_eq!(x.len(), positions.len() * heads * d, "rotary_rows layout");
+    // The frequency divisor depends only on `i` and the angle only on
+    // `(pos, i)`, so hoist both out of the head loop — same expressions,
+    // evaluated once instead of per head.
+    let divisors: Vec<f32> = (0..half)
+        .map(|i| base.powf(2.0 * i as f32 / d as f32))
+        .collect();
+    let mut sincos = vec![(0.0f32, 0.0f32); half];
     for (row, &pos) in x.chunks_mut(heads * d).zip(positions) {
+        for (sc, &div) in sincos.iter_mut().zip(&divisors) {
+            *sc = (pos as f32 / div).sin_cos();
+        }
         for h in 0..heads {
             let head = &mut row[h * d..(h + 1) * d];
-            for i in 0..half {
-                let theta = pos as f32 / base.powf(2.0 * i as f32 / d as f32);
-                let (sin, cos) = theta.sin_cos();
+            for (i, &(sin, cos)) in sincos.iter().enumerate() {
                 let x1 = head[i];
                 let x2 = head[i + half];
                 head[i] = x1 * cos - x2 * sin;
@@ -38,6 +46,31 @@ pub fn rotary_rows(x: &mut [f32], positions: &[usize], heads: usize, d: usize, b
             }
         }
     }
+}
+
+/// Dot product with a fixed eight-lane accumulation shape: lanes gather
+/// strided partial sums, are combined in a fixed pairwise order, then
+/// the `len % 8` tail is added sequentially. The shape depends only on
+/// the slice length — never on which kernel or batch the call came from
+/// — so contiguous/paged attention and single/batched decode all score
+/// identical inputs bitwise identically.
+#[inline]
+fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane = xa[l].mul_add(xb[l], *lane);
+        }
+    }
+    let mut tail = 0.0f32;
+    for (xa, xb) in ca.remainder().iter().zip(cb.remainder()) {
+        tail = xa.mul_add(*xb, tail);
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+        + tail
 }
 
 /// KV-cached causal attention over token-major buffers.
@@ -84,7 +117,7 @@ pub fn cached_attention(
                 let mut os = OnlineSoftmax::default();
                 for j in 0..=limit {
                     let kj = &k_cache[j * kv_stride + hkv * d..j * kv_stride + (hkv + 1) * d];
-                    let s = qh.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                    let s = dot8(qh, kj) * scale;
                     let vj = &v_cache[j * kv_stride + hkv * d..j * kv_stride + (hkv + 1) * d];
                     os.push(s, vj, acc);
                 }
@@ -152,7 +185,7 @@ pub fn paged_attention(
                     let (b, slot) = (p / block_rows, p % block_rows);
                     let kj =
                         &k_blocks[b][slot * kv_stride + hkv * d..slot * kv_stride + (hkv + 1) * d];
-                    let s = qh.iter().zip(kj).map(|(a, b)| a * b).sum::<f32>() * scale;
+                    let s = dot8(qh, kj) * scale;
                     let vj =
                         &v_blocks[b][slot * kv_stride + hkv * d..slot * kv_stride + (hkv + 1) * d];
                     os.push(s, vj, acc);

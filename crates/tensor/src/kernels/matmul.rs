@@ -12,11 +12,199 @@ use rayon::prelude::*;
 /// multiply itself).
 const PAR_THRESHOLD: usize = 64 * 64;
 
+/// Batches up to this many rows take the weight-stationary path in
+/// [`matmul`]: `b` is streamed from memory exactly once while all `m`
+/// output rows accumulate in cache. The per-row `ikj` loop streams the
+/// full `k*n` weight matrix once *per row*, so for the small-`m` batches
+/// of speculative verify (`m = k_draft + 1`) it would cost `m` weight
+/// passes where one suffices. Kept small so the `m` output rows stay
+/// cache-resident.
+pub const SMALL_M_MAX: usize = 8;
+
+/// Weight-stationary `c[m,n] = a[m,k] @ b[k,n]` for small `m`.
+///
+/// Per output element the accumulation is still one `p`-ascending chain
+/// of fused multiply-adds with the same `a[i][p] == 0.0` skip as the
+/// per-row loop, so the result is bitwise identical to calling the
+/// per-row path (or `m` single-row calls) — speculative verify depends
+/// on that.
+///
+/// Eight weight rows are fused per pass: each output element gets eight
+/// sequential `mul_add`s (one per `p`, ascending), which cuts the
+/// load/store traffic on the cached output rows 8× without reordering
+/// any per-element sum — grouping a chain does not change the chain. A
+/// pass containing a zero coefficient falls back to the per-`p` loop so
+/// the zero-skip stays element-exact.
+///
+/// Output rows are additionally processed in pairs so each loaded
+/// weight vector feeds two independent FMA chains: the per-row loop is
+/// load-port bound, while the paired loop amortises the eight `b` loads
+/// over sixteen FMAs and lets the two rows' chains issue in parallel.
+/// Each row's chain is element-for-element the same as the unpaired
+/// loop, so pairing changes nothing bitwise.
+fn matmul_small_m(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    c.fill(0.0);
+    let mut p = 0;
+    while p + 8 <= k {
+        let brows: [&[f32]; 8] = std::array::from_fn(|r| &b[(p + r) * n..(p + r + 1) * n]);
+        let [b0, b1, b2, b3, b4, b5, b6, b7] = brows;
+        let oct_one = |ci: &mut [f32], ar: &[f32]| {
+            if ar.iter().all(|&v| v != 0.0) {
+                let a: [f32; 8] = ar.try_into().unwrap();
+                let w = ci.len();
+                let (b0, b1, b2, b3) = (&b0[..w], &b1[..w], &b2[..w], &b3[..w]);
+                let (b4, b5, b6, b7) = (&b4[..w], &b5[..w], &b6[..w], &b7[..w]);
+                for (j, cv) in ci.iter_mut().enumerate() {
+                    let mut x = a[0].mul_add(b0[j], *cv);
+                    x = a[1].mul_add(b1[j], x);
+                    x = a[2].mul_add(b2[j], x);
+                    x = a[3].mul_add(b3[j], x);
+                    x = a[4].mul_add(b4[j], x);
+                    x = a[5].mul_add(b5[j], x);
+                    x = a[6].mul_add(b6[j], x);
+                    *cv = a[7].mul_add(b7[j], x);
+                }
+            } else {
+                for (aip, brow) in ar.iter().zip(brows) {
+                    if *aip == 0.0 {
+                        continue;
+                    }
+                    for (cv, &bv) in ci.iter_mut().zip(brow.iter()) {
+                        *cv = aip.mul_add(bv, *cv);
+                    }
+                }
+            }
+        };
+        let mut i = 0;
+        while i + 4 <= m {
+            let rows: [&[f32]; 4] =
+                std::array::from_fn(|r| &a[(i + r) * k + p..(i + r) * k + p + 8]);
+            if rows.iter().all(|ar| ar.iter().all(|&v| v != 0.0)) {
+                let av: [[f32; 8]; 4] = std::array::from_fn(|r| rows[r].try_into().unwrap());
+                let (c01, c23) = c[i * n..(i + 4) * n].split_at_mut(2 * n);
+                let (c0, c1) = c01.split_at_mut(n);
+                let (c2, c3) = c23.split_at_mut(n);
+                let w = c0.len();
+                let (b0, b1, b2, b3) = (&b0[..w], &b1[..w], &b2[..w], &b3[..w]);
+                let (b4, b5, b6, b7) = (&b4[..w], &b5[..w], &b6[..w], &b7[..w]);
+                let c1 = &mut c1[..w];
+                let c2 = &mut c2[..w];
+                let c3 = &mut c3[..w];
+                for (j, cv0) in c0.iter_mut().enumerate() {
+                    let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+                    let (v4, v5, v6, v7) = (b4[j], b5[j], b6[j], b7[j]);
+                    let mut x0 = av[0][0].mul_add(v0, *cv0);
+                    let mut x1 = av[1][0].mul_add(v0, c1[j]);
+                    let mut x2 = av[2][0].mul_add(v0, c2[j]);
+                    let mut x3 = av[3][0].mul_add(v0, c3[j]);
+                    x0 = av[0][1].mul_add(v1, x0);
+                    x1 = av[1][1].mul_add(v1, x1);
+                    x2 = av[2][1].mul_add(v1, x2);
+                    x3 = av[3][1].mul_add(v1, x3);
+                    x0 = av[0][2].mul_add(v2, x0);
+                    x1 = av[1][2].mul_add(v2, x1);
+                    x2 = av[2][2].mul_add(v2, x2);
+                    x3 = av[3][2].mul_add(v2, x3);
+                    x0 = av[0][3].mul_add(v3, x0);
+                    x1 = av[1][3].mul_add(v3, x1);
+                    x2 = av[2][3].mul_add(v3, x2);
+                    x3 = av[3][3].mul_add(v3, x3);
+                    x0 = av[0][4].mul_add(v4, x0);
+                    x1 = av[1][4].mul_add(v4, x1);
+                    x2 = av[2][4].mul_add(v4, x2);
+                    x3 = av[3][4].mul_add(v4, x3);
+                    x0 = av[0][5].mul_add(v5, x0);
+                    x1 = av[1][5].mul_add(v5, x1);
+                    x2 = av[2][5].mul_add(v5, x2);
+                    x3 = av[3][5].mul_add(v5, x3);
+                    x0 = av[0][6].mul_add(v6, x0);
+                    x1 = av[1][6].mul_add(v6, x1);
+                    x2 = av[2][6].mul_add(v6, x2);
+                    x3 = av[3][6].mul_add(v6, x3);
+                    *cv0 = av[0][7].mul_add(v7, x0);
+                    c1[j] = av[1][7].mul_add(v7, x1);
+                    c2[j] = av[2][7].mul_add(v7, x2);
+                    c3[j] = av[3][7].mul_add(v7, x3);
+                }
+            } else {
+                for (r, ar) in rows.iter().enumerate() {
+                    oct_one(&mut c[(i + r) * n..(i + r + 1) * n], ar);
+                }
+            }
+            i += 4;
+        }
+        while i + 2 <= m {
+            let ar = &a[i * k + p..i * k + p + 8];
+            let sr = &a[(i + 1) * k + p..(i + 1) * k + p + 8];
+            if ar.iter().all(|&v| v != 0.0) && sr.iter().all(|&v| v != 0.0) {
+                let av: [f32; 8] = ar.try_into().unwrap();
+                let sv: [f32; 8] = sr.try_into().unwrap();
+                let (head, rest) = c.split_at_mut((i + 1) * n);
+                let ci = &mut head[i * n..];
+                let cj = &mut rest[..n];
+                let w = ci.len();
+                let (b0, b1, b2, b3) = (&b0[..w], &b1[..w], &b2[..w], &b3[..w]);
+                let (b4, b5, b6, b7) = (&b4[..w], &b5[..w], &b6[..w], &b7[..w]);
+                for (j, (cv, cw)) in ci.iter_mut().zip(cj.iter_mut()).enumerate() {
+                    let mut x = av[0].mul_add(b0[j], *cv);
+                    let mut y = sv[0].mul_add(b0[j], *cw);
+                    x = av[1].mul_add(b1[j], x);
+                    y = sv[1].mul_add(b1[j], y);
+                    x = av[2].mul_add(b2[j], x);
+                    y = sv[2].mul_add(b2[j], y);
+                    x = av[3].mul_add(b3[j], x);
+                    y = sv[3].mul_add(b3[j], y);
+                    x = av[4].mul_add(b4[j], x);
+                    y = sv[4].mul_add(b4[j], y);
+                    x = av[5].mul_add(b5[j], x);
+                    y = sv[5].mul_add(b5[j], y);
+                    x = av[6].mul_add(b6[j], x);
+                    y = sv[6].mul_add(b6[j], y);
+                    *cv = av[7].mul_add(b7[j], x);
+                    *cw = sv[7].mul_add(b7[j], y);
+                }
+            } else {
+                oct_one(&mut c[i * n..(i + 1) * n], ar);
+                oct_one(&mut c[(i + 1) * n..(i + 2) * n], sr);
+            }
+            i += 2;
+        }
+        if i < m {
+            oct_one(&mut c[i * n..(i + 1) * n], &a[i * k + p..i * k + p + 8]);
+        }
+        p += 8;
+    }
+    while p < k {
+        let brow = &b[p * n..(p + 1) * n];
+        for i in 0..m {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let ci = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in ci.iter_mut().zip(brow.iter()) {
+                *cv = aip.mul_add(bv, *cv);
+            }
+        }
+        p += 1;
+    }
+}
+
 /// `c[m,n] = a[m,k] @ b[k,n]`.
+///
+/// Accumulation uses `f32::mul_add` (a true fused multiply-add, one
+/// rounding per step): it halves the FP-port pressure of separate
+/// mul/add pairs, and because every path here — per-row, rayon per-row,
+/// and the small-`m` weight-stationary branch — applies the identical
+/// per-element FMA chain, outputs remain bitwise reproducible across
+/// batch shapes.
 pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    if m > 1 && m <= SMALL_M_MAX {
+        return matmul_small_m(a, b, c, m, k, n);
+    }
     let row = |ci: &mut [f32], ai: &[f32]| {
         ci.fill(0.0);
         for (p, &aip) in ai.iter().enumerate() {
@@ -25,7 +213,7 @@ pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize)
             }
             let brow = &b[p * n..(p + 1) * n];
             for (cv, &bv) in ci.iter_mut().zip(brow.iter()) {
-                *cv += aip * bv;
+                *cv = aip.mul_add(bv, *cv);
             }
         }
     };
@@ -202,6 +390,46 @@ mod tests {
         matmul_at_acc(&a, &d, &mut c4, m, k, n);
         for (x, y) in c3.iter().zip(c4.iter()) {
             assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn small_m_path_bitwise_matches_single_row_calls() {
+        // Speculative verify relies on a batched m-row matmul producing
+        // exactly the bytes of m single-row calls. Include zeros in `a`
+        // so the zero-skip fires on both paths.
+        let (k, n) = (37, 113);
+        for m in 2..=SMALL_M_MAX {
+            let a: Vec<f32> = (0..m * k)
+                .map(|i| {
+                    if i % 7 == 0 {
+                        0.0
+                    } else {
+                        ((i * 37 % 19) as f32 - 9.0) * 0.1
+                    }
+                })
+                .collect();
+            let b: Vec<f32> = (0..k * n)
+                .map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.1)
+                .collect();
+            let mut batched = vec![0.0; m * n];
+            matmul(&a, &b, &mut batched, m, k, n);
+            let mut per_row = vec![0.0; m * n];
+            for i in 0..m {
+                matmul(
+                    &a[i * k..(i + 1) * k],
+                    &b,
+                    &mut per_row[i * n..(i + 1) * n],
+                    1,
+                    k,
+                    n,
+                );
+            }
+            assert_eq!(
+                batched.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                per_row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "m={m}"
+            );
         }
     }
 

@@ -73,7 +73,7 @@ impl OnlineSoftmax {
         let w = (s - self.m).exp();
         self.l += w;
         for (a, &vv) in acc.iter_mut().zip(v.iter()) {
-            *a += w * vv;
+            *a = w.mul_add(vv, *a);
         }
     }
 

@@ -91,4 +91,8 @@ section "paged KV: bit-identical backends + pool invariants + smoke bench"
 cargo test -q --test paged_kv
 cargo run --release -q -p matgpt-bench --bin ext_paged_bench -- --smoke
 
+section "speculative decoding: bit-identity proptests + smoke bench"
+cargo test -q --test speculative
+cargo run --release -q -p matgpt-bench --bin ext_spec -- --smoke
+
 echo "All checks passed."
